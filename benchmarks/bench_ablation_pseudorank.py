@@ -1,0 +1,89 @@
+"""Ablation — the cost and benefit of PseudoRank.
+
+PseudoRank lets CiNCT answer rank queries over the *original* BWT while only
+storing the *labelled* BWT, at the price of one correction-term lookup per
+rank.  This ablation measures
+
+* the raw rank latency on the labelled HWT (shallow tree) vs the unlabelled
+  HWT (deep tree) — the mechanism behind Theorem 1 / Section V-C; and
+* the end-to-end benefit: CiNCT vs ICB-Huff (which is exactly "the same index
+  without RML + PseudoRank") on size and query time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import get_bwt, get_index, get_patterns
+from repro.bench import format_table, measure_search_time
+from repro.core import ETGraph, build_rml, label_bwt
+from repro.wavelet import HuffmanWaveletTree, rrr_bitvector_factory
+
+DATASET = "Singapore-2"
+
+
+@pytest.fixture(scope="module")
+def trees():
+    bwt = get_bwt(DATASET)
+    graph = ETGraph(bwt.text, sigma=bwt.sigma)
+    rml = build_rml(graph)
+    labelled = label_bwt(bwt.bwt, bwt.c_array, rml)
+    labelled_tree = HuffmanWaveletTree(labelled, rrr_bitvector_factory(63))
+    original_tree = HuffmanWaveletTree(bwt.bwt, rrr_bitvector_factory(63))
+    return bwt, labelled, labelled_tree, original_tree
+
+
+def test_ablation_rank_depth(benchmark, trees, report):
+    """Ranks on the labelled HWT touch far fewer wavelet-tree levels."""
+    bwt, labelled, labelled_tree, original_tree = trees
+    rng = np.random.default_rng(0)
+    positions = rng.integers(0, bwt.length, size=300)
+
+    def rank_labelled():
+        for position in positions:
+            labelled_tree.rank(int(labelled[position]), int(position))
+
+    benchmark.pedantic(rank_labelled, rounds=3, iterations=1)
+
+    rows = [
+        {
+            "structure": "HWT over phi(Tbwt) (CiNCT)",
+            "average depth (bits)": round(labelled_tree.average_depth(), 2),
+        },
+        {
+            "structure": "HWT over Tbwt (ICB-Huff)",
+            "average depth (bits)": round(original_tree.average_depth(), 2),
+        },
+    ]
+    report.add("Ablation — Huffman depth with and without RML", format_table(rows))
+    assert labelled_tree.average_depth() < original_tree.average_depth()
+
+
+def test_ablation_pseudorank_end_to_end(benchmark, trees, report):
+    """CiNCT (RML + PseudoRank) vs ICB-Huff (no labelling) on the same data."""
+    cinct = get_index(DATASET, "CiNCT", 63)
+    icb = get_index(DATASET, "ICB-Huff", 63)
+    patterns = get_patterns(DATASET)
+
+    def run_both():
+        cinct_time = measure_search_time(cinct.index, patterns).mean_microseconds
+        icb_time = measure_search_time(icb.index, patterns).mean_microseconds
+        return cinct_time, icb_time
+
+    cinct_time, icb_time = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        {
+            "method": "CiNCT (RML + PseudoRank)",
+            "bits/symbol": round(cinct.bits_per_symbol(), 2),
+            "search (us)": round(cinct_time, 1),
+        },
+        {
+            "method": "ICB-Huff (no labelling)",
+            "bits/symbol": round(icb.bits_per_symbol(), 2),
+            "search (us)": round(icb_time, 1),
+        },
+    ]
+    report.add("Ablation — PseudoRank end-to-end benefit", format_table(rows))
+    assert cinct.bits_per_symbol() < icb.bits_per_symbol()
+    assert cinct_time < icb_time

@@ -1,0 +1,65 @@
+"""Ablation — suffix-array sampling rate for locate (strict-path support).
+
+The paper's evaluation does not need ``locate`` (suffix ranges and extraction
+suffice), but the strict-path application of Section VII does.  CiNCT supports
+it through classic SA sampling; this ablation sweeps the sampling rate and
+charts the size/time trade-off: denser sampling costs
+``n/rate * ceil(lg n)`` extra bits but shortens the LF-walk per locate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from common import get_bwt
+from repro.bench import format_table
+from repro.core import CiNCT
+
+DATASET = "Roma"
+SAMPLE_RATES = (4, 16, 64)
+
+
+@pytest.fixture(scope="module")
+def sampled_indexes():
+    bwt = get_bwt(DATASET)
+    return {rate: CiNCT(bwt, block_size=63, sa_sample_rate=rate) for rate in SAMPLE_RATES}
+
+
+def _mean_locate_us(index, rows) -> float:
+    started = time.perf_counter()
+    for row in rows:
+        index.locate(int(row))
+    return (time.perf_counter() - started) / len(rows) * 1e6
+
+
+def test_sa_sampling_tradeoff(benchmark, sampled_indexes, report):
+    bwt = get_bwt(DATASET)
+    rng = np.random.default_rng(0)
+    rows = rng.integers(0, bwt.length, size=50)
+
+    def sweep():
+        table = []
+        for rate, index in sampled_indexes.items():
+            table.append(
+                {
+                    "sample rate": rate,
+                    "bits/symbol": round(index.bits_per_symbol(), 2),
+                    "locate (us)": round(_mean_locate_us(index, rows), 1),
+                }
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report.add(f"Ablation — SA sampling rate ({DATASET})", format_table(table))
+
+    by_rate = {row["sample rate"]: row for row in table}
+    # Correctness: every sampled index must agree with the true suffix array.
+    for rate, index in sampled_indexes.items():
+        for row in rows[:20]:
+            assert index.locate(int(row)) == int(bwt.suffix_array[int(row)])
+    # Trade-off shape: denser sampling is bigger but locates faster.
+    assert by_rate[4]["bits/symbol"] > by_rate[64]["bits/symbol"]
+    assert by_rate[4]["locate (us)"] < by_rate[64]["locate (us)"]

@@ -1,0 +1,77 @@
+"""Fig. 11 — suffix-range query time as a function of the query length |P|.
+
+The paper measures the Singapore dataset: all methods grow linearly in |P|,
+and CiNCT has the slowest growth.  We reproduce the |P| series for CiNCT and
+the two ICB baselines plus UFMI, and check linearity and ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import get_bwt, get_index
+from repro.bench import measure_search_time, format_table
+from repro.fmindex import sample_patterns
+
+import numpy as np
+
+DATASET = "Singapore"
+QUERY_LENGTHS = (2, 5, 8, 12)
+METHODS = ("CiNCT", "UFMI", "ICB-Huff", "ICB-WM")
+
+
+def _patterns_of_length(length: int):
+    rng = np.random.default_rng(length)
+    return sample_patterns(get_bwt(DATASET), length, 20, rng)
+
+
+@pytest.mark.parametrize("length", QUERY_LENGTHS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig11_query_length_point(benchmark, method, length, report):
+    built = get_index(DATASET, method, 63)
+    patterns = _patterns_of_length(length)
+    benchmark.pedantic(
+        lambda: [built.index.suffix_range(p) for p in patterns],
+        rounds=3,
+        iterations=1,
+    )
+    timing = measure_search_time(built.index, patterns)
+    report.add(
+        f"Fig. 11 point — {method}, |P|={length}",
+        format_table(
+            [{"method": method, "|P|": length, "search (us)": round(timing.mean_microseconds, 1)}]
+        ),
+    )
+
+
+def test_fig11_series_shape(benchmark, report):
+    """Growth is roughly linear in |P| and CiNCT stays below the ICB variants."""
+
+    def build_series():
+        series: dict[str, list[tuple[int, float]]] = {}
+        for method in METHODS:
+            built = get_index(DATASET, method, 63)
+            series[method] = [
+                (length, measure_search_time(built.index, _patterns_of_length(length)).mean_microseconds)
+                for length in QUERY_LENGTHS
+            ]
+        return series
+
+    series = benchmark.pedantic(build_series, rounds=1, iterations=1)
+
+    rows = []
+    for method, points in series.items():
+        row: dict[str, object] = {"method": method}
+        for length, microseconds in points:
+            row[f"|P|={length}"] = round(microseconds, 1)
+        rows.append(row)
+    report.add("Fig. 11 — search time vs query length (Singapore analogue)", format_table(rows))
+
+    for method, points in series.items():
+        # Longer queries must not be cheaper (monotone growth, as in the figure).
+        times = [microseconds for _, microseconds in points]
+        assert times[-1] >= times[0], f"{method}: time should grow with |P|"
+    # CiNCT is the fastest of the compressed indexes at the longest query length.
+    longest = {method: points[-1][1] for method, points in series.items()}
+    assert longest["CiNCT"] < longest["ICB-Huff"]
+    assert longest["CiNCT"] < longest["ICB-WM"]

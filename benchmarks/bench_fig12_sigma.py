@@ -1,0 +1,85 @@
+"""Fig. 12 — dependence on the alphabet size sigma (RandWalk dataset).
+
+The paper fixes the average out-degree at 4, sets |T| = 800 * sigma and grows
+sigma; CiNCT's search time stays (nearly) constant (Theorem 5) and its size per
+symbol stays flat, whereas the baselines grow with sigma.  We reproduce the
+sweep at reduced scale (|T| = length_factor * sigma) and assert the relative
+growth rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import get_bwt_of_randwalk, get_randwalk_index
+from repro.bench import format_table, measure_search_time
+from repro.fmindex import sample_patterns
+
+SIGMAS = (256, 512, 1024, 2048)
+OUT_DEGREE = 4.0
+LENGTH_FACTOR = 60
+METHODS = ("CiNCT", "UFMI", "ICB-Huff")
+PATTERN_LENGTH = 12
+
+
+def _patterns(sigma: int):
+    rng = np.random.default_rng(sigma)
+    return sample_patterns(get_bwt_of_randwalk(sigma, OUT_DEGREE, LENGTH_FACTOR), PATTERN_LENGTH, 20, rng)
+
+
+def _measure(sigma: int, method: str) -> dict[str, float]:
+    built = get_randwalk_index(sigma, OUT_DEGREE, method)
+    timing = measure_search_time(built.index, _patterns(sigma))
+    return {
+        "sigma": sigma,
+        "method": method,
+        "bits/symbol": round(built.bits_per_symbol(), 2),
+        "search (us)": round(timing.mean_microseconds, 1),
+    }
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig12_point(benchmark, sigma, method, report):
+    built = get_randwalk_index(sigma, OUT_DEGREE, method)
+    patterns = _patterns(sigma)
+    benchmark.pedantic(
+        lambda: [built.index.suffix_range(p) for p in patterns],
+        rounds=2,
+        iterations=1,
+    )
+    report.add(f"Fig. 12 point — sigma={sigma}, {method}", format_table([_measure(sigma, method)]))
+
+
+def test_fig12_sigma_scaling_shape(benchmark, report):
+    """CiNCT's size and time grow much more slowly with sigma than UFMI's."""
+
+    def sweep():
+        return {method: [_measure(sigma, method) for sigma in SIGMAS] for method in METHODS}
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [row for method_rows in series.values() for row in method_rows]
+    report.add("Fig. 12 — sigma dependence (RandWalk, d=4)", format_table(rows))
+
+    def growth(method: str, key: str) -> float:
+        values = [row[key] for row in series[method]]
+        return values[-1] / values[0]
+
+    # The uncompressed index grows with lg(sigma); CiNCT's size stays nearly
+    # flat (its only sigma-dependence is the lg-sigma term of ET-graph edge
+    # targets, which amortises over |T| = LENGTH_FACTOR * sigma symbols).
+    assert growth("CiNCT", "bits/symbol") < growth("UFMI", "bits/symbol")
+    assert growth("CiNCT", "bits/symbol") < 1.4
+    # CiNCT search time stays flat-ish across an 8x growth of sigma
+    # (Theorem 5: it depends on the out-degree, not on sigma).
+    assert growth("CiNCT", "search (us)") < 1.8
+    # At the largest sigma, CiNCT is smaller than the uncompressed index and
+    # faster than both baselines.
+    final_cinct = series["CiNCT"][-1]
+    final_icb = series["ICB-Huff"][-1]
+    final_ufmi = series["UFMI"][-1]
+    assert final_cinct["bits/symbol"] < final_ufmi["bits/symbol"]
+    assert final_cinct["search (us)"] < final_icb["search (us)"]
+    assert final_cinct["search (us)"] < final_ufmi["search (us)"]

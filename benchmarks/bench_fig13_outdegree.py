@@ -1,0 +1,83 @@
+"""Fig. 13 — dependence on the average out-degree d-bar (RandWalk dataset).
+
+The paper fixes sigma and |T| and grows the average out-degree from 4 to 64:
+CiNCT's size grows quickly (deeper Huffman trees, bigger ET-graph) while the
+baselines are insensitive to d-bar, so the advantage shrinks as the graph gets
+denser.  We reproduce the sweep and assert those trends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import get_bwt_of_randwalk, get_randwalk_index
+from repro.bench import format_table, measure_search_time
+from repro.fmindex import sample_patterns
+
+SIGMA = 512
+OUT_DEGREES = (4.0, 8.0, 16.0, 32.0)
+LENGTH_FACTOR = 60
+METHODS = ("CiNCT", "UFMI", "ICB-Huff")
+PATTERN_LENGTH = 10
+
+
+def _patterns(degree: float):
+    rng = np.random.default_rng(int(degree * 10))
+    return sample_patterns(
+        get_bwt_of_randwalk(SIGMA, degree, LENGTH_FACTOR), PATTERN_LENGTH, 20, rng
+    )
+
+
+def _measure(degree: float, method: str) -> dict[str, object]:
+    built = get_randwalk_index(SIGMA, degree, method)
+    timing = measure_search_time(built.index, _patterns(degree))
+    return {
+        "d": degree,
+        "method": method,
+        "bits/symbol": round(built.bits_per_symbol(), 2),
+        "search (us)": round(timing.mean_microseconds, 1),
+    }
+
+
+@pytest.mark.parametrize("degree", OUT_DEGREES)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig13_point(benchmark, degree, method, report):
+    built = get_randwalk_index(SIGMA, degree, method)
+    patterns = _patterns(degree)
+    benchmark.pedantic(
+        lambda: [built.index.suffix_range(p) for p in patterns],
+        rounds=2,
+        iterations=1,
+    )
+    report.add(f"Fig. 13 point — d={degree:g}, {method}", format_table([_measure(degree, method)]))
+
+
+def test_fig13_outdegree_scaling_shape(benchmark, report):
+    """CiNCT's size grows with d-bar while the baselines stay roughly flat."""
+
+    def sweep():
+        return {method: [_measure(d, method) for d in OUT_DEGREES] for method in METHODS}
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [row for method_rows in series.values() for row in method_rows]
+    report.add(f"Fig. 13 — out-degree dependence (RandWalk, sigma={SIGMA})", format_table(rows))
+
+    def growth(method: str, key: str) -> float:
+        values = [row[key] for row in series[method]]
+        return values[-1] / values[0]
+
+    # The sparsity of the ET-graph is the key factor for CiNCT: its size grows
+    # with d-bar (deeper Huffman trees + larger ET-graph), while UFMI's size is
+    # essentially independent of it — exactly the trend of Fig. 13.
+    assert growth("CiNCT", "bits/symbol") > 1.2
+    assert growth("UFMI", "bits/symbol") < growth("CiNCT", "bits/symbol")
+    # At the sparse end (road-network regime, d ~ 4) CiNCT is smaller than the
+    # uncompressed index and faster than the compressed baseline.  The paper
+    # also finds CiNCT faster than UFMI; in pure Python the two are within a
+    # few percent of each other and the ordering flips run to run, so that
+    # comparison is asserted only up to a small tolerance.
+    sparse = {method: series[method][0] for method in METHODS}
+    assert sparse["CiNCT"]["bits/symbol"] < sparse["UFMI"]["bits/symbol"]
+    assert sparse["CiNCT"]["search (us)"] < sparse["ICB-Huff"]["search (us)"]
+    assert sparse["CiNCT"]["search (us)"] < 1.3 * sparse["UFMI"]["search (us)"]

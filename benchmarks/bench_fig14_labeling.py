@@ -1,0 +1,66 @@
+"""Fig. 14 — effect of the labelling strategy (bigram-sorted vs random).
+
+The paper compares the proposed bigram-sorting strategy against random label
+assignment across datasets and block sizes; bigram sorting is always at least
+as small and at least as fast.  We reproduce the comparison for every dataset
+analogue at b = 63 and sweep b in {15, 31, 63} on the Singapore-2 analogue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import get_bwt, get_patterns, paper_datasets
+from repro.bench import format_table, measure_search_time
+from repro.core import CiNCT
+
+
+def _build(dataset: str, strategy: str, block_size: int) -> CiNCT:
+    bwt = get_bwt(dataset)
+    return CiNCT(
+        bwt,
+        block_size=block_size,
+        labeling_strategy=strategy,  # type: ignore[arg-type]
+        rng=np.random.default_rng(0) if strategy == "random" else None,
+    )
+
+
+def _measure(dataset: str, strategy: str, block_size: int = 63) -> dict[str, object]:
+    index = _build(dataset, strategy, block_size)
+    timing = measure_search_time(index, get_patterns(dataset))
+    return {
+        "dataset": dataset,
+        "strategy": "bigram (proposed)" if strategy == "bigram" else strategy,
+        "b": block_size,
+        "bits/symbol": round(index.bits_per_symbol(), 2),
+        "search (us)": round(timing.mean_microseconds, 1),
+    }
+
+
+@pytest.mark.parametrize("dataset", paper_datasets())
+def test_fig14_bigram_vs_random(benchmark, dataset, report):
+    rows = benchmark.pedantic(
+        lambda: [_measure(dataset, "bigram"), _measure(dataset, "random")],
+        rounds=1,
+        iterations=1,
+    )
+    report.add(f"Fig. 14 — labelling strategies on {dataset}", format_table(rows))
+    bigram, random_rows = rows[0], rows[1]
+    # Theorem 3 in practice: the bigram ordering is never larger.
+    assert bigram["bits/symbol"] <= random_rows["bits/symbol"] + 0.05
+
+
+@pytest.mark.parametrize("block_size", [15, 31, 63])
+def test_fig14_block_size_sweep(benchmark, block_size, report):
+    dataset = "Singapore-2"
+    rows = benchmark.pedantic(
+        lambda: [
+            _measure(dataset, "bigram", block_size),
+            _measure(dataset, "random", block_size),
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    report.add(f"Fig. 14 — b={block_size} sweep ({dataset})", format_table(rows))
+    assert rows[0]["bits/symbol"] <= rows[1]["bits/symbol"] + 0.05

@@ -1,0 +1,73 @@
+"""Fig. 15 — sub-path extraction time per symbol.
+
+The paper extracts the entire trajectory string (l = |T|, j = 0) and reports
+the per-symbol time for CiNCT, UFMI, FM-GMR, ICB-Huff and ICB-WM; CiNCT is the
+fastest.  At pure-Python scale we extract a large prefix of the string instead
+of all of it, which exercises exactly the same per-step work (one access + one
+rank per extracted symbol).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import get_index, paper_datasets
+from repro.bench import format_table, measure_extraction_time
+
+METHODS = ("CiNCT", "UFMI", "FM-GMR", "ICB-Huff", "ICB-WM")
+EXTRACT_DATASETS = ["Singapore", "Roma", "MO-gen", "Chess"]  # the four of Fig. 15
+EXTRACTION_LENGTH = 2000
+
+
+def _extraction_length(dataset: str) -> int:
+    return min(EXTRACTION_LENGTH, get_index(dataset, "CiNCT", 63).index.length)
+
+
+@pytest.mark.parametrize("dataset", EXTRACT_DATASETS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig15_extraction_point(benchmark, dataset, method, report):
+    built = get_index(dataset, method, 63)
+    length = _extraction_length(dataset)
+
+    benchmark.pedantic(lambda: built.index.extract(0, length), rounds=2, iterations=1)
+
+    per_symbol = measure_extraction_time(built.index, length)
+    report.add(
+        f"Fig. 15 point — {dataset} / {method}",
+        format_table(
+            [
+                {
+                    "dataset": dataset,
+                    "method": method,
+                    "extraction (us/symbol)": round(per_symbol * 1e6, 2),
+                }
+            ]
+        ),
+    )
+
+
+@pytest.mark.parametrize("dataset", EXTRACT_DATASETS)
+def test_fig15_dataset_panel(benchmark, dataset, report):
+    length = _extraction_length(dataset)
+
+    def panel():
+        rows = []
+        for method in METHODS:
+            built = get_index(dataset, method, 63)
+            per_symbol = measure_extraction_time(built.index, length)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "method": method,
+                    "extraction (us/symbol)": round(per_symbol * 1e6, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(panel, rounds=1, iterations=1)
+    report.add(f"Fig. 15 panel — extraction time ({dataset})", format_table(rows))
+
+    by_method = {row["method"]: row["extraction (us/symbol)"] for row in rows}
+    # CiNCT extracts faster than both ICB baselines (the paper's headline for Fig. 15).
+    assert by_method["CiNCT"] < by_method["ICB-Huff"]
+    assert by_method["CiNCT"] < by_method["ICB-WM"]

@@ -1,0 +1,93 @@
+"""Fig. 16 — index construction time and its breakdown.
+
+The paper breaks CiNCT construction into BWT, wavelet-tree build and the
+ET-graph-specific extra work (graph + RML + labelling + correction terms) and
+shows that the extra work is not a serious overhead: CiNCT's total build time
+is comparable to ICB-Huff and shorter than the large-alphabet variants.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from common import FIG10_VARIANTS, get_bundle, get_bwt
+from repro.bench import build_index, format_table
+from repro.core import CiNCT
+
+DATASET = "Singapore"
+
+
+@pytest.mark.parametrize("variant", FIG10_VARIANTS)
+def test_fig16_construction_time(benchmark, variant, report):
+    bwt = get_bwt(DATASET)
+
+    def build():
+        return build_index(variant, bwt, block_size=63)
+
+    built = benchmark.pedantic(build, rounds=1, iterations=1)
+    report.add(
+        f"Fig. 16 — construction time ({variant})",
+        format_table(
+            [{"method": variant, "WT/index build (s)": round(built.build_seconds, 3)}]
+        ),
+    )
+
+
+def test_fig16_cinct_breakdown(benchmark, report):
+    """CiNCT's breakdown: BWT / ET-graph + labelling / wavelet-tree build."""
+    bundle = get_bundle(DATASET)
+
+    def build():
+        return CiNCT.from_text(bundle.text, sigma=bundle.sigma, block_size=63)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    breakdown = index.construction
+    rows = [
+        {
+            "stage": "BWT",
+            "seconds": round(breakdown.bwt_seconds, 3),
+        },
+        {
+            "stage": "ET-graph build (graph + RML + labelling + Z)",
+            "seconds": round(breakdown.et_graph_seconds + breakdown.labeling_seconds, 3),
+        },
+        {
+            "stage": "WT build",
+            "seconds": round(breakdown.wavelet_tree_seconds, 3),
+        },
+        {
+            "stage": "total",
+            "seconds": round(breakdown.total_seconds, 3),
+        },
+    ]
+    report.add("Fig. 16 — CiNCT construction breakdown (Singapore analogue)", format_table(rows))
+
+    # The ET-graph machinery must not dominate construction (Section VI-G).
+    extra = breakdown.et_graph_seconds + breakdown.labeling_seconds
+    assert extra < breakdown.total_seconds * 0.75
+
+
+def test_fig16_cinct_vs_icb_huff_build(benchmark, report):
+    """CiNCT's construction time is comparable to ICB-Huff's (within ~2.5x)."""
+    bwt = get_bwt(DATASET)
+
+    def build_both():
+        start = time.perf_counter()
+        CiNCT(bwt, block_size=63)
+        cinct_seconds = time.perf_counter() - start
+        icb = build_index("ICB-Huff", bwt, block_size=63)
+        return cinct_seconds, icb.build_seconds
+
+    cinct_seconds, icb_seconds = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    report.add(
+        "Fig. 16 — CiNCT vs ICB-Huff construction",
+        format_table(
+            [
+                {"method": "CiNCT", "build (s)": round(cinct_seconds, 3)},
+                {"method": "ICB-Huff", "build (s)": round(icb_seconds, 3)},
+            ]
+        ),
+    )
+    assert cinct_seconds < icb_seconds * 2.5

@@ -1,0 +1,54 @@
+"""Table V — zeroth-order entropy achieved by RML vs MEL.
+
+The paper reports RML ~30% below MEL on Singapore-2 and Roma.  We compute both
+entropies on the analogues (plus the remaining datasets as extra rows) and
+assert RML <= MEL everywhere (Theorem 6).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import get_bundle, get_bwt, paper_datasets
+from repro.bench import format_table
+from repro.compressors import mel_compress, mel_entropy
+from repro.core import ETGraph, build_rml, label_bwt, labelled_entropy
+
+
+def _entropies(dataset: str) -> dict[str, object]:
+    bundle = get_bundle(dataset)
+    bwt = get_bwt(dataset)
+    graph = ETGraph(bwt.text, sigma=bwt.sigma)
+    rml = build_rml(graph, strategy="bigram")
+    rml_h0 = labelled_entropy(label_bwt(bwt.bwt, bwt.c_array, rml))
+    mel = mel_compress(bundle.symbol_trajectories, bundle.text, bundle.sigma)
+    return {
+        "dataset": dataset,
+        "RML (proposed)": round(rml_h0, 2),
+        "MEL": round(mel_entropy(mel), 2),
+    }
+
+
+@pytest.mark.parametrize("dataset", ["Singapore-2", "Roma"])
+def test_table5_paper_rows(benchmark, dataset, report):
+    row = benchmark.pedantic(lambda: _entropies(dataset), rounds=1, iterations=1)
+    report.add(f"Table V row — {dataset}", format_table([row]))
+    # Theorem 6: RML entropy never exceeds MEL's.
+    assert row["RML (proposed)"] <= row["MEL"] + 1e-9
+
+
+def test_table5_all_datasets(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: [_entropies(dataset) for dataset in paper_datasets()],
+        rounds=1,
+        iterations=1,
+    )
+    report.add("Table V — entropy comparison, RML vs MEL (all analogues)", format_table(rows))
+    # The paper evaluates MEL only on the ungapped road-network datasets
+    # (Singapore-2 and Roma; Table IV marks the others N/A), and Theorem 6
+    # compares labelings of the same string.  The extra rows are informational:
+    # the MEL value there is computed on the segment stream without trip
+    # separators, so the inequality is only asserted on the paper's datasets.
+    for row in rows:
+        if row["dataset"] in ("Singapore-2", "Roma"):
+            assert row["RML (proposed)"] <= row["MEL"] + 1e-9

@@ -1,0 +1,34 @@
+"""Pytest configuration for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Accumulates printable result tables and emits them at the end of the run.
+
+    Every benchmark appends the paper-style table/series it regenerates; the
+    combined report is printed once the session finishes, and also written to
+    ``benchmarks/results.txt`` so it survives terminal scrollback.
+    """
+    lines: list[str] = []
+
+    class _Report:
+        def add(self, title: str, table: str) -> None:
+            lines.append(f"\n=== {title} ===\n{table}")
+
+    def _finalise() -> None:
+        if not lines:
+            return
+        text = "\n".join(lines)
+        print(text)
+        try:
+            with open("benchmarks/results.txt", "a", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError:
+            pass
+
+    request.addfinalizer(_finalise)
+    return _Report()

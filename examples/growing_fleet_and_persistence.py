@@ -1,0 +1,100 @@
+"""Growing data and on-disk persistence.
+
+CiNCT is a static index; the paper (Section III-A) handles growing data by
+indexing new batches separately and periodically reconstructing.  This example
+shows that workflow end to end together with the persistence layer:
+
+1. stream three daily batches of trips into a :class:`PartitionedCiNCT`,
+2. query across the partitions, then consolidate into a single index,
+3. persist the consolidated index with :func:`repro.save_cinct` and reload it
+   with :func:`repro.load_cinct`,
+4. export the accumulated trips as JSON Lines and read them back.
+
+Run with:  python examples/growing_fleet_and_persistence.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    CiNCT,
+    PartitionedCiNCT,
+    Trajectory,
+    TrajectoryDataset,
+    grid_network,
+    load_cinct,
+    load_dataset_jsonl,
+    save_cinct,
+    save_dataset_jsonl,
+)
+from repro.strings import burrows_wheeler_transform
+from repro.trajectories import straight_biased_walks
+
+
+def daily_batches(n_days: int = 3, trips_per_day: int = 25) -> list[list[list[object]]]:
+    """Generate a few days of trips on the same road network."""
+    network = grid_network(7, 7)
+    batches: list[list[list[object]]] = []
+    for day in range(n_days):
+        rng = np.random.default_rng(100 + day)
+        walks = straight_biased_walks(
+            network, n_trajectories=trips_per_day, min_length=6, max_length=18, rng=rng
+        )
+        batches.append([list(t.edges) for t in walks])
+    return batches
+
+
+def main() -> None:
+    batches = daily_batches()
+    probe_path = batches[0][0][:3]
+
+    # ---- growing index ---------------------------------------------------- #
+    growing = PartitionedCiNCT(block_size=31, max_partitions=5)
+    for day, batch in enumerate(batches):
+        growing.add_batch(batch)
+        print(
+            f"day {day}: {growing.n_partitions} partition(s), "
+            f"{growing.n_trajectories} trips, "
+            f"{growing.bits_per_symbol():.2f} bits/symbol, "
+            f"probe path count = {growing.count(probe_path)}"
+        )
+
+    before = growing.count(probe_path)
+    growing.consolidate()
+    print(f"after consolidation: {growing.n_partitions} partition, "
+          f"probe path count = {growing.count(probe_path)} (unchanged: {growing.count(probe_path) == before})")
+    print()
+
+    # ---- persistence ------------------------------------------------------ #
+    all_trips = [trip for batch in batches for trip in batch]
+    index, trajectory_string = CiNCT.from_trajectories(all_trips, block_size=31)
+    bwt_result = burrows_wheeler_transform(trajectory_string.text, sigma=trajectory_string.sigma)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        index_dir = Path(tmp) / "fleet-index"
+        save_cinct(index, bwt_result, index_dir, trajectory_string=trajectory_string)
+        on_disk = sum(f.stat().st_size for f in index_dir.iterdir())
+        print(f"saved index to {index_dir} ({on_disk / 1024:.1f} KiB on disk)")
+
+        reloaded = load_cinct(index_dir)
+        pattern = reloaded.encode_pattern(probe_path)
+        print(f"reloaded index answers the probe query: {reloaded.index.count(pattern)} "
+              f"(fresh index says {index.count(trajectory_string.encode_pattern(probe_path))})")
+
+        # ---- dataset export / import -------------------------------------- #
+        dataset = TrajectoryDataset(
+            name="fleet-export",
+            trajectories=[Trajectory(edges=trip) for trip in all_trips],
+        )
+        export_path = Path(tmp) / "fleet.jsonl"
+        save_dataset_jsonl(dataset, export_path)
+        reimported = load_dataset_jsonl(export_path)
+        print(f"exported {len(dataset)} trips to JSONL and re-imported {len(reimported)} trips")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Scaling study: alphabet size, ET-graph sparsity and exotic baselines.
+
+This example reproduces, at laptop scale, the two synthetic sweeps of the
+paper's Section VI-E and adds the two baselines the paper excludes from its
+main comparison because they do not support sublinear pattern matching or
+blow up with the alphabet:
+
+* the Boyer–Moore-style :class:`~repro.fmindex.LinearScanIndex` (linear scan
+  over the uncompressed string), and
+* the fixed-block compression-boosting index, whose per-block rank table
+  explodes with sigma (problem P3 of Section II-B).
+
+Run with:  python examples/scaling_and_baselines_study.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import build_index, bwt_of_bundle, format_table, sample_query_workload
+from repro.datasets import randwalk
+from repro.fmindex import FixedBlockFMIndex, LinearScanIndex
+
+SIGMAS = (256, 512, 1024)
+PATTERN_LENGTH = 8
+N_PATTERNS = 15
+
+
+def measure(index, patterns) -> float:
+    """Mean per-query latency in microseconds."""
+    started = time.perf_counter()
+    for pattern in patterns:
+        index.count(pattern)
+    return (time.perf_counter() - started) / len(patterns) * 1e6
+
+
+def main() -> None:
+    rows = []
+    for sigma in SIGMAS:
+        bundle = randwalk(sigma=sigma, average_out_degree=4.0, length_factor=40, seed=3)
+        bwt = bwt_of_bundle(bundle)
+        patterns = sample_query_workload(bwt, PATTERN_LENGTH, N_PATTERNS, seed=0)
+
+        cinct = build_index("CiNCT", bwt)
+        ufmi = build_index("UFMI", bwt)
+        fixed = FixedBlockFMIndex(bwt, block_length=2048)
+        scan = LinearScanIndex.from_bwt_result(bwt)
+
+        for name, index, bits in (
+            ("CiNCT", cinct.index, cinct.bits_per_symbol()),
+            ("UFMI", ufmi.index, ufmi.bits_per_symbol()),
+            ("FM-FixedBlock", fixed, fixed.bits_per_symbol()),
+            ("LinearScan", scan, scan.bits_per_symbol()),
+        ):
+            rows.append(
+                {
+                    "sigma": sigma,
+                    "method": name,
+                    "bits/symbol": round(bits, 2),
+                    "query (us)": round(measure(index, patterns), 1),
+                }
+            )
+
+    print(format_table(rows, title="RandWalk sweep: alphabet size vs size and query latency"))
+    print()
+    print("Things to notice (the paper's qualitative claims):")
+    print(" * CiNCT's bits/symbol and query time barely move as sigma grows (Theorem 5).")
+    print(" * The fixed-block index blows up with sigma: its per-block rank table is the")
+    print("   P3 problem that motivates implicit boosting and, ultimately, RML.")
+    print(" * The linear scan needs no index but its query time is orders of magnitude")
+    print("   above every FM-index, which is why the paper excludes it from Fig. 10.")
+
+
+if __name__ == "__main__":
+    main()

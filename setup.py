@@ -1,0 +1,4 @@
+"""Setup shim so that legacy (non-PEP-517) editable installs work offline."""
+from setuptools import setup
+
+setup()

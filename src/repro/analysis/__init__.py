@@ -1,0 +1,42 @@
+"""Analysis utilities: empirical entropies, dataset statistics and size models."""
+
+from .entropy import (
+    empirical_entropy_h0,
+    empirical_entropy_hk,
+    entropy_of_distribution,
+    huffman_encoded_bits,
+)
+from .stats import DatasetStatistics, compression_ratio, dataset_statistics, raw_size_bits
+from .theory import (
+    hwt_overhead_bits,
+    hwt_payload_bits,
+    hwt_total_bits,
+    measured_vs_predicted_ratio,
+    predicted_cinct_bits,
+    predicted_icb_huff_bits,
+    predicted_rank_operations,
+    predicted_search_rank_bound,
+    predicted_size_reduction,
+    rrr_overhead_per_bit,
+)
+
+__all__ = [
+    "empirical_entropy_h0",
+    "empirical_entropy_hk",
+    "entropy_of_distribution",
+    "huffman_encoded_bits",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "compression_ratio",
+    "raw_size_bits",
+    "rrr_overhead_per_bit",
+    "hwt_payload_bits",
+    "hwt_overhead_bits",
+    "hwt_total_bits",
+    "predicted_cinct_bits",
+    "predicted_icb_huff_bits",
+    "predicted_size_reduction",
+    "predicted_rank_operations",
+    "predicted_search_rank_bound",
+    "measured_vs_predicted_ratio",
+]

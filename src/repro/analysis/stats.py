@@ -1,0 +1,98 @@
+"""Dataset statistics (Table III of the paper).
+
+For every dataset the paper reports the trajectory-string length ``|T|``,
+``lg sigma``, the entropies ``H0(T)``, ``H0(phi(Tbwt))`` and ``H1(T)`` and the
+average ET-graph out-degree ``d-bar``.  :func:`dataset_statistics` computes
+all of them for a trajectory string.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.etgraph import ETGraph
+from ..core.rml import build_rml, label_bwt
+from ..strings.alphabet import FIRST_EDGE_SYMBOL
+from ..strings.bwt import BWTResult, burrows_wheeler_transform
+from .entropy import empirical_entropy_h0, empirical_entropy_hk
+
+
+@dataclass
+class DatasetStatistics:
+    """The Table-III row for one dataset."""
+
+    name: str
+    length: int
+    sigma: int
+    lg_sigma: float
+    h0: float
+    h0_labelled: float
+    h1: float
+    average_out_degree: float
+    max_out_degree: int
+    n_et_edges: int
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Return the statistics as a flat dict for table printing."""
+        return {
+            "dataset": self.name,
+            "|T|": self.length,
+            "lg sigma": round(self.lg_sigma, 1),
+            "H0(T)": round(self.h0, 2),
+            "H0(phi)": round(self.h0_labelled, 2),
+            "H1(T)": round(self.h1, 2),
+            "d_bar": round(self.average_out_degree, 1),
+        }
+
+
+def dataset_statistics(
+    name: str,
+    text: np.ndarray,
+    sigma: int | None = None,
+    bwt_result: BWTResult | None = None,
+) -> DatasetStatistics:
+    """Compute the Table-III statistics of a trajectory string.
+
+    Parameters
+    ----------
+    name:
+        Dataset name used in reports.
+    text:
+        The trajectory string (symbols, ending with ``#``).
+    sigma:
+        Alphabet size; inferred when omitted.
+    bwt_result:
+        Optionally pass a precomputed BWT to avoid recomputing it.
+    """
+    if bwt_result is None:
+        bwt_result = burrows_wheeler_transform(text, sigma=sigma)
+    graph = ETGraph(bwt_result.text, sigma=bwt_result.sigma)
+    rml = build_rml(graph, strategy="bigram")
+    labelled = label_bwt(bwt_result.bwt, bwt_result.c_array, rml)
+    return DatasetStatistics(
+        name=name,
+        length=bwt_result.length,
+        sigma=bwt_result.sigma,
+        lg_sigma=math.log2(bwt_result.sigma),
+        h0=empirical_entropy_h0(bwt_result.text),
+        h0_labelled=empirical_entropy_h0(labelled),
+        h1=empirical_entropy_hk(bwt_result.text, 1),
+        average_out_degree=graph.average_out_degree(first_edge_symbol=FIRST_EDGE_SYMBOL),
+        max_out_degree=graph.max_out_degree(),
+        n_et_edges=graph.n_edges,
+    )
+
+
+def compression_ratio(uncompressed_bits: int, compressed_bits: int) -> float:
+    """Uncompressed size divided by compressed size (Table IV convention)."""
+    if compressed_bits <= 0:
+        raise ValueError("compressed size must be positive")
+    return uncompressed_bits / compressed_bits
+
+
+def raw_size_bits(length: int, bytes_per_symbol: int = 4) -> int:
+    """Size of the uncompressed dataset as 32-bit integers (Table IV baseline)."""
+    return length * bytes_per_symbol * 8

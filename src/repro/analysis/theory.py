@@ -1,0 +1,112 @@
+"""Theoretical size and time models from Section V of the paper.
+
+These functions turn the paper's analytical expressions into executable
+predictions so that tests and the ablation benchmarks can compare *measured*
+index sizes/search costs against the *predicted* ones:
+
+* :func:`rrr_overhead_per_bit` — the practical-RRR class overhead
+  ``h(b) = lg(b + 1) / b`` (Eq. 11);
+* :func:`hwt_total_bits` / :func:`hwt_overhead_bits` — the HWT payload and its
+  RRR overhead ``|S| (1 + H0(S)) h(b)`` (Eq. 12);
+* :func:`predicted_cinct_bits` / :func:`predicted_icb_huff_bits` — the
+  Section V-B size models for CiNCT and ICB-Huff, whose ratio explains the
+  measured size reduction;
+* :func:`predicted_rank_operations` — the expected number of bit-wise rank
+  operations per symbol-rank call (Theorem 1), the quantity behind the
+  "CiNCT is faster because its HWT is shallower" argument;
+* :func:`predicted_search_rank_bound` — the ``O(|P| * delta * b)`` bound of
+  Theorem 5 expressed as a concrete operation count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .entropy import empirical_entropy_h0
+
+
+def rrr_overhead_per_bit(block_size: int) -> float:
+    """The practical-RRR overhead ``h(b) = lg(b + 1) / b`` bits per stored bit."""
+    if block_size < 1:
+        raise ValueError("block_size must be a positive integer")
+    return math.log2(block_size + 1) / block_size
+
+
+def hwt_payload_bits(length: int, h0: float) -> float:
+    """Total bit-vector length of an HWT: ``|S| (1 + H0(S))`` (Huffman bound)."""
+    return length * (1.0 + h0)
+
+
+def hwt_overhead_bits(length: int, h0: float, block_size: int) -> float:
+    """RRR class overhead summed over the HWT nodes (Eq. 12)."""
+    return hwt_payload_bits(length, h0) * rrr_overhead_per_bit(block_size)
+
+
+def hwt_total_bits(length: int, h0: float, block_size: int) -> float:
+    """Payload plus overhead of an HWT with RRR bit vectors."""
+    return hwt_payload_bits(length, h0) + hwt_overhead_bits(length, h0, block_size)
+
+
+def predicted_cinct_bits(
+    length: int,
+    labelled_h0: float,
+    block_size: int,
+    et_graph_bits: int = 0,
+) -> float:
+    """Section V-B size model for CiNCT.
+
+    The wavelet tree stores the *labelled* BWT, so both the payload and the
+    RRR overhead are driven by ``H0(phi(Tbwt))``; the (small) ET-graph cost is
+    added explicitly when known.
+    """
+    return hwt_total_bits(length, labelled_h0, block_size) + et_graph_bits
+
+
+def predicted_icb_huff_bits(length: int, h0: float, block_size: int) -> float:
+    """Section V-B size model for ICB-Huff (HWT + RRR over the raw BWT)."""
+    return hwt_total_bits(length, h0, block_size)
+
+
+def predicted_size_reduction(
+    length: int,
+    h0_raw: float,
+    h0_labelled: float,
+    block_size: int,
+    et_graph_bits: int = 0,
+) -> float:
+    """Predicted CiNCT size divided by predicted ICB-Huff size (< 1 when RML wins)."""
+    cinct = predicted_cinct_bits(length, h0_labelled, block_size, et_graph_bits)
+    icb = predicted_icb_huff_bits(length, h0_raw, block_size)
+    return cinct / icb
+
+
+def predicted_rank_operations(sequence: Sequence[int] | np.ndarray) -> float:
+    """Expected bit-wise rank operations per symbol rank on an HWT (Theorem 1).
+
+    For a Huffman-shaped tree the expected depth of a symbol drawn from the
+    sequence's empirical distribution is at most ``1 + H0(S)``; this function
+    returns that bound, which is what makes the labelled BWT faster to query.
+    """
+    return 1.0 + empirical_entropy_h0(sequence)
+
+
+def predicted_search_rank_bound(pattern_length: int, max_out_degree: int, block_size: int) -> int:
+    """Concrete form of Theorem 5's ``O(|P| * delta * b)`` bound.
+
+    Every pattern symbol triggers at most two PseudoRank calls; each call
+    touches at most ``delta + 2`` Huffman levels and every level costs one
+    ``O(b)`` bit-wise rank in the practical RRR.
+    """
+    if pattern_length < 1:
+        raise ValueError("pattern_length must be at least 1")
+    return 2 * (pattern_length - 1) * (max_out_degree + 2) * block_size
+
+
+def measured_vs_predicted_ratio(measured_bits: float, predicted_bits: float) -> float:
+    """Measured size divided by predicted size (sanity metric used in tests)."""
+    if predicted_bits <= 0:
+        raise ValueError("predicted_bits must be positive")
+    return measured_bits / predicted_bits

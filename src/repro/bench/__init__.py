@@ -1,0 +1,33 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite and the examples."""
+
+from .harness import (
+    DEFAULT_VARIANTS,
+    BuiltIndex,
+    ExperimentRecord,
+    QueryTiming,
+    build_all_indexes,
+    build_index,
+    bwt_of_bundle,
+    format_table,
+    measure_extraction_time,
+    measure_search_time,
+    run_size_time_experiment,
+    sample_query_workload,
+    summarise_winner,
+)
+
+__all__ = [
+    "DEFAULT_VARIANTS",
+    "BuiltIndex",
+    "QueryTiming",
+    "ExperimentRecord",
+    "bwt_of_bundle",
+    "build_index",
+    "build_all_indexes",
+    "sample_query_workload",
+    "measure_search_time",
+    "measure_extraction_time",
+    "run_size_time_experiment",
+    "format_table",
+    "summarise_winner",
+]

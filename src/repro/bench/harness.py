@@ -1,0 +1,222 @@
+"""Shared experiment harness used by ``benchmarks/`` and the examples.
+
+The harness builds every index variant on a dataset bundle, samples query
+workloads the way the paper does (random separator-free windows of the
+trajectory string), measures sizes and query times, and formats result tables
+whose rows/series mirror the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.cinct import CiNCT
+from ..datasets.registry import DatasetBundle
+from ..fmindex.base import FMIndexBase
+from ..fmindex.variants import build_baseline, sample_patterns
+from ..strings.bwt import BWTResult, burrows_wheeler_transform
+
+IndexLike = FMIndexBase | CiNCT
+
+DEFAULT_VARIANTS = ("CiNCT", "UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB")
+
+
+@dataclass
+class BuiltIndex:
+    """An index variant together with its construction metadata."""
+
+    name: str
+    index: IndexLike
+    build_seconds: float
+    block_size: int | None = None
+
+    def bits_per_symbol(self) -> float:
+        """Index size per trajectory-string symbol."""
+        return self.index.size_in_bits() / self.index.length
+
+
+@dataclass
+class QueryTiming:
+    """Average per-query timing of a workload on one index."""
+
+    name: str
+    mean_seconds: float
+    n_queries: int
+
+    @property
+    def mean_microseconds(self) -> float:
+        """Mean query latency in microseconds."""
+        return self.mean_seconds * 1e6
+
+
+@dataclass
+class ExperimentRecord:
+    """One (dataset, method, parameter) measurement row."""
+
+    dataset: str
+    method: str
+    block_size: int | None
+    bits_per_symbol: float
+    search_time_us: float | None = None
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten into a printable row."""
+        row: dict[str, object] = {
+            "dataset": self.dataset,
+            "method": self.method,
+            "b": self.block_size if self.block_size is not None else "-",
+            "bits/symbol": round(self.bits_per_symbol, 2),
+        }
+        if self.search_time_us is not None:
+            row["search (us)"] = round(self.search_time_us, 1)
+        for key, value in self.extra.items():
+            row[key] = round(value, 3)
+        return row
+
+
+def bwt_of_bundle(bundle: DatasetBundle) -> BWTResult:
+    """Compute (once) the BWT of a dataset bundle's trajectory string."""
+    return burrows_wheeler_transform(bundle.text, sigma=bundle.sigma)
+
+
+def build_index(
+    name: str,
+    bwt_result: BWTResult,
+    block_size: int = 63,
+    **cinct_kwargs: object,
+) -> BuiltIndex:
+    """Build one index variant by name ("CiNCT" or a Table-II baseline)."""
+    started = time.perf_counter()
+    if name.lower() == "cinct":
+        index: IndexLike = CiNCT(bwt_result, block_size=block_size, **cinct_kwargs)  # type: ignore[arg-type]
+    else:
+        index = build_baseline(name, bwt_result, block_size=block_size)
+    elapsed = time.perf_counter() - started
+    uses_block = name.lower() in {"cinct", "icb-wm", "icb-huff", "fm-ap-hyb"}
+    return BuiltIndex(
+        name=name,
+        index=index,
+        build_seconds=elapsed,
+        block_size=block_size if uses_block else None,
+    )
+
+
+def build_all_indexes(
+    bwt_result: BWTResult,
+    variants: Sequence[str] = DEFAULT_VARIANTS,
+    block_size: int = 63,
+) -> list[BuiltIndex]:
+    """Build every requested index variant over the same BWT."""
+    return [build_index(name, bwt_result, block_size=block_size) for name in variants]
+
+
+def sample_query_workload(
+    bwt_result: BWTResult,
+    pattern_length: int = 20,
+    n_patterns: int = 50,
+    seed: int = 0,
+) -> list[list[int]]:
+    """Sample the paper's query workload (random data windows, travel order)."""
+    rng = np.random.default_rng(seed)
+    return sample_patterns(bwt_result, pattern_length, n_patterns, rng)
+
+
+def measure_search_time(index: IndexLike, patterns: Sequence[Sequence[int]]) -> QueryTiming:
+    """Average suffix-range-query latency over a pattern workload."""
+    if not patterns:
+        raise ValueError("the workload must contain at least one pattern")
+    started = time.perf_counter()
+    for pattern in patterns:
+        index.suffix_range(pattern)
+    elapsed = time.perf_counter() - started
+    return QueryTiming(
+        name=getattr(index, "name", type(index).__name__),
+        mean_seconds=elapsed / len(patterns),
+        n_queries=len(patterns),
+    )
+
+
+def measure_extraction_time(index: IndexLike, length: int, start_row: int = 0) -> float:
+    """Per-symbol extraction time (seconds) for ``extract(start_row, length)``."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    started = time.perf_counter()
+    index.extract(start_row, length)
+    return (time.perf_counter() - started) / length
+
+
+def run_size_time_experiment(
+    bundle: DatasetBundle,
+    variants: Sequence[str] = DEFAULT_VARIANTS,
+    block_sizes: Sequence[int] = (63,),
+    pattern_length: int = 20,
+    n_patterns: int = 50,
+    seed: int = 0,
+    cinct_kwargs: dict[str, object] | None = None,
+) -> list[ExperimentRecord]:
+    """The Fig.-10 style experiment: size and search time for every variant.
+
+    Variants that take the RRR block-size parameter are built once per block
+    size; parameter-free variants are built once.
+    """
+    bwt_result = bwt_of_bundle(bundle)
+    patterns = sample_query_workload(bundle_bwt := bwt_result, pattern_length, n_patterns, seed)
+    del bundle_bwt
+    records: list[ExperimentRecord] = []
+    for name in variants:
+        uses_block = name.lower() in {"cinct", "icb-wm", "icb-huff", "fm-ap-hyb"}
+        sizes = block_sizes if uses_block else (63,)
+        for block_size in sizes:
+            kwargs = dict(cinct_kwargs or {}) if name.lower() == "cinct" else {}
+            built = build_index(name, bwt_result, block_size=block_size, **kwargs)
+            timing = measure_search_time(built.index, patterns)
+            records.append(
+                ExperimentRecord(
+                    dataset=bundle.name,
+                    method=name,
+                    block_size=built.block_size,
+                    bits_per_symbol=built.bits_per_symbol(),
+                    search_time_us=timing.mean_microseconds,
+                    extra={"build_seconds": built.build_seconds},
+                )
+            )
+    return records
+
+
+def format_table(rows: Sequence[dict[str, object]], title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {column: len(column) for column in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(" | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def summarise_winner(
+    records: Sequence[ExperimentRecord],
+    metric: Callable[[ExperimentRecord], float],
+) -> ExperimentRecord:
+    """Return the record minimising ``metric`` (used for sanity assertions)."""
+    if not records:
+        raise ValueError("no records to summarise")
+    return min(records, key=metric)

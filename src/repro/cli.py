@@ -1,0 +1,213 @@
+"""Command-line interface for the CiNCT reproduction.
+
+The CLI wraps the most common workflows so the library is usable without
+writing Python:
+
+``repro-cinct stats``
+    Print Table-III-style statistics for a named dataset analogue.
+``repro-cinct build``
+    Build a CiNCT index from a JSONL/CSV trajectory file (or a named
+    analogue) and persist it to a directory.
+``repro-cinct query``
+    Load a persisted index and run a path (suffix-range) query.
+``repro-cinct compare``
+    Build every FM-index variant on a dataset analogue and print the
+    size/time comparison of Fig. 10 for that dataset.
+
+Every sub-command prints plain text to stdout; exit status 0 means success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from .analysis.stats import dataset_statistics
+from .bench.harness import build_index, bwt_of_bundle, format_table, sample_query_workload
+from .core.cinct import CiNCT
+from .datasets.registry import load_dataset, paper_dataset_names
+from .exceptions import ReproError
+from .io.dataset_io import load_dataset_csv, load_dataset_jsonl
+from .io.index_io import load_cinct, save_cinct
+
+_DEFAULT_VARIANTS = ("CiNCT", "UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB")
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=paper_dataset_names(),
+        help="name of a built-in dataset analogue",
+    )
+    parser.add_argument("--input", type=Path, help="path to a JSONL or CSV trajectory file")
+    parser.add_argument("--scale", type=float, default=0.2, help="size multiplier for analogues")
+    parser.add_argument("--seed", type=int, default=None, help="seed for analogue generation")
+
+
+def _load_trajectories(args: argparse.Namespace) -> tuple[str, list[list[object]]]:
+    """Resolve ``--dataset``/``--input`` into (name, symbol-free trajectories)."""
+    if args.input is not None:
+        path = Path(args.input)
+        if path.suffix.lower() in {".jsonl", ".json"}:
+            dataset = load_dataset_jsonl(path)
+        elif path.suffix.lower() == ".csv":
+            dataset = load_dataset_csv(path)
+        else:
+            raise ReproError(f"unsupported input format: {path.suffix} (use .jsonl or .csv)")
+        return dataset.name, [list(t.edges) for t in dataset]
+    if args.dataset is None:
+        raise ReproError("either --dataset or --input is required")
+    bundle = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    return bundle.name, [list(t) for t in bundle.symbol_trajectories]
+
+
+# --------------------------------------------------------------------------- #
+# sub-commands
+# --------------------------------------------------------------------------- #
+def _command_stats(args: argparse.Namespace) -> int:
+    bundle = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    stats = dataset_statistics(bundle.name, bundle.text, bundle.sigma)
+    print(format_table([stats.as_row()]))
+    return 0
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    name, trajectories = _load_trajectories(args)
+    started = time.perf_counter()
+    index, trajectory_string = CiNCT.from_trajectories(
+        trajectories,
+        block_size=args.block_size,
+        sa_sample_rate=args.sa_sample_rate,
+    )
+    elapsed = time.perf_counter() - started
+    bwt_result = None
+    # from_trajectories builds the BWT internally; rebuild the artefacts once
+    # more for persistence (still linear apart from the suffix sort).
+    from .strings.bwt import burrows_wheeler_transform
+
+    bwt_result = burrows_wheeler_transform(trajectory_string.text, sigma=trajectory_string.sigma)
+    save_cinct(index, bwt_result, args.output, trajectory_string=trajectory_string)
+    print(f"dataset           : {name}")
+    print(f"trajectories      : {trajectory_string.n_trajectories}")
+    print(f"string length |T| : {index.length}")
+    print(f"alphabet sigma    : {index.sigma}")
+    print(f"index size        : {index.size_in_bits()} bits "
+          f"({index.bits_per_symbol():.2f} bits/symbol)")
+    print(f"construction time : {elapsed:.2f} s")
+    print(f"saved to          : {args.output}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    saved = load_cinct(args.index)
+    path = [_parse_edge(token) for token in args.path]
+    if saved.alphabet is not None:
+        try:
+            pattern = saved.alphabet.encode_path(path)
+        except ReproError:
+            print("path: not found (unknown road segment)")
+            return 0
+    else:
+        pattern = [int(token) for token in args.path]
+    started = time.perf_counter()
+    count = saved.index.count(pattern)
+    elapsed = (time.perf_counter() - started) * 1e6
+    print(f"path      : {' -> '.join(str(p) for p in path)}")
+    print(f"matches   : {count}")
+    print(f"query time: {elapsed:.1f} us")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    bundle = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    bwt_result = bwt_of_bundle(bundle)
+    patterns = sample_query_workload(bwt_result, args.pattern_length, args.n_patterns, seed=0)
+    rows = []
+    for variant in args.variants:
+        built = build_index(variant, bwt_result, block_size=args.block_size)
+        started = time.perf_counter()
+        for pattern in patterns:
+            built.index.suffix_range(pattern)
+        mean_us = (time.perf_counter() - started) / max(len(patterns), 1) * 1e6
+        rows.append(
+            {
+                "method": variant,
+                "bits/symbol": round(built.bits_per_symbol(), 2),
+                "search (us)": round(mean_us, 1),
+                "build (s)": round(built.build_seconds, 2),
+            }
+        )
+    print(format_table(rows, title=f"{bundle.name} — size vs search time"))
+    return 0
+
+
+def _parse_edge(token: str) -> object:
+    """Interpret a CLI path token as an int when possible, else a string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+# --------------------------------------------------------------------------- #
+# parser wiring
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cinct",
+        description="CiNCT: compressed indexing and retrieval for vehicular trajectories",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="print Table-III statistics for a dataset analogue")
+    stats.add_argument("--dataset", choices=paper_dataset_names(), required=True)
+    stats.add_argument("--scale", type=float, default=0.2)
+    stats.add_argument("--seed", type=int, default=None)
+    stats.set_defaults(handler=_command_stats)
+
+    build = subparsers.add_parser("build", help="build and persist a CiNCT index")
+    _add_dataset_arguments(build)
+    build.add_argument("--output", type=Path, required=True, help="directory for the saved index")
+    build.add_argument("--block-size", type=int, default=63, help="RRR block size b")
+    build.add_argument("--sa-sample-rate", type=int, default=None, help="suffix-array sampling rate")
+    build.set_defaults(handler=_command_build)
+
+    query = subparsers.add_parser("query", help="run a path query against a saved index")
+    query.add_argument("--index", type=Path, required=True, help="directory of the saved index")
+    query.add_argument("path", nargs="+", help="road segments of the query path, in travel order")
+    query.set_defaults(handler=_command_query)
+
+    compare = subparsers.add_parser("compare", help="compare index variants on a dataset analogue")
+    compare.add_argument("--dataset", choices=paper_dataset_names(), required=True)
+    compare.add_argument("--scale", type=float, default=0.2)
+    compare.add_argument("--seed", type=int, default=None)
+    compare.add_argument("--block-size", type=int, default=63)
+    compare.add_argument("--pattern-length", type=int, default=10)
+    compare.add_argument("--n-patterns", type=int, default=20)
+    compare.add_argument(
+        "--variants",
+        nargs="+",
+        default=list(_DEFAULT_VARIANTS),
+        choices=list(_DEFAULT_VARIANTS),
+    )
+    compare.set_defaults(handler=_command_compare)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Compression baselines: MEL, Re-Pair, PRESS-style SP encoding, zip/bzip2, Huffman."""
+
+from .generic import bz2_compressed_bits, sequence_to_bytes, zlib_compressed_bits
+from .huffman_coder import HuffmanEncodingReport, huffman_compressed_bits, huffman_encoding_report
+from .mel import MELResult, build_mel_labels, mel_compress, mel_entropy
+from .press import PressResult, press_compress
+from .repair import RePairResult, repair_compress
+
+__all__ = [
+    "huffman_encoding_report",
+    "huffman_compressed_bits",
+    "HuffmanEncodingReport",
+    "MELResult",
+    "build_mel_labels",
+    "mel_compress",
+    "mel_entropy",
+    "RePairResult",
+    "repair_compress",
+    "PressResult",
+    "press_compress",
+    "sequence_to_bytes",
+    "zlib_compressed_bits",
+    "bz2_compressed_bits",
+]

@@ -1,0 +1,157 @@
+"""PRESS-style shortest-path spatial compression (Song et al., PVLDB'14).
+
+PRESS compresses the spatial path of an NCT by exploiting that drivers mostly
+follow shortest paths: when the next segment of a trajectory coincides with
+the next segment of the shortest path towards the trajectory's destination,
+it does not need to be stored — only the deviations do.  The compressed
+representation of a trajectory is therefore its first segment, its destination
+node and the list of (position, segment) deviations, to which we apply a
+Huffman entropy stage as PRESS's FST/entropy coding does.
+
+This compressor requires a road network (shortest paths are computed on it),
+so — exactly as in the paper's Table IV — it is only evaluated on datasets
+that come with one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..exceptions import ConstructionError, NetworkError
+from ..network.road_network import EdgeId, RoadNetwork
+from ..succinct import bits_needed
+from ..trajectories.model import Trajectory
+from .huffman_coder import huffman_encoding_report
+
+
+@dataclass
+class PressResult:
+    """Compression outcome of the PRESS-style shortest-path encoder."""
+
+    n_trajectories: int
+    total_edges: int
+    kept_edges: int
+    payload_bits: int
+    header_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        """Headers plus the entropy-coded deviation stream."""
+        return self.payload_bits + self.header_bits
+
+    @property
+    def kept_fraction(self) -> float:
+        """Fraction of segments that had to be stored explicitly."""
+        if self.total_edges == 0:
+            return 0.0
+        return self.kept_edges / self.total_edges
+
+
+class _ShortestPathOracle:
+    """Per-destination "next segment on a shortest path" lookup with caching."""
+
+    def __init__(self, network: RoadNetwork):
+        self._network = network
+        self._cache: dict[Hashable, dict[Hashable, EdgeId]] = {}
+
+    def next_edge_towards(self, node: Hashable, destination: Hashable) -> EdgeId | None:
+        """First segment of a shortest path from ``node`` to ``destination``."""
+        table = self._cache.get(destination)
+        if table is None:
+            table = self._build_table(destination)
+            self._cache[destination] = table
+        return table.get(node)
+
+    def _build_table(self, destination: Hashable) -> dict[Hashable, EdgeId]:
+        """Reverse Dijkstra from the destination: next hop for every node."""
+        import heapq
+
+        network = self._network
+        distances: dict[Hashable, float] = {destination: 0.0}
+        next_edge: dict[Hashable, EdgeId] = {}
+        heap: list[tuple[float, int, Hashable]] = [(0.0, 0, destination)]
+        counter = 1
+        done: set[Hashable] = set()
+        while heap:
+            distance, _, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            done.add(node)
+            for edge_id in network.in_edges(node):
+                segment = network.segment(edge_id)
+                candidate = distance + segment.length
+                if candidate < distances.get(segment.tail, float("inf")):
+                    distances[segment.tail] = candidate
+                    next_edge[segment.tail] = edge_id
+                    heapq.heappush(heap, (candidate, counter, segment.tail))
+                    counter += 1
+        return next_edge
+
+
+def press_compress(
+    trajectories: Sequence[Trajectory],
+    network: RoadNetwork,
+    edge_symbols: dict[EdgeId, int] | None = None,
+) -> PressResult:
+    """Compress trajectories with shortest-path prediction + Huffman coding.
+
+    Parameters
+    ----------
+    trajectories:
+        The NCTs to compress (their edges must belong to ``network``).
+    network:
+        The road network used for shortest-path prediction.
+    edge_symbols:
+        Optional mapping from edge ID to a dense integer; built on the fly
+        when omitted (it only affects the entropy stage, not the prediction).
+    """
+    if not trajectories:
+        raise ConstructionError("press_compress needs at least one trajectory")
+    oracle = _ShortestPathOracle(network)
+    if edge_symbols is None:
+        edge_symbols = {}
+        for trajectory in trajectories:
+            for edge_id in trajectory.edges:
+                edge_symbols.setdefault(edge_id, len(edge_symbols))
+
+    deviation_symbols: list[int] = []
+    deviation_positions: list[int] = []
+    total_edges = 0
+    kept = 0
+    max_length = 1
+    for trajectory in trajectories:
+        edges = trajectory.edges
+        total_edges += len(edges)
+        max_length = max(max_length, len(edges))
+        kept += 1  # the first edge is always stored
+        destination = network.segment(edges[-1]).head
+        for position in range(1, len(edges)):
+            previous = edges[position - 1]
+            actual = edges[position]
+            try:
+                predicted = oracle.next_edge_towards(network.segment(previous).head, destination)
+            except NetworkError:
+                predicted = None
+            if predicted == actual:
+                continue
+            kept += 1
+            deviation_symbols.append(edge_symbols[actual])
+            deviation_positions.append(position)
+
+    entropy_report = huffman_encoding_report(deviation_symbols) if deviation_symbols else None
+    payload_bits = entropy_report.total_bits if entropy_report else 0
+    position_bits = bits_needed(max(max_length - 1, 1))
+    payload_bits += len(deviation_positions) * position_bits
+
+    sigma_bits = bits_needed(max(len(edge_symbols) - 1, 1))
+    node_bits = bits_needed(max(network.n_nodes - 1, 1))
+    # Per trajectory: first edge, destination node, deviation count.
+    header_bits = len(trajectories) * (sigma_bits + node_bits + 32)
+    return PressResult(
+        n_trajectories=len(trajectories),
+        total_edges=total_edges,
+        kept_edges=kept,
+        payload_bits=payload_bits,
+        header_bits=header_bits,
+    )

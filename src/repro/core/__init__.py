@@ -1,0 +1,26 @@
+"""Core CiNCT machinery: ET-graph, RML, PseudoRank and the CiNCT index."""
+
+from .cinct import BitVectorBackend, CiNCT, ConstructionBreakdown, reference_index
+from .etgraph import ETEdge, ETGraph
+from .partitioned import Partition, PartitionedCiNCT
+from .pseudorank import CorrectionTerms, compute_correction_terms, pseudo_rank
+from .rml import LabelingStrategy, RMLFunction, build_rml, label_bwt, labelled_entropy
+
+__all__ = [
+    "CiNCT",
+    "ConstructionBreakdown",
+    "BitVectorBackend",
+    "reference_index",
+    "PartitionedCiNCT",
+    "Partition",
+    "ETGraph",
+    "ETEdge",
+    "RMLFunction",
+    "build_rml",
+    "label_bwt",
+    "labelled_entropy",
+    "LabelingStrategy",
+    "CorrectionTerms",
+    "compute_correction_terms",
+    "pseudo_rank",
+]

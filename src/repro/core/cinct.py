@@ -1,0 +1,374 @@
+"""CiNCT: the compressed index for network-constrained trajectories.
+
+This is the paper's primary contribution (Sections III–IV).  Construction
+follows the five steps of Fig. 5:
+
+1. concatenate the NCTs into a trajectory string ``T`` (done by the caller or
+   :meth:`CiNCT.from_trajectories`);
+2. compute the BWT ``Tbwt``;
+3. build the ET-graph ``G_T`` and the RML function ``phi``;
+4. label the BWT, obtaining ``phi(Tbwt)``;
+5. store ``phi(Tbwt)`` in a Huffman-shaped wavelet tree over RRR bit vectors.
+
+Queries:
+
+* :meth:`CiNCT.suffix_range` — Algorithm 3 (``LabeledSearchFM``);
+* :meth:`CiNCT.count` / :meth:`CiNCT.contains`;
+* :meth:`CiNCT.extract` — Algorithm 4 (sub-path extraction via PseudoRank);
+* :meth:`CiNCT.locate` — optional suffix-array-sampled locate (an extension
+  used by the strict-path-query layer, not part of the paper's evaluation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Literal, Sequence
+
+import numpy as np
+
+from ..exceptions import ConstructionError, QueryError
+from ..fmindex.base import FMIndexBase
+from ..strings.bwt import BWTResult, burrows_wheeler_transform
+from ..strings.trajectory_string import TrajectoryString, build_trajectory_string
+from ..succinct import IntVector, bits_needed
+from ..wavelet import HuffmanWaveletTree, plain_bitvector_factory, rrr_bitvector_factory
+from .etgraph import ETGraph
+from .pseudorank import CorrectionTerms, compute_correction_terms
+from .rml import LabelingStrategy, RMLFunction, build_rml, label_bwt
+
+BitVectorBackend = Literal["rrr", "plain"]
+
+
+@dataclass
+class ConstructionBreakdown:
+    """Wall-clock seconds spent in each construction stage (paper Fig. 16)."""
+
+    bwt_seconds: float = 0.0
+    et_graph_seconds: float = 0.0
+    labeling_seconds: float = 0.0
+    wavelet_tree_seconds: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total construction time."""
+        return (
+            self.bwt_seconds
+            + self.et_graph_seconds
+            + self.labeling_seconds
+            + self.wavelet_tree_seconds
+            + sum(self.extra.values())
+        )
+
+
+class CiNCT:
+    """Compressed index for NCTs based on RML + PseudoRank.
+
+    Parameters
+    ----------
+    bwt_result:
+        The BWT of the trajectory string to index.
+    block_size:
+        RRR block size ``b`` (the only tuning parameter of CiNCT; 63 default).
+    labeling_strategy:
+        ``"bigram"`` (optimal, default), ``"random"`` or ``"unigram"``;
+        exposed so the Fig. 14 ablation can compare strategies.
+    bitvector_backend:
+        ``"rrr"`` (paper) or ``"plain"`` (ablation: HWT without compression).
+    sa_sample_rate:
+        When set, every ``sa_sample_rate``-th suffix-array value is sampled so
+        that :meth:`locate` works; ``None`` (default) disables sampling and
+        matches the paper's size accounting.
+    rng:
+        Randomness source for the ``"random"`` labelling strategy.
+    """
+
+    name = "CiNCT"
+
+    def __init__(
+        self,
+        bwt_result: BWTResult,
+        block_size: int = 63,
+        labeling_strategy: LabelingStrategy = "bigram",
+        bitvector_backend: BitVectorBackend = "rrr",
+        sa_sample_rate: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.block_size = block_size
+        self.labeling_strategy: LabelingStrategy = labeling_strategy
+        self.bitvector_backend: BitVectorBackend = bitvector_backend
+        self._n = bwt_result.length
+        self._sigma = bwt_result.sigma
+        self._c_array = bwt_result.c_array
+        self.construction = ConstructionBreakdown()
+
+        started = time.perf_counter()
+        self._et_graph = ETGraph(bwt_result.text, sigma=bwt_result.sigma)
+        self._rml = build_rml(
+            self._et_graph,
+            strategy=labeling_strategy,
+            rng=rng,
+            unigram_counts=bwt_result.counts if labeling_strategy == "unigram" else None,
+        )
+        self.construction.et_graph_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        self._labelled_bwt = label_bwt(bwt_result.bwt, bwt_result.c_array, self._rml)
+        self._corrections = compute_correction_terms(
+            bwt_result.bwt, self._labelled_bwt, bwt_result.c_array, self._rml
+        )
+        self.construction.labeling_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        if bitvector_backend == "rrr":
+            factory = rrr_bitvector_factory(block_size)
+        elif bitvector_backend == "plain":
+            factory = plain_bitvector_factory()
+        else:
+            raise ConstructionError(f"unknown bitvector backend: {bitvector_backend!r}")
+        self._wavelet_tree = HuffmanWaveletTree(self._labelled_bwt, bitvector_factory=factory)
+        self.construction.wavelet_tree_seconds = time.perf_counter() - started
+
+        self._sa_sample_rate = sa_sample_rate
+        self._sa_marked: np.ndarray | None = None
+        self._sa_samples: np.ndarray | None = None
+        if sa_sample_rate is not None:
+            if sa_sample_rate < 1:
+                raise ConstructionError("sa_sample_rate must be a positive integer")
+            started = time.perf_counter()
+            sa = bwt_result.suffix_array
+            marked = (sa % sa_sample_rate) == 0
+            self._sa_marked = marked
+            self._sa_samples = sa[marked]
+            # prefix counts of marked rows for O(1) sample lookup
+            self._sa_marked_prefix = np.concatenate(
+                ([0], np.cumsum(marked.astype(np.int64)))
+            )
+            self.construction.extra["sa_sampling_seconds"] = time.perf_counter() - started
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_trajectories(
+        cls,
+        trajectories: Sequence[Sequence[Hashable]],
+        **kwargs: object,
+    ) -> tuple["CiNCT", TrajectoryString]:
+        """Build a CiNCT index directly from raw trajectories.
+
+        Returns the index together with the :class:`TrajectoryString`, whose
+        alphabet is needed to encode query paths.
+        """
+        trajectory_string = build_trajectory_string(trajectories)
+        index = cls.from_text(trajectory_string.text, sigma=trajectory_string.sigma, **kwargs)
+        return index, trajectory_string
+
+    @classmethod
+    def from_text(cls, text: np.ndarray, sigma: int | None = None, **kwargs: object) -> "CiNCT":
+        """Build a CiNCT index from an already-concatenated trajectory string."""
+        started = time.perf_counter()
+        bwt_result = burrows_wheeler_transform(text, sigma=sigma)
+        bwt_seconds = time.perf_counter() - started
+        index = cls(bwt_result, **kwargs)  # type: ignore[arg-type]
+        index.construction.bwt_seconds = bwt_seconds
+        return index
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> int:
+        """Length of the indexed trajectory string."""
+        return self._n
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size of the original trajectory string."""
+        return self._sigma
+
+    @property
+    def c_array(self) -> np.ndarray:
+        """The FM-index ``C[]`` array."""
+        return self._c_array
+
+    @property
+    def et_graph(self) -> ETGraph:
+        """The empirical transition graph used for labelling."""
+        return self._et_graph
+
+    @property
+    def rml(self) -> RMLFunction:
+        """The relative-movement-labelling function ``phi``."""
+        return self._rml
+
+    @property
+    def corrections(self) -> CorrectionTerms:
+        """The PseudoRank correction terms ``Z``."""
+        return self._corrections
+
+    @property
+    def labelled_bwt(self) -> np.ndarray:
+        """A copy of ``phi(Tbwt)`` (mainly for analysis and tests)."""
+        return self._labelled_bwt.copy()
+
+    @property
+    def wavelet_tree(self) -> HuffmanWaveletTree:
+        """The HWT storing ``phi(Tbwt)``."""
+        return self._wavelet_tree
+
+    # ------------------------------------------------------------------ #
+    # PseudoRank (Algorithm 2) — inlined for query speed
+    # ------------------------------------------------------------------ #
+    def _pseudo_rank(self, j: int, target: int, context: int, label: int) -> int:
+        return self._wavelet_tree.rank(label, j) - self._corrections.get(context, target)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def suffix_range(self, pattern: Sequence[int]) -> tuple[int, int] | None:
+        """Algorithm 3 (``LabeledSearchFM``): suffix range of a query path.
+
+        The pattern is given in travel order using the symbols of the original
+        alphabet; returns ``(sp, ep)`` or ``None`` when the path never occurs.
+        """
+        symbols = self._validated_pattern(pattern)
+        # Patterns are given in travel order; because the trajectory string
+        # stores reversed trajectories, Algorithm 3 consumes the pattern from
+        # its first symbol to its last, with the previous (travel-earlier)
+        # symbol acting as the RML context of the current one.
+        w = symbols[0]
+        sp = int(self._c_array[w])
+        ep = int(self._c_array[w + 1])
+        if sp >= ep:
+            return None
+        for index in range(1, len(symbols)):
+            context = w
+            w = symbols[index]
+            if not self._rml.has_label(w, context):
+                return None
+            label = self._rml.label(w, context)
+            correction = self._corrections.get(context, w)
+            base = int(self._c_array[w]) - correction
+            sp = base + self._wavelet_tree.rank(label, sp)
+            ep = base + self._wavelet_tree.rank(label, ep)
+            if sp >= ep:
+                return None
+        return sp, ep
+
+    def count(self, pattern: Sequence[int]) -> int:
+        """Number of occurrences of the query path in the trajectory string."""
+        found = self.suffix_range(pattern)
+        if found is None:
+            return 0
+        sp, ep = found
+        return ep - sp
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        """True when the query path occurs at least once."""
+        return self.suffix_range(pattern) is not None
+
+    def extract(self, j: int, length: int) -> list[int]:
+        """Algorithm 4: extract ``T[i - length, i)`` where ``i = SA[j]``.
+
+        The walk starts by binary-searching the context of row ``j`` in ``C[]``
+        and then repeatedly decodes the labelled BWT symbol via the ET-graph
+        and LF-steps with PseudoRank.
+        """
+        if not 0 <= j < self._n:
+            raise QueryError(f"BWT position {j} out of range [0, {self._n})")
+        if length < 0:
+            raise QueryError(f"extraction length must be non-negative, got {length}")
+        out = [0] * length
+        context = self._symbol_at_row(j)
+        row = j
+        for k in range(1, length + 1):
+            label = self._wavelet_tree.access(row)
+            target = self._rml.decode(label, context)
+            out[length - k] = target
+            row = int(self._c_array[target]) + self._pseudo_rank(row, target, context, label)
+            context = target
+        return out
+
+    def extract_full_text(self) -> list[int]:
+        """Recover the entire trajectory string (``extract(0, n)`` per Section VI-F)."""
+        return self.extract(0, self._n)
+
+    def locate(self, j: int) -> int:
+        """Return ``SA[j]`` using the sampled suffix array (extension).
+
+        Requires the index to be built with ``sa_sample_rate``; walks the
+        LF-mapping until a sampled row is reached.
+        """
+        if self._sa_marked is None or self._sa_samples is None:
+            raise QueryError("locate requires the index to be built with sa_sample_rate")
+        if not 0 <= j < self._n:
+            raise QueryError(f"BWT position {j} out of range [0, {self._n})")
+        steps = 0
+        row = j
+        context = self._symbol_at_row(row)
+        while not bool(self._sa_marked[row]):
+            label = self._wavelet_tree.access(row)
+            target = self._rml.decode(label, context)
+            row = int(self._c_array[target]) + self._pseudo_rank(row, target, context, label)
+            context = target
+            steps += 1
+        sample_index = int(self._sa_marked_prefix[row])
+        return (int(self._sa_samples[sample_index]) + steps) % self._n
+
+    # ------------------------------------------------------------------ #
+    # size accounting
+    # ------------------------------------------------------------------ #
+    def size_in_bits(self, include_et_graph: bool = True) -> int:
+        """Total index size.
+
+        Parameters
+        ----------
+        include_et_graph:
+            When true (default) the ET-graph adjacency lists, correction terms
+            and ``C[]`` values are included, matching the paper's "CiNCT"
+            series; when false only the wavelet tree over ``phi(Tbwt)`` is
+            counted, matching "CiNCT (w/o ET-graph)".
+        """
+        bits = self._wavelet_tree.size_in_bits()
+        if include_et_graph:
+            bits += self._et_graph.size_in_bits(text_length=self._n)
+            bits += self._corrections.size_in_bits()
+            bits += IntVector(self._c_array).size_in_bits()
+        if self._sa_samples is not None:
+            bits += int(self._sa_samples.size) * bits_needed(max(self._n - 1, 1))
+            bits += self._n  # marked-row bitmap
+        return bits
+
+    def bits_per_symbol(self, include_et_graph: bool = True) -> float:
+        """Index size divided by trajectory-string length (the paper's y-axis)."""
+        return self.size_in_bits(include_et_graph=include_et_graph) / self._n
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _symbol_at_row(self, j: int) -> int:
+        return int(np.searchsorted(self._c_array, j, side="right") - 1)
+
+    def _validated_pattern(self, pattern: Sequence[int]) -> list[int]:
+        symbols = [int(s) for s in pattern]
+        if not symbols:
+            raise QueryError("the query pattern must contain at least one symbol")
+        for symbol in symbols:
+            if not 0 <= symbol < self._sigma:
+                raise QueryError(f"pattern symbol {symbol} outside alphabet [0, {self._sigma})")
+        return symbols
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CiNCT(n={self._n}, sigma={self._sigma}, b={self.block_size}, "
+            f"strategy={self.labeling_strategy!r})"
+        )
+
+
+def reference_index(bwt_result: BWTResult) -> FMIndexBase:
+    """Return a plain reference FM-index for cross-checking CiNCT results."""
+    from ..fmindex.variants import UncompressedFMIndex
+
+    return UncompressedFMIndex(bwt_result)

@@ -1,0 +1,225 @@
+"""Partitioned CiNCT index for growing trajectory collections.
+
+CiNCT is a static structure; Section III-A of the paper notes that growing
+data can be handled "by periodic reconstruction or by constructing an index
+for new data at certain time intervals".  This module implements that scheme:
+
+* every batch of newly arrived trajectories becomes one immutable CiNCT
+  partition built over a *shared* alphabet, so patterns are encoded once and
+  queried against every partition;
+* queries (count / contains / matching partitions) aggregate over the
+  partitions;
+* :meth:`PartitionedCiNCT.consolidate` performs the periodic reconstruction,
+  replacing all partitions with a single index over the accumulated data
+  (optionally triggered automatically once ``max_partitions`` is exceeded).
+
+The partitions answer exactly the same suffix-range queries as a monolithic
+index built over the union of the data; only the suffix *ranges themselves*
+are per-partition, which is why the aggregate API exposes counts and matches
+rather than raw ``(sp, ep)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Sequence
+
+from ..exceptions import ConstructionError, QueryError
+from ..strings.alphabet import Alphabet
+from ..strings.trajectory_string import TrajectoryString, build_trajectory_string
+from .cinct import CiNCT
+
+
+@dataclass
+class Partition:
+    """One immutable CiNCT partition and the data it indexes."""
+
+    index: CiNCT
+    trajectory_string: TrajectoryString
+    n_trajectories: int
+    first_trajectory_id: int
+
+    def size_in_bits(self) -> int:
+        """Index size of this partition."""
+        return self.index.size_in_bits()
+
+
+class PartitionedCiNCT:
+    """A growing collection of CiNCT partitions over a shared alphabet.
+
+    Parameters
+    ----------
+    block_size:
+        RRR block size forwarded to every partition.
+    max_partitions:
+        When set, :meth:`add_batch` automatically consolidates the structure
+        once the number of partitions exceeds this bound (periodic
+        reconstruction).
+    cinct_kwargs:
+        Extra keyword arguments forwarded to :class:`~repro.core.cinct.CiNCT`
+        (labelling strategy, SA sampling, ...).
+
+    Examples
+    --------
+    >>> index = PartitionedCiNCT()
+    >>> index.add_batch([["a", "b", "c"], ["b", "c", "d"]])
+    >>> index.add_batch([["a", "b", "c", "d"]])
+    >>> index.count(["b", "c"])
+    3
+    """
+
+    def __init__(
+        self,
+        block_size: int = 63,
+        max_partitions: int | None = None,
+        **cinct_kwargs: object,
+    ):
+        if max_partitions is not None and max_partitions < 1:
+            raise ConstructionError("max_partitions must be at least 1 when given")
+        self.block_size = block_size
+        self.max_partitions = max_partitions
+        self._cinct_kwargs = dict(cinct_kwargs)
+        self._alphabet = Alphabet()
+        self._partitions: list[Partition] = []
+        self._all_trajectories: list[list[Hashable]] = []
+
+    # ------------------------------------------------------------------ #
+    # growth
+    # ------------------------------------------------------------------ #
+    def add_batch(self, trajectories: Sequence[Sequence[Hashable]]) -> Partition:
+        """Index a batch of newly arrived trajectories as one new partition."""
+        batch = [list(t) for t in trajectories]
+        if not batch:
+            raise ConstructionError("a batch must contain at least one trajectory")
+        for trajectory in batch:
+            if not trajectory:
+                raise ConstructionError("trajectories in a batch must be non-empty")
+            for edge in trajectory:
+                self._alphabet.add(edge)
+
+        first_id = self.n_trajectories
+        trajectory_string = build_trajectory_string(batch, alphabet=self._alphabet)
+        index = CiNCT.from_text(
+            trajectory_string.text,
+            sigma=self._alphabet.sigma,
+            block_size=self.block_size,
+            **self._cinct_kwargs,  # type: ignore[arg-type]
+        )
+        partition = Partition(
+            index=index,
+            trajectory_string=trajectory_string,
+            n_trajectories=len(batch),
+            first_trajectory_id=first_id,
+        )
+        self._partitions.append(partition)
+        self._all_trajectories.extend(batch)
+
+        if self.max_partitions is not None and len(self._partitions) > self.max_partitions:
+            self.consolidate()
+        return self._partitions[-1]
+
+    def consolidate(self) -> Partition:
+        """Rebuild a single partition over all accumulated trajectories."""
+        if not self._all_trajectories:
+            raise ConstructionError("nothing to consolidate: no trajectories were added")
+        trajectory_string = build_trajectory_string(self._all_trajectories, alphabet=self._alphabet)
+        index = CiNCT.from_text(
+            trajectory_string.text,
+            sigma=self._alphabet.sigma,
+            block_size=self.block_size,
+            **self._cinct_kwargs,  # type: ignore[arg-type]
+        )
+        partition = Partition(
+            index=index,
+            trajectory_string=trajectory_string,
+            n_trajectories=len(self._all_trajectories),
+            first_trajectory_id=0,
+        )
+        self._partitions = [partition]
+        return partition
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def alphabet(self) -> Alphabet:
+        """The shared alphabet across every partition."""
+        return self._alphabet
+
+    @property
+    def n_partitions(self) -> int:
+        """Current number of partitions."""
+        return len(self._partitions)
+
+    @property
+    def n_trajectories(self) -> int:
+        """Total number of trajectories added so far."""
+        return len(self._all_trajectories)
+
+    def partitions(self) -> Iterator[Partition]:
+        """Iterate over the current partitions (oldest first)."""
+        return iter(self._partitions)
+
+    def size_in_bits(self) -> int:
+        """Sum of the partition index sizes."""
+        return sum(partition.size_in_bits() for partition in self._partitions)
+
+    def total_symbols(self) -> int:
+        """Total trajectory-string length across all partitions."""
+        return sum(partition.index.length for partition in self._partitions)
+
+    def bits_per_symbol(self) -> float:
+        """Aggregate index size per indexed symbol."""
+        total = self.total_symbols()
+        if total == 0:
+            raise QueryError("the partitioned index is empty")
+        return self.size_in_bits() / total
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def count(self, path: Sequence[Hashable]) -> int:
+        """Total number of occurrences of the path across every partition."""
+        return sum(count for _, count in self._per_partition_counts(path))
+
+    def contains(self, path: Sequence[Hashable]) -> bool:
+        """True when the path occurs in at least one partition."""
+        return any(count for _, count in self._per_partition_counts(path))
+
+    def counts_by_partition(self, path: Sequence[Hashable]) -> list[int]:
+        """Occurrence count of the path in each partition (oldest first)."""
+        return [count for _, count in self._per_partition_counts(path)]
+
+    def matching_partitions(self, path: Sequence[Hashable]) -> list[int]:
+        """Indices of the partitions in which the path occurs."""
+        return [index for index, (_, count) in enumerate(self._per_partition_counts(path)) if count]
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _per_partition_counts(self, path: Sequence[Hashable]) -> list[tuple[Partition, int]]:
+        if not self._partitions:
+            raise QueryError("the partitioned index is empty; add a batch first")
+        edges = list(path)
+        if not edges:
+            raise QueryError("the query path must contain at least one segment")
+        if any(edge not in self._alphabet for edge in edges):
+            # A segment never observed in any batch cannot match anywhere.
+            return [(partition, 0) for partition in self._partitions]
+        pattern = self._alphabet.encode_path(edges)
+        largest = max(pattern)
+        counts: list[tuple[Partition, int]] = []
+        for partition in self._partitions:
+            # Symbols introduced by later batches are outside this partition's
+            # alphabet, so the path cannot occur in it.
+            if largest >= partition.index.sigma:
+                counts.append((partition, 0))
+            else:
+                counts.append((partition, partition.index.count(pattern)))
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PartitionedCiNCT(partitions={self.n_partitions}, "
+            f"trajectories={self.n_trajectories}, sigma={self._alphabet.sigma})"
+        )

@@ -1,0 +1,25 @@
+"""Synthetic analogues of the paper's evaluation datasets."""
+
+from .registry import (
+    DatasetBundle,
+    chess_like,
+    load_dataset,
+    mogen_like,
+    paper_dataset_names,
+    randwalk,
+    roma_like,
+    singapore2_like,
+    singapore_like,
+)
+
+__all__ = [
+    "DatasetBundle",
+    "singapore_like",
+    "singapore2_like",
+    "roma_like",
+    "mogen_like",
+    "chess_like",
+    "randwalk",
+    "load_dataset",
+    "paper_dataset_names",
+]

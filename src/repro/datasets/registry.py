@@ -1,0 +1,261 @@
+"""Named dataset builders: synthetic analogues of the paper's five datasets.
+
+Every builder is deterministic given its ``seed`` and returns a
+:class:`DatasetBundle` holding the trajectories (as internal symbols), the
+concatenated trajectory string, and — when the dataset lives on a road
+network — the underlying :class:`~repro.trajectories.model.TrajectoryDataset`
+so that network-dependent baselines (PRESS) can run.
+
+The ``scale`` parameter multiplies the number of trajectories, so tests run on
+small instances while the benchmark harness uses larger ones.  DESIGN.md
+documents how each analogue preserves the property of the original dataset
+that matters to CiNCT (ET-graph sparsity, gap density, go-straight bias).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..mapmatching import HMMMapMatcher, match_traces
+from ..network import grid_network
+from ..strings.trajectory_string import TrajectoryString, trajectory_string_from_symbols
+from ..trajectories import (
+    Trajectory,
+    TrajectoryDataset,
+    inject_gaps,
+    interpolate_gaps,
+    random_walk_symbols,
+    shortest_path_trips,
+    simulate_gps_trace,
+    sparse_state_walks,
+    straight_biased_walks,
+    symbol_trajectories,
+)
+
+
+@dataclass
+class DatasetBundle:
+    """A ready-to-index dataset."""
+
+    name: str
+    symbol_trajectories: list[list[int]]
+    text: np.ndarray
+    sigma: int
+    dataset: TrajectoryDataset | None = None
+    trajectory_string: TrajectoryString | None = None
+    description: str = ""
+
+    @property
+    def length(self) -> int:
+        """Length of the trajectory string ``|T|``."""
+        return int(self.text.size)
+
+    @property
+    def n_trajectories(self) -> int:
+        """Number of trajectories."""
+        return len(self.symbol_trajectories)
+
+
+def _bundle_from_dataset(name: str, dataset: TrajectoryDataset, description: str) -> DatasetBundle:
+    trajectory_string = dataset.to_trajectory_string()
+    return DatasetBundle(
+        name=name,
+        symbol_trajectories=symbol_trajectories(dataset),
+        text=trajectory_string.text,
+        sigma=trajectory_string.sigma,
+        dataset=dataset,
+        trajectory_string=trajectory_string,
+        description=description,
+    )
+
+
+def _scaled(base: int, scale: float) -> int:
+    value = int(round(base * scale))
+    if value < 1:
+        raise DatasetError(f"scale {scale} is too small (would produce {value} trajectories)")
+    return value
+
+
+def singapore_like(scale: float = 1.0, seed: int = 7, gap_probability: float = 0.12) -> DatasetBundle:
+    """Noisy taxi dataset analogue: turn-biased walks with disconnected gaps.
+
+    The defining property of the paper's raw Singapore dataset is its large
+    fraction of physically disconnected transitions, which makes the ET-graph
+    dense (d-bar ~ 27).  ``gap_probability`` controls that density here; the
+    grid is kept small relative to the trajectory volume so that every road
+    segment is observed many times, as in the real data.
+    """
+    rng = np.random.default_rng(seed)
+    network = grid_network(12, 12)
+    trips = straight_biased_walks(
+        network,
+        n_trajectories=_scaled(1200, scale),
+        min_length=15,
+        max_length=50,
+        rng=rng,
+        straight_bias=3.0,
+    )
+    gapped = inject_gaps(trips, network, gap_probability=gap_probability, rng=rng)
+    dataset = TrajectoryDataset(
+        name="singapore-like",
+        trajectories=gapped,
+        network=network,
+        description="turn-biased walks with GPS-gap teleports (raw Singapore analogue)",
+    )
+    return _bundle_from_dataset("Singapore", dataset, dataset.description)
+
+
+def singapore2_like(scale: float = 1.0, seed: int = 7, gap_probability: float = 0.12) -> DatasetBundle:
+    """Gap-interpolated variant of :func:`singapore_like` (Singapore-2 analogue)."""
+    rng = np.random.default_rng(seed)
+    network = grid_network(12, 12)
+    trips = straight_biased_walks(
+        network,
+        n_trajectories=_scaled(1200, scale),
+        min_length=15,
+        max_length=50,
+        rng=rng,
+        straight_bias=3.0,
+    )
+    gapped = inject_gaps(trips, network, gap_probability=gap_probability, rng=rng)
+    repaired = interpolate_gaps(gapped, network)
+    dataset = TrajectoryDataset(
+        name="singapore2-like",
+        trajectories=repaired,
+        network=network,
+        description="gapped walks repaired with shortest paths (Singapore-2 analogue)",
+    )
+    return _bundle_from_dataset("Singapore-2", dataset, dataset.description)
+
+
+def roma_like(scale: float = 1.0, seed: int = 11, gps_noise_std: float = 10.0) -> DatasetBundle:
+    """GPS + HMM-map-matching dataset analogue (Roma).
+
+    Trips are generated on a grid, noisy GPS points are emitted along them and
+    the HMM map matcher recovers NCTs — exercising the full pipeline the
+    paper's Roma dataset went through.
+    """
+    rng = np.random.default_rng(seed)
+    network = grid_network(10, 10)
+    trips = straight_biased_walks(
+        network,
+        n_trajectories=_scaled(700, scale),
+        min_length=15,
+        max_length=40,
+        rng=rng,
+        straight_bias=2.5,
+    )
+    traces = [
+        simulate_gps_trace(network, trip, rng, noise_std=gps_noise_std, points_per_edge=1)
+        for trip in trips
+    ]
+    matcher = HMMMapMatcher(
+        network,
+        gps_noise_std=gps_noise_std,
+        transition_beta=60.0,
+        candidate_radius=70.0,
+    )
+    matched = match_traces(matcher, traces)
+    dataset = TrajectoryDataset(
+        name="roma-like",
+        trajectories=matched,
+        network=network,
+        description="HMM-map-matched noisy GPS traces (Roma analogue)",
+    )
+    return _bundle_from_dataset("Roma", dataset, dataset.description)
+
+
+def mogen_like(scale: float = 1.0, seed: int = 13) -> DatasetBundle:
+    """Moving-object-generator analogue (MO-gen): shortest-path OD trips."""
+    rng = np.random.default_rng(seed)
+    network = grid_network(16, 16)
+    trips = shortest_path_trips(network, n_trajectories=_scaled(2500, scale), rng=rng, min_hops=6)
+    dataset = TrajectoryDataset(
+        name="mogen-like",
+        trajectories=trips,
+        network=network,
+        description="random origin/destination shortest-path trips (MO-gen analogue)",
+    )
+    return _bundle_from_dataset("MO-gen", dataset, dataset.description)
+
+
+def chess_like(scale: float = 1.0, seed: int = 17) -> DatasetBundle:
+    """Sparse symbolic dataset analogue (Chess): d-bar well below 2."""
+    rng = np.random.default_rng(seed)
+    walks = sparse_state_walks(
+        n_states=800,
+        n_walks=_scaled(4000, scale),
+        walk_length=10,
+        rng=rng,
+        branching_probability=0.15,
+    )
+    text = trajectory_string_from_symbols(walks)
+    sigma = int(text.max()) + 1
+    return DatasetBundle(
+        name="Chess",
+        symbol_trajectories=walks,
+        text=text,
+        sigma=sigma,
+        description="walks on a deep, very sparse state graph (Chess analogue)",
+    )
+
+
+def randwalk(
+    sigma: int = 4096,
+    average_out_degree: float = 4.0,
+    length_factor: int = 20,
+    seed: int = 19,
+    walk_length: int = 100,
+) -> DatasetBundle:
+    """RandWalk dataset (Section VI-E): random walks on a Poisson random graph.
+
+    ``length_factor`` plays the role of the paper's ``|T| = 800 sigma``
+    setting (scaled down for pure-Python experiments): the total number of
+    generated symbols is ``length_factor * sigma``.
+    """
+    rng = np.random.default_rng(seed)
+    walks = random_walk_symbols(
+        sigma=sigma,
+        average_out_degree=average_out_degree,
+        total_symbols=length_factor * sigma,
+        rng=rng,
+        walk_length=walk_length,
+    )
+    text = trajectory_string_from_symbols(walks)
+    return DatasetBundle(
+        name=f"RandWalk(sigma={sigma}, d={average_out_degree:g})",
+        symbol_trajectories=walks,
+        text=text,
+        sigma=sigma + 2,
+        description="uniform random walks on a directed Poisson graph",
+    )
+
+
+_PAPER_DATASETS = {
+    "singapore": singapore_like,
+    "singapore-2": singapore2_like,
+    "roma": roma_like,
+    "mo-gen": mogen_like,
+    "chess": chess_like,
+}
+
+
+def paper_dataset_names() -> list[str]:
+    """The five dataset analogues of Table III, in the paper's order."""
+    return ["singapore", "singapore-2", "roma", "mo-gen", "chess"]
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> DatasetBundle:
+    """Load one of the paper's dataset analogues by name."""
+    key = name.strip().lower()
+    builder = _PAPER_DATASETS.get(key)
+    if builder is None:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(paper_dataset_names())}"
+        )
+    if seed is None:
+        return builder(scale=scale)
+    return builder(scale=scale, seed=seed)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses are raised close to the
+point of failure with actionable messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConstructionError(ReproError):
+    """Raised when an index or data structure cannot be built from its input."""
+
+
+class QueryError(ReproError):
+    """Raised when a query is malformed (bad bounds, empty pattern, ...)."""
+
+
+class AlphabetError(ReproError):
+    """Raised when a symbol is outside the alphabet an index was built over."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset generator receives inconsistent parameters."""
+
+
+class NetworkError(ReproError):
+    """Raised for invalid road-network operations (unknown edges, no path, ...)."""

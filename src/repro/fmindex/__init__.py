@@ -1,0 +1,29 @@
+"""FM-index baselines (Table II of the paper) and the shared index interface."""
+
+from .base import FMIndexBase
+from .fixed_block import FixedBlockFMIndex
+from .linear_scan import LinearScanIndex
+from .variants import (
+    AlphabetPartitionedFMIndex,
+    GMRFMIndex,
+    ICBHuffmanFMIndex,
+    ICBWaveletMatrixFMIndex,
+    UncompressedFMIndex,
+    available_baselines,
+    build_baseline,
+    sample_patterns,
+)
+
+__all__ = [
+    "FMIndexBase",
+    "FixedBlockFMIndex",
+    "LinearScanIndex",
+    "UncompressedFMIndex",
+    "ICBWaveletMatrixFMIndex",
+    "ICBHuffmanFMIndex",
+    "GMRFMIndex",
+    "AlphabetPartitionedFMIndex",
+    "build_baseline",
+    "available_baselines",
+    "sample_patterns",
+]

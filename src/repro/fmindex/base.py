@@ -1,0 +1,176 @@
+"""Abstract FM-index interface and the reference backward-search algorithm.
+
+Every index variant in this repository (the baselines in this package and
+CiNCT itself) exposes the same query surface:
+
+* :meth:`FMIndexBase.suffix_range` — Algorithm 1 of the paper (``SearchFM``),
+  the suffix-range / pattern-matching query;
+* :meth:`FMIndexBase.count` — number of occurrences of a pattern;
+* :meth:`FMIndexBase.extract` — sub-path extraction by LF-stepping from an
+  arbitrary BWT position (the query of Section IV-C);
+* :meth:`FMIndexBase.size_in_bits` — exact size accounting used by the
+  benchmark harness.
+
+The baselines implement :meth:`rank_bwt` / :meth:`access_bwt` on top of a
+wavelet structure over the *original* BWT; CiNCT overrides the search and
+extraction algorithms because it only stores the *labelled* BWT.
+"""
+
+from __future__ import annotations
+
+import abc
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..strings.bwt import BWTResult
+
+
+class FMIndexBase(abc.ABC):
+    """Common behaviour of all FM-index variants.
+
+    Subclasses must provide symbol-level rank and access over the BWT; this
+    base class implements backward search, counting and extraction in terms
+    of those two primitives.
+    """
+
+    #: human-readable name used by the benchmark harness
+    name: str = "FM-index"
+
+    def __init__(self, bwt_result: BWTResult):
+        self._bwt_result = bwt_result
+        self._n = bwt_result.length
+        self._sigma = bwt_result.sigma
+        self._c_array = bwt_result.c_array
+
+    # ------------------------------------------------------------------ #
+    # primitives supplied by subclasses
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def rank_bwt(self, symbol: int, i: int) -> int:
+        """Number of occurrences of ``symbol`` in ``Tbwt[0, i)``."""
+
+    @abc.abstractmethod
+    def access_bwt(self, j: int) -> int:
+        """Return ``Tbwt[j]``."""
+
+    @abc.abstractmethod
+    def size_in_bits(self) -> int:
+        """Total index size in bits (used for the bits-per-symbol figures)."""
+
+    # ------------------------------------------------------------------ #
+    # shared queries
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> int:
+        """Length of the indexed trajectory string."""
+        return self._n
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size of the indexed trajectory string."""
+        return self._sigma
+
+    @property
+    def c_array(self) -> np.ndarray:
+        """The FM-index ``C[]`` array (length ``sigma + 1``)."""
+        return self._c_array
+
+    def bits_per_symbol(self) -> float:
+        """Index size divided by the trajectory-string length."""
+        return self.size_in_bits() / self._n
+
+    def suffix_range(self, pattern: Sequence[int]) -> tuple[int, int] | None:
+        """Find the suffix range of ``pattern`` (Algorithm 1, ``SearchFM``).
+
+        Parameters
+        ----------
+        pattern:
+            The query path as internal symbols, in travel order.  Because the
+            trajectory string stores *reversed* trajectories, backward search
+            consumes the pattern from its last symbol backwards over ``T``,
+            which corresponds to scanning the path in travel order — exactly
+            Algorithm 1 applied to the trajectory string.
+
+        Returns
+        -------
+        ``(sp, ep)`` with ``sp < ep`` when the pattern occurs, else ``None``.
+        """
+        symbols = self._validated_pattern(pattern)
+        # The trajectory string stores reversed trajectories, so a query path
+        # given in travel order corresponds to its reversal as a substring of
+        # T.  Running Algorithm 1 on that reversal means consuming the
+        # travel-order pattern from its first symbol to its last.
+        w = symbols[0]
+        sp = int(self._c_array[w])
+        ep = int(self._c_array[w + 1])
+        if sp >= ep:
+            return None
+        for w in symbols[1:]:
+            sp = int(self._c_array[w]) + self.rank_bwt(w, sp)
+            ep = int(self._c_array[w]) + self.rank_bwt(w, ep)
+            if sp >= ep:
+                return None
+        return sp, ep
+
+    def count(self, pattern: Sequence[int]) -> int:
+        """Number of occurrences of ``pattern`` in the trajectory string."""
+        found = self.suffix_range(pattern)
+        if found is None:
+            return 0
+        sp, ep = found
+        return ep - sp
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        """True when the pattern occurs at least once."""
+        return self.suffix_range(pattern) is not None
+
+    def extract(self, j: int, length: int) -> list[int]:
+        """Extract ``T[i - length, i)`` where ``i = SA[j]`` (Section IV-C).
+
+        The extraction walks the LF-mapping ``length`` times starting from BWT
+        row ``j``, recovering the symbols that precede the suffix at row ``j``
+        in reverse text order; because trajectories are stored reversed, this
+        yields a sub-path in travel order.
+        """
+        if not 0 <= j < self._n:
+            raise QueryError(f"BWT position {j} out of range [0, {self._n})")
+        if length < 0:
+            raise QueryError(f"extraction length must be non-negative, got {length}")
+        out = [0] * length
+        row = j
+        for k in range(1, length + 1):
+            symbol = self.access_bwt(row)
+            out[length - k] = symbol
+            row = int(self._c_array[symbol]) + self.rank_bwt(symbol, row)
+        return out
+
+    def symbol_at_row(self, j: int) -> int:
+        """Return the first symbol of the suffix at BWT row ``j``.
+
+        This is the binary search over ``C[]`` used at Line 1 of Algorithm 4.
+        """
+        if not 0 <= j < self._n:
+            raise QueryError(f"BWT position {j} out of range [0, {self._n})")
+        c = self._c_array
+        # Find the largest w with C[w] <= j.
+        return int(bisect_right(list(c), j) - 1) if not isinstance(c, np.ndarray) else int(
+            np.searchsorted(c, j, side="right") - 1
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _validated_pattern(self, pattern: Sequence[int]) -> list[int]:
+        symbols = [int(s) for s in pattern]
+        if not symbols:
+            raise QueryError("the query pattern must contain at least one symbol")
+        for symbol in symbols:
+            if not 0 <= symbol < self._sigma:
+                raise QueryError(f"pattern symbol {symbol} outside alphabet [0, {self._sigma})")
+        return symbols
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(n={self._n}, sigma={self._sigma})"

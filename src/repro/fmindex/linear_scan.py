@@ -1,0 +1,150 @@
+"""Linear-scan pattern matching over the uncompressed trajectory string.
+
+The paper's Section VI-A2 notes that naïve combinations of simple compression
+techniques were excluded from the main comparison because they only support
+linear-time pattern matching: in the authors' pre-study, Boyer–Moore search
+over an in-memory uncompressed array was "at least four orders of magnitude
+slower than CiNCT".  This module provides that baseline so the ablation bench
+can reproduce the magnitude of the gap: a Boyer–Moore–Horspool matcher (plus a
+naïve matcher as a correctness reference) over the raw 32-bit trajectory
+string.
+
+The class intentionally exposes the same ``count`` / ``contains`` surface as
+the FM-indexes so the harness can time it, but it does not (and cannot,
+without a suffix array) answer suffix-range queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..strings.bwt import BWTResult
+
+
+class LinearScanIndex:
+    """Boyer–Moore–Horspool matching over the raw trajectory string.
+
+    Parameters
+    ----------
+    text:
+        The trajectory string (integer symbols; trajectories stored reversed,
+        exactly as indexed by the FM-index variants so counts agree).
+    sigma:
+        Alphabet size; inferred from the text when omitted.
+    """
+
+    name = "LinearScan"
+
+    def __init__(self, text: Sequence[int] | np.ndarray, sigma: int | None = None):
+        self._text = np.asarray(text, dtype=np.int64)
+        if self._text.size == 0:
+            raise QueryError("cannot search an empty trajectory string")
+        self._sigma = int(sigma) if sigma is not None else int(self._text.max()) + 1
+
+    @classmethod
+    def from_bwt_result(cls, bwt_result: BWTResult) -> "LinearScanIndex":
+        """Build the scanner from the same :class:`BWTResult` the indexes use."""
+        return cls(bwt_result.text, sigma=bwt_result.sigma)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def length(self) -> int:
+        """Length of the stored trajectory string."""
+        return int(self._text.size)
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size of the stored trajectory string."""
+        return self._sigma
+
+    def size_in_bits(self) -> int:
+        """The raw array: 32 bits per symbol, as in the paper's ratio baseline."""
+        return self.length * 32
+
+    def bits_per_symbol(self) -> float:
+        """Size per symbol (constant 32 for the uncompressed array)."""
+        return self.size_in_bits() / self.length
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def occurrences(self, pattern: Sequence[int]) -> list[int]:
+        """Start positions (in the stored text) of every occurrence of the path.
+
+        The query path is given in travel order; because the trajectory string
+        stores reversed trajectories the scanner searches for the *reversed*
+        pattern, which makes its counts directly comparable with the
+        suffix-range widths returned by the FM-indexes.
+        """
+        needle = self._validated_pattern(pattern)[::-1]
+        return self._horspool(needle)
+
+    def count(self, pattern: Sequence[int]) -> int:
+        """Number of occurrences of the query path."""
+        return len(self.occurrences(pattern))
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        """True when the query path occurs at least once."""
+        needle = self._validated_pattern(pattern)[::-1]
+        return bool(self._horspool(needle, first_only=True))
+
+    def count_naive(self, pattern: Sequence[int]) -> int:
+        """Naïve O(n·m) occurrence count (reference used by the tests)."""
+        needle = np.asarray(self._validated_pattern(pattern)[::-1], dtype=np.int64)
+        m = needle.size
+        n = self._text.size
+        if m > n:
+            return 0
+        count = 0
+        for start in range(n - m + 1):
+            if np.array_equal(self._text[start : start + m], needle):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _horspool(self, needle: list[int], first_only: bool = False) -> list[int]:
+        text = self._text
+        n = int(text.size)
+        m = len(needle)
+        if m == 0:
+            raise QueryError("the query pattern must contain at least one symbol")
+        if m > n:
+            return []
+        # Bad-character shift table keyed by symbol (dict: the alphabet is huge
+        # but a pattern touches at most m distinct symbols).
+        shift: dict[int, int] = {}
+        for index, symbol in enumerate(needle[:-1]):
+            shift[symbol] = m - 1 - index
+        default_shift = m
+        last = needle[-1]
+        needle_arr = np.asarray(needle, dtype=np.int64)
+
+        matches: list[int] = []
+        position = 0
+        while position <= n - m:
+            window_last = int(text[position + m - 1])
+            if window_last == last and np.array_equal(text[position : position + m], needle_arr):
+                matches.append(position)
+                if first_only:
+                    return matches
+            position += shift.get(window_last, default_shift)
+        return matches
+
+    def _validated_pattern(self, pattern: Sequence[int]) -> list[int]:
+        symbols = [int(s) for s in pattern]
+        if not symbols:
+            raise QueryError("the query pattern must contain at least one symbol")
+        for symbol in symbols:
+            if not 0 <= symbol < self._sigma:
+                raise QueryError(f"pattern symbol {symbol} outside alphabet [0, {self._sigma})")
+        return symbols
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"LinearScanIndex(n={self.length}, sigma={self._sigma})"

@@ -1,0 +1,302 @@
+"""Baseline FM-index variants from Table II of the paper.
+
+===========  ==================================================================
+Name         Structure over the (unlabelled) BWT
+===========  ==================================================================
+UFMI         wavelet matrix with plain (uncompressed) bitmaps
+ICB-WM       wavelet matrix with RRR bitmaps (implicit compression boosting)
+ICB-Huff     Huffman-shaped wavelet tree with RRR bitmaps
+FM-GMR       large-alphabet rank structure in the spirit of Golynski et al.
+FM-AP-HYB    alphabet-partitioned rank structure (Barbay et al.)
+===========  ==================================================================
+
+The first three are faithful reimplementations.  FM-GMR and FM-AP-HYB follow
+the *design idea* of the cited structures (per-symbol position lists giving
+rank by binary search, and frequency-based alphabet partitioning) rather than
+their exact bit-level layouts, which rely on engineering that only pays off in
+C++; DESIGN.md records this substitution.  What matters for the reproduction
+is their qualitative position in the size/time trade-off: large but fast
+(FM-GMR), small but slower (FM-AP-HYB).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..strings.bwt import BWTResult
+from ..succinct import IntVector
+from ..wavelet import (
+    HuffmanWaveletTree,
+    WaveletMatrix,
+    plain_bitvector_factory,
+    rrr_bitvector_factory,
+)
+from .base import FMIndexBase
+
+
+class UncompressedFMIndex(FMIndexBase):
+    """``UFMI``: wavelet matrix over the BWT with plain bitmaps."""
+
+    name = "UFMI"
+
+    def __init__(self, bwt_result: BWTResult):
+        super().__init__(bwt_result)
+        self._wm = WaveletMatrix(
+            bwt_result.bwt,
+            sigma=bwt_result.sigma,
+            bitvector_factory=plain_bitvector_factory(),
+        )
+
+    def rank_bwt(self, symbol: int, i: int) -> int:
+        return self._wm.rank(symbol, i)
+
+    def access_bwt(self, j: int) -> int:
+        return self._wm.access(j)
+
+    def size_in_bits(self) -> int:
+        c_bits = IntVector(self._c_array).size_in_bits()
+        return self._wm.size_in_bits() + c_bits
+
+
+class ICBWaveletMatrixFMIndex(FMIndexBase):
+    """``ICB-WM``: wavelet matrix over the BWT with RRR bitmaps."""
+
+    name = "ICB-WM"
+
+    def __init__(self, bwt_result: BWTResult, block_size: int = 63):
+        super().__init__(bwt_result)
+        self.block_size = block_size
+        self._wm = WaveletMatrix(
+            bwt_result.bwt,
+            sigma=bwt_result.sigma,
+            bitvector_factory=rrr_bitvector_factory(block_size),
+        )
+
+    def rank_bwt(self, symbol: int, i: int) -> int:
+        return self._wm.rank(symbol, i)
+
+    def access_bwt(self, j: int) -> int:
+        return self._wm.access(j)
+
+    def size_in_bits(self) -> int:
+        c_bits = IntVector(self._c_array).size_in_bits()
+        return self._wm.size_in_bits() + c_bits
+
+
+class ICBHuffmanFMIndex(FMIndexBase):
+    """``ICB-Huff``: Huffman-shaped wavelet tree over the BWT with RRR bitmaps.
+
+    This is the closest baseline to CiNCT: same wavelet-tree shape and the
+    same succinct dictionaries, but built over the unlabelled BWT, so both its
+    entropy and its Huffman depth are governed by the full road-network
+    alphabet instead of the handful of relative-movement labels.
+    """
+
+    name = "ICB-Huff"
+
+    def __init__(self, bwt_result: BWTResult, block_size: int = 63):
+        super().__init__(bwt_result)
+        self.block_size = block_size
+        self._wt = HuffmanWaveletTree(
+            bwt_result.bwt,
+            bitvector_factory=rrr_bitvector_factory(block_size),
+        )
+
+    def rank_bwt(self, symbol: int, i: int) -> int:
+        return self._wt.rank(symbol, i)
+
+    def access_bwt(self, j: int) -> int:
+        return self._wt.access(j)
+
+    def size_in_bits(self) -> int:
+        c_bits = IntVector(self._c_array).size_in_bits()
+        return self._wt.size_in_bits() + c_bits
+
+
+class GMRFMIndex(FMIndexBase):
+    """``FM-GMR``-style index: fast rank on huge alphabets, uncompressed size.
+
+    Rank is answered by binary search in per-symbol sorted position lists and
+    access by a fixed-width symbol array; both are O(log n) / O(1) and, like
+    the real GMR structure, completely insensitive to the entropy of the BWT.
+    The reported size is the actual storage cost of the structure
+    (``n * ceil(lg n)`` bits of positions plus ``n * ceil(lg sigma)`` bits for
+    the access array plus per-symbol offsets), which lands it in the same
+    "largest but fast" corner of the trade-off as the paper's FM-GMR.
+    """
+
+    name = "FM-GMR"
+
+    def __init__(self, bwt_result: BWTResult):
+        super().__init__(bwt_result)
+        bwt = bwt_result.bwt
+        order = np.argsort(bwt, kind="stable")
+        self._positions = order  # positions grouped by symbol, ascending within symbol
+        boundaries = np.searchsorted(bwt[order], np.arange(self._sigma + 1))
+        self._offsets = boundaries.astype(np.int64)
+        self._bwt = bwt
+
+    def rank_bwt(self, symbol: int, i: int) -> int:
+        start = int(self._offsets[symbol])
+        end = int(self._offsets[symbol + 1])
+        if start == end:
+            return 0
+        return int(np.searchsorted(self._positions[start:end], i, side="left"))
+
+    def access_bwt(self, j: int) -> int:
+        return int(self._bwt[j])
+
+    def size_in_bits(self) -> int:
+        n = self._n
+        position_bits = n * max(int(n - 1).bit_length(), 1)
+        symbol_bits = n * max(int(self._sigma - 1).bit_length(), 1)
+        offset_bits = (self._sigma + 1) * 64
+        c_bits = IntVector(self._c_array).size_in_bits()
+        return position_bits + symbol_bits + offset_bits + c_bits
+
+
+class AlphabetPartitionedFMIndex(FMIndexBase):
+    """``FM-AP-HYB``-style index: alphabet partitioning by symbol frequency.
+
+    Symbols are sorted by decreasing frequency; the symbol of frequency rank
+    ``r`` is assigned to class ``floor(lg(r + 1))``, so class ``c`` holds at
+    most ``2**c`` symbols.  A wavelet matrix over the *class sequence* plus one
+    wavelet matrix per class over the *within-class indices* answers rank with
+    two nested wavelet-matrix ranks — the scheme of Barbay, Gagie, Navarro &
+    Nekrich used by sdsl's ``wt_ap`` (the HYB bitmaps are replaced by RRR).
+    """
+
+    name = "FM-AP-HYB"
+
+    def __init__(self, bwt_result: BWTResult, block_size: int = 63):
+        super().__init__(bwt_result)
+        self.block_size = block_size
+        bwt = bwt_result.bwt
+        counts = bwt_result.counts
+        present = np.nonzero(counts)[0]
+        by_frequency = present[np.argsort(-counts[present], kind="stable")]
+
+        self._class_of = np.full(self._sigma, -1, dtype=np.int64)
+        self._index_in_class = np.full(self._sigma, -1, dtype=np.int64)
+        members_per_class: dict[int, list[int]] = {}
+        for rank_index, symbol in enumerate(by_frequency):
+            cls = int(math.floor(math.log2(rank_index + 1))) if rank_index else 0
+            members = members_per_class.setdefault(cls, [])
+            self._class_of[symbol] = cls
+            self._index_in_class[symbol] = len(members)
+            members.append(int(symbol))
+        self._n_classes = (max(members_per_class) + 1) if members_per_class else 0
+
+        factory = rrr_bitvector_factory(block_size)
+        class_sequence = self._class_of[bwt]
+        self._class_wm = WaveletMatrix(class_sequence, sigma=self._n_classes, bitvector_factory=factory)
+
+        # members in label-assignment order, so that
+        # class_members[cls][index_in_class[symbol]] == symbol
+        self._class_members: list[np.ndarray] = []
+        self._sub_wms: list[WaveletMatrix | None] = []
+        for cls in range(self._n_classes):
+            members = np.asarray(members_per_class.get(cls, []), dtype=np.int64)
+            self._class_members.append(members)
+            subsequence = self._index_in_class[bwt[class_sequence == cls]]
+            if subsequence.size == 0 or members.size <= 1:
+                # A single-symbol class needs no sub-structure: the class
+                # occurrence count is already the symbol occurrence count.
+                self._sub_wms.append(None)
+            else:
+                self._sub_wms.append(
+                    WaveletMatrix(subsequence, sigma=int(members.size), bitvector_factory=factory)
+                )
+
+    def rank_bwt(self, symbol: int, i: int) -> int:
+        cls = int(self._class_of[symbol])
+        if cls < 0:
+            return 0
+        class_rank = self._class_wm.rank(cls, i)
+        sub = self._sub_wms[cls]
+        if sub is None:
+            return class_rank
+        return sub.rank(int(self._index_in_class[symbol]), class_rank)
+
+    def access_bwt(self, j: int) -> int:
+        cls = self._class_wm.access(j)
+        position_in_class = self._class_wm.rank(cls, j)
+        sub = self._sub_wms[cls]
+        if sub is None:
+            return int(self._class_members[cls][0])
+        index = sub.access(position_in_class)
+        return int(self._class_members[cls][index])
+
+    def size_in_bits(self) -> int:
+        bits = self._class_wm.size_in_bits()
+        for sub in self._sub_wms:
+            if sub is not None:
+                bits += sub.size_in_bits()
+        # symbol -> (class, index-in-class) mapping, stored once per symbol.
+        class_bits = max(int(max(self._n_classes - 1, 1)).bit_length(), 1)
+        index_bits = max(
+            int(max((members.size - 1 for members in self._class_members), default=1)).bit_length(), 1
+        )
+        bits += self._sigma * (class_bits + index_bits)
+        bits += IntVector(self._c_array).size_in_bits()
+        return bits
+
+
+def build_baseline(name: str, bwt_result: BWTResult, block_size: int = 63) -> FMIndexBase:
+    """Construct a baseline index by its Table-II name."""
+    normalised = name.strip().lower()
+    if normalised in {"ufmi", "uncompressed"}:
+        return UncompressedFMIndex(bwt_result)
+    if normalised in {"icb-wm", "icb_wm"}:
+        return ICBWaveletMatrixFMIndex(bwt_result, block_size=block_size)
+    if normalised in {"icb-huff", "icb_huff"}:
+        return ICBHuffmanFMIndex(bwt_result, block_size=block_size)
+    if normalised in {"fm-gmr", "gmr"}:
+        return GMRFMIndex(bwt_result)
+    if normalised in {"fm-ap-hyb", "ap", "fm-ap"}:
+        return AlphabetPartitionedFMIndex(bwt_result, block_size=block_size)
+    raise ValueError(f"unknown FM-index variant: {name!r}")
+
+
+def available_baselines() -> list[str]:
+    """Names accepted by :func:`build_baseline`, in Table-II order."""
+    return ["UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB"]
+
+
+def sample_patterns(
+    bwt_result: BWTResult,
+    pattern_length: int,
+    n_patterns: int,
+    rng: np.random.Generator,
+    min_symbol: int = 2,
+) -> list[list[int]]:
+    """Sample query paths of a given length from the indexed text.
+
+    Mirrors the paper's measurement protocol ("500 suffix range queries of
+    length 20 randomly sampled from the data"): a window of the trajectory
+    string is accepted if it contains no ``$``/``#`` separators, then reversed
+    back into travel order.
+    """
+    text = bwt_result.text
+    n = int(text.size)
+    patterns: list[list[int]] = []
+    attempts = 0
+    max_attempts = max(100 * n_patterns, 1000)
+    while len(patterns) < n_patterns and attempts < max_attempts:
+        attempts += 1
+        start = int(rng.integers(0, max(n - pattern_length, 1)))
+        window = text[start : start + pattern_length]
+        if window.size < pattern_length:
+            continue
+        if int(window.min()) < min_symbol:
+            continue
+        patterns.append([int(s) for s in window[::-1]])
+    if not patterns:
+        raise ValueError(
+            "could not sample any separator-free window; "
+            "trajectories are probably shorter than the requested pattern length"
+        )
+    return patterns

@@ -1,0 +1,34 @@
+"""Dataset and index persistence.
+
+* :mod:`repro.io.dataset_io` — read/write trajectory datasets as JSON Lines or
+  CSV so real NCT exports can be fed to the library;
+* :mod:`repro.io.index_io` — persist the BWT artefacts and index parameters so
+  a CiNCT index can be reloaded without recomputing the suffix array (the only
+  super-linear construction step).
+"""
+
+from .dataset_io import (
+    load_dataset_csv,
+    load_dataset_jsonl,
+    save_dataset_csv,
+    save_dataset_jsonl,
+)
+from .index_io import (
+    SavedIndex,
+    load_bwt_result,
+    load_cinct,
+    save_bwt_result,
+    save_cinct,
+)
+
+__all__ = [
+    "save_dataset_jsonl",
+    "load_dataset_jsonl",
+    "save_dataset_csv",
+    "load_dataset_csv",
+    "SavedIndex",
+    "save_bwt_result",
+    "load_bwt_result",
+    "save_cinct",
+    "load_cinct",
+]

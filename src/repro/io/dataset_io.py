@@ -1,0 +1,144 @@
+"""Reading and writing trajectory datasets.
+
+Two plain-text formats are supported so that externally produced NCT exports
+(map-matched GPS, simulator output, ...) can be loaded without writing any
+code:
+
+* **JSON Lines** — one JSON object per trajectory with ``edges`` and optional
+  ``timestamps`` keys.  Edge IDs may be strings, integers or (JSON) arrays;
+  arrays are converted back to tuples on load so they stay hashable.
+* **CSV** — one row per observation with ``trajectory_id, edge, timestamp``
+  columns, the common shape of map-matching tool output.
+
+Both loaders return a :class:`~repro.trajectories.model.TrajectoryDataset`
+(without a road network, which is not needed for indexing).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Hashable
+
+from ..exceptions import DatasetError
+from ..trajectories.model import Trajectory, TrajectoryDataset
+
+
+def _edge_to_json(edge: Hashable) -> object:
+    """Convert an edge ID into a JSON-serialisable value."""
+    if isinstance(edge, tuple):
+        return list(edge)
+    return edge
+
+
+def _edge_from_json(value: object) -> Hashable:
+    """Convert a JSON value back into a hashable edge ID."""
+    if isinstance(value, list):
+        return tuple(_edge_from_json(item) for item in value)
+    return value  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------------- #
+# JSON Lines
+# --------------------------------------------------------------------------- #
+def save_dataset_jsonl(dataset: TrajectoryDataset, path: str | Path) -> Path:
+    """Write a dataset as JSON Lines (one trajectory per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for trajectory in dataset:
+            record: dict[str, object] = {
+                "trajectory_id": trajectory.trajectory_id,
+                "edges": [_edge_to_json(edge) for edge in trajectory.edges],
+            }
+            if trajectory.timestamps is not None:
+                record["timestamps"] = list(trajectory.timestamps)
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_dataset_jsonl(path: str | Path, name: str | None = None) -> TrajectoryDataset:
+    """Load a dataset written by :func:`save_dataset_jsonl` (or compatible)."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    trajectories: list[Trajectory] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DatasetError(f"{path}:{line_number + 1}: invalid JSON: {error}") from None
+            if "edges" not in record or not record["edges"]:
+                raise DatasetError(f"{path}:{line_number + 1}: trajectory without edges")
+            timestamps = record.get("timestamps")
+            trajectories.append(
+                Trajectory(
+                    edges=[_edge_from_json(edge) for edge in record["edges"]],
+                    timestamps=list(timestamps) if timestamps is not None else None,
+                    trajectory_id=record.get("trajectory_id"),
+                )
+            )
+    if not trajectories:
+        raise DatasetError(f"dataset file {path} contains no trajectories")
+    return TrajectoryDataset(name=name or path.stem, trajectories=trajectories)
+
+
+# --------------------------------------------------------------------------- #
+# CSV
+# --------------------------------------------------------------------------- #
+def save_dataset_csv(dataset: TrajectoryDataset, path: str | Path) -> Path:
+    """Write a dataset as CSV with one (trajectory_id, edge, timestamp) row per observation."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["trajectory_id", "edge", "timestamp"])
+        for trajectory in dataset:
+            for index, edge in enumerate(trajectory.edges):
+                timestamp = ""
+                if trajectory.timestamps is not None:
+                    timestamp = repr(trajectory.timestamps[index])
+                writer.writerow([trajectory.trajectory_id, json.dumps(_edge_to_json(edge)), timestamp])
+    return path
+
+
+def load_dataset_csv(path: str | Path, name: str | None = None) -> TrajectoryDataset:
+    """Load a dataset written by :func:`save_dataset_csv` (or compatible)."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    edges_by_id: dict[int, list[Hashable]] = {}
+    times_by_id: dict[int, list[float]] = {}
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"trajectory_id", "edge"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise DatasetError(f"{path}: CSV must have at least columns {sorted(required)}")
+        for row in reader:
+            trajectory_id = int(row["trajectory_id"])
+            edge = _edge_from_json(json.loads(row["edge"]))
+            edges_by_id.setdefault(trajectory_id, []).append(edge)
+            timestamp = row.get("timestamp", "")
+            if timestamp:
+                times_by_id.setdefault(trajectory_id, []).append(float(timestamp))
+    if not edges_by_id:
+        raise DatasetError(f"dataset file {path} contains no observations")
+
+    trajectories: list[Trajectory] = []
+    for trajectory_id in sorted(edges_by_id):
+        edges = edges_by_id[trajectory_id]
+        timestamps = times_by_id.get(trajectory_id)
+        if timestamps is not None and len(timestamps) != len(edges):
+            raise DatasetError(
+                f"{path}: trajectory {trajectory_id} has {len(timestamps)} timestamps "
+                f"for {len(edges)} edges"
+            )
+        trajectories.append(
+            Trajectory(edges=edges, timestamps=timestamps, trajectory_id=trajectory_id)
+        )
+    return TrajectoryDataset(name=name or path.stem, trajectories=trajectories)

@@ -1,0 +1,187 @@
+"""Persistence of BWT artefacts and CiNCT indexes.
+
+Building a CiNCT index has one super-linear step — suffix-array construction —
+followed by a chain of strictly linear steps (ET-graph, RML, labelling,
+wavelet-tree packing; Section VI-G of the paper).  The persistence layer
+therefore stores
+
+* the BWT artefacts (text, BWT, suffix array, counts, ``C[]``) as a compressed
+  ``.npz`` archive, and
+* the index parameters plus the alphabet as a JSON sidecar,
+
+and reloading rebuilds the succinct structures in linear time from those
+arrays, never re-sorting suffixes.  This mirrors how the reference C++
+implementation persists the ``sdsl`` structures while remaining a plain,
+inspection-friendly on-disk format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable
+
+import numpy as np
+
+from ..core.cinct import CiNCT
+from ..exceptions import ConstructionError, DatasetError
+from ..strings.alphabet import Alphabet
+from ..strings.bwt import BWTResult
+from ..strings.trajectory_string import TrajectoryString
+
+_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# BWT artefacts
+# --------------------------------------------------------------------------- #
+def save_bwt_result(bwt_result: BWTResult, path: str | Path) -> Path:
+    """Save the arrays of a :class:`BWTResult` as a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.asarray([_FORMAT_VERSION], dtype=np.int64),
+        text=bwt_result.text,
+        bwt=bwt_result.bwt,
+        suffix_array=bwt_result.suffix_array,
+        counts=bwt_result.counts,
+        c_array=bwt_result.c_array,
+    )
+    # np.savez appends ``.npz`` when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_bwt_result(path: str | Path) -> BWTResult:
+    """Load a :class:`BWTResult` previously written by :func:`save_bwt_result`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"BWT archive not found: {path}")
+    with np.load(path) as archive:
+        version = int(archive["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ConstructionError(
+                f"unsupported BWT archive version {version} (expected {_FORMAT_VERSION})"
+            )
+        return BWTResult(
+            text=archive["text"].astype(np.int64),
+            bwt=archive["bwt"].astype(np.int64),
+            suffix_array=archive["suffix_array"].astype(np.int64),
+            counts=archive["counts"].astype(np.int64),
+            c_array=archive["c_array"].astype(np.int64),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# CiNCT indexes
+# --------------------------------------------------------------------------- #
+@dataclass
+class SavedIndex:
+    """A reloaded CiNCT index together with its query-encoding alphabet."""
+
+    index: CiNCT
+    alphabet: Alphabet | None
+
+    def encode_pattern(self, path: list[Hashable]) -> list[int]:
+        """Encode a query path using the persisted alphabet."""
+        if self.alphabet is None:
+            raise ConstructionError("this index was saved without an alphabet")
+        return self.alphabet.encode_path(path)
+
+
+def _edge_to_json(edge: Hashable) -> object:
+    if isinstance(edge, tuple):
+        return [_edge_to_json(item) for item in edge]
+    return edge
+
+
+def _edge_from_json(value: object) -> Hashable:
+    if isinstance(value, list):
+        return tuple(_edge_from_json(item) for item in value)
+    return value  # type: ignore[return-value]
+
+
+def _alphabet_to_json(alphabet: Alphabet) -> list[object]:
+    return [_edge_to_json(alphabet.decode(symbol)) for symbol in range(2, alphabet.sigma)]
+
+
+def _alphabet_from_json(edges: list[object]) -> Alphabet:
+    return Alphabet(_edge_from_json(edge) for edge in edges)
+
+
+def save_cinct(
+    index: CiNCT,
+    bwt_result: BWTResult,
+    directory: str | Path,
+    trajectory_string: TrajectoryString | None = None,
+) -> Path:
+    """Persist a CiNCT index (BWT artefacts + parameters + optional alphabet).
+
+    Parameters
+    ----------
+    index:
+        The built index (provides the construction parameters to persist).
+    bwt_result:
+        The BWT artefacts the index was built from.
+    directory:
+        Target directory; created if missing.  Two files are written:
+        ``bwt.npz`` and ``index.json``.
+    trajectory_string:
+        When given, its alphabet is persisted too so reloaded indexes can
+        encode query paths expressed as original road-segment IDs.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_bwt_result(bwt_result, directory / "bwt.npz")
+    metadata: dict[str, object] = {
+        "format_version": _FORMAT_VERSION,
+        "block_size": index.block_size,
+        "labeling_strategy": index.labeling_strategy,
+        "bitvector_backend": index.bitvector_backend,
+        "sa_sample_rate": index._sa_sample_rate,
+        "length": index.length,
+        "sigma": index.sigma,
+    }
+    if trajectory_string is not None:
+        metadata["alphabet"] = _alphabet_to_json(trajectory_string.alphabet)
+    with (directory / "index.json").open("w", encoding="utf-8") as handle:
+        json.dump(metadata, handle, indent=2)
+    return directory
+
+
+def load_cinct(directory: str | Path) -> SavedIndex:
+    """Reload a CiNCT index persisted by :func:`save_cinct`.
+
+    The succinct structures are rebuilt in linear time from the stored BWT;
+    the suffix array is *not* recomputed.
+    """
+    directory = Path(directory)
+    metadata_path = directory / "index.json"
+    if not metadata_path.exists():
+        raise DatasetError(f"index metadata not found: {metadata_path}")
+    with metadata_path.open("r", encoding="utf-8") as handle:
+        metadata = json.load(handle)
+    version = int(metadata.get("format_version", -1))
+    if version != _FORMAT_VERSION:
+        raise ConstructionError(
+            f"unsupported index format version {version} (expected {_FORMAT_VERSION})"
+        )
+    bwt_result = load_bwt_result(directory / "bwt.npz")
+    if bwt_result.length != int(metadata["length"]) or bwt_result.sigma != int(metadata["sigma"]):
+        raise ConstructionError(
+            "index metadata does not match the stored BWT "
+            f"(length {metadata['length']} vs {bwt_result.length}, "
+            f"sigma {metadata['sigma']} vs {bwt_result.sigma})"
+        )
+    index = CiNCT(
+        bwt_result,
+        block_size=int(metadata["block_size"]),
+        labeling_strategy=metadata["labeling_strategy"],
+        bitvector_backend=metadata["bitvector_backend"],
+        sa_sample_rate=metadata["sa_sample_rate"],
+    )
+    alphabet = None
+    if "alphabet" in metadata:
+        alphabet = _alphabet_from_json(metadata["alphabet"])
+    return SavedIndex(index=index, alphabet=alphabet)

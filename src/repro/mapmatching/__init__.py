@@ -1,0 +1,5 @@
+"""HMM map matching of GPS traces onto road networks."""
+
+from .hmm import HMMMapMatcher, match_traces
+
+__all__ = ["HMMMapMatcher", "match_traces"]

@@ -1,0 +1,232 @@
+"""HMM map matching (Newson & Krumm, GIS'09 style).
+
+The Roma dataset of the paper is obtained by HMM map matching of taxi GPS
+traces.  This module implements the standard formulation:
+
+* hidden states are candidate road segments for each GPS point (segments
+  whose midpoint lies within ``candidate_radius`` of the observation);
+* the emission probability of a candidate is a Gaussian in the distance
+  between the observation and the segment;
+* the transition probability between consecutive candidates decays
+  exponentially in the difference between the great-circle (here Euclidean)
+  distance of the observations and the routing distance between the
+  candidates;
+* the most likely segment sequence is recovered with the Viterbi algorithm
+  and collapsed into an NCT (consecutive duplicates removed, and physically
+  disconnected jumps joined by shortest paths when requested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..exceptions import DatasetError, NetworkError
+from ..network.road_network import EdgeId, RoadNetwork
+from ..trajectories.gps import GPSTrace
+from ..trajectories.model import Trajectory
+
+
+@dataclass
+class HMMMapMatcher:
+    """Map matcher with the Newson–Krumm emission/transition model.
+
+    Parameters
+    ----------
+    network:
+        The road network to match onto.
+    gps_noise_std:
+        Standard deviation of the Gaussian emission model.
+    transition_beta:
+        Scale of the exponential transition model.
+    candidate_radius:
+        Observations consider every segment whose geometric distance is within
+        this radius as a candidate state.
+    connect_gaps:
+        When true, physically disconnected consecutive matches are joined with
+        shortest paths so that the output is a valid NCT.
+    """
+
+    network: RoadNetwork
+    gps_noise_std: float = 10.0
+    transition_beta: float = 50.0
+    candidate_radius: float = 75.0
+    connect_gaps: bool = True
+
+    def __post_init__(self) -> None:
+        if self.gps_noise_std <= 0 or self.transition_beta <= 0 or self.candidate_radius <= 0:
+            raise DatasetError("map-matcher scale parameters must be positive")
+        self._node_distances: dict[Hashable, dict[Hashable, float]] | None = None
+        # Spatial hash of segment midpoints: candidate lookup only scans the
+        # 3x3 neighbourhood of buckets around the observation instead of every
+        # segment, which keeps matching linear in the trace length.
+        self._bucket_size = max(self.candidate_radius, 1e-9)
+        self._buckets: dict[tuple[int, int], list[EdgeId]] = {}
+        for edge_id in self.network.edges():
+            x, y = self.network.edge_midpoint(edge_id)
+            key = (int(x // self._bucket_size), int(y // self._bucket_size))
+            self._buckets.setdefault(key, []).append(edge_id)
+
+    # ------------------------------------------------------------------ #
+    # model components
+    # ------------------------------------------------------------------ #
+    def _point_to_segment_distance(self, x: float, y: float, edge_id: EdgeId) -> float:
+        segment = self.network.segment(edge_id)
+        ax, ay = self.network.coordinate(segment.tail)
+        bx, by = self.network.coordinate(segment.head)
+        dx, dy = bx - ax, by - ay
+        norm_sq = dx * dx + dy * dy
+        if norm_sq == 0:
+            return math.hypot(x - ax, y - ay)
+        t = max(0.0, min(1.0, ((x - ax) * dx + (y - ay) * dy) / norm_sq))
+        px, py = ax + t * dx, ay + t * dy
+        return math.hypot(x - px, y - py)
+
+    def _nearby_edges(self, x: float, y: float) -> list[EdgeId]:
+        bucket_x = int(x // self._bucket_size)
+        bucket_y = int(y // self._bucket_size)
+        nearby: list[EdgeId] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                nearby.extend(self._buckets.get((bucket_x + dx, bucket_y + dy), ()))
+        return nearby
+
+    def candidates(self, x: float, y: float) -> list[tuple[EdgeId, float]]:
+        """Candidate segments for an observation, with their distances."""
+        found: list[tuple[EdgeId, float]] = []
+        for edge_id in self._nearby_edges(x, y):
+            distance = self._point_to_segment_distance(x, y, edge_id)
+            if distance <= self.candidate_radius:
+                found.append((edge_id, distance))
+        if not found:
+            # Fall back to the nearest segment so matching never dead-ends.
+            nearest = min(
+                self.network.edges(),
+                key=lambda edge_id: self._point_to_segment_distance(x, y, edge_id),
+            )
+            found = [(nearest, self._point_to_segment_distance(x, y, nearest))]
+        return found
+
+    def emission_log_probability(self, distance: float) -> float:
+        """Log of the Gaussian emission density at ``distance``."""
+        sigma = self.gps_noise_std
+        return -0.5 * (distance / sigma) ** 2 - math.log(sigma * math.sqrt(2 * math.pi))
+
+    def _routing_distance(self, from_edge: EdgeId, to_edge: EdgeId) -> float:
+        if from_edge == to_edge:
+            return 0.0
+        head = self.network.segment(from_edge).head
+        tail = self.network.segment(to_edge).tail
+        distances = self._node_distance_table()
+        route = distances.get(head, {}).get(tail)
+        if route is None:
+            return math.inf
+        return route + self.network.segment(to_edge).length
+
+    def _node_distance_table(self) -> dict[Hashable, dict[Hashable, float]]:
+        if self._node_distances is None:
+            self._node_distances = self.network.all_pairs_shortest_lengths()
+        return self._node_distances
+
+    def transition_log_probability(
+        self, from_edge: EdgeId, to_edge: EdgeId, straight_line: float
+    ) -> float:
+        """Log of the exponential transition density."""
+        route = self._routing_distance(from_edge, to_edge)
+        if math.isinf(route):
+            return -math.inf
+        delta = abs(straight_line - route)
+        return -delta / self.transition_beta - math.log(self.transition_beta)
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+    def match(self, trace: GPSTrace) -> Trajectory:
+        """Match a GPS trace onto the network and return the recovered NCT."""
+        if len(trace) == 0:
+            raise DatasetError("cannot match an empty GPS trace")
+        observations = trace.points
+        candidate_sets = [self.candidates(p.x, p.y) for p in observations]
+
+        # Viterbi over the candidate lattice.
+        scores: list[dict[EdgeId, float]] = []
+        backpointers: list[dict[EdgeId, EdgeId | None]] = []
+        first_scores = {
+            edge_id: self.emission_log_probability(distance)
+            for edge_id, distance in candidate_sets[0]
+        }
+        scores.append(first_scores)
+        backpointers.append({edge_id: None for edge_id in first_scores})
+
+        for index in range(1, len(observations)):
+            previous_point = observations[index - 1]
+            point = observations[index]
+            straight_line = math.hypot(point.x - previous_point.x, point.y - previous_point.y)
+            layer_scores: dict[EdgeId, float] = {}
+            layer_back: dict[EdgeId, EdgeId | None] = {}
+            for edge_id, distance in candidate_sets[index]:
+                emission = self.emission_log_probability(distance)
+                best_score = -math.inf
+                best_previous: EdgeId | None = None
+                for previous_edge, previous_score in scores[index - 1].items():
+                    if math.isinf(previous_score):
+                        continue
+                    transition = self.transition_log_probability(previous_edge, edge_id, straight_line)
+                    candidate_score = previous_score + transition
+                    if candidate_score > best_score:
+                        best_score = candidate_score
+                        best_previous = previous_edge
+                if best_previous is None:
+                    # No reachable predecessor: restart the chain here.
+                    best_score = max(scores[index - 1].values(), default=0.0)
+                    best_previous = max(scores[index - 1], key=scores[index - 1].get, default=None)
+                layer_scores[edge_id] = best_score + emission
+                layer_back[edge_id] = best_previous
+            scores.append(layer_scores)
+            backpointers.append(layer_back)
+
+        # Backtrack.
+        last_layer = scores[-1]
+        current = max(last_layer, key=last_layer.get)
+        matched = [current]
+        for index in range(len(observations) - 1, 0, -1):
+            current = backpointers[index][current]
+            if current is None:
+                current = matched[-1]
+            matched.append(current)
+        matched.reverse()
+
+        return self._collapse(matched, trace)
+
+    def _collapse(self, matched: list[EdgeId], trace: GPSTrace) -> Trajectory:
+        """Remove consecutive duplicates and optionally stitch gaps."""
+        edges: list[EdgeId] = [matched[0]]
+        times: list[float] = [trace.points[0].timestamp]
+        for index in range(1, len(matched)):
+            edge_id = matched[index]
+            if edge_id == edges[-1]:
+                continue
+            if self.connect_gaps and self.network.segment(edges[-1]).head != self.network.segment(edge_id).tail:
+                try:
+                    filler = self.network.shortest_path_between_edges(edges[-1], edge_id)
+                except NetworkError:
+                    filler = []
+                for filler_edge in filler:
+                    edges.append(filler_edge)
+                    times.append(trace.points[index].timestamp)
+            edges.append(edge_id)
+            times.append(trace.points[index].timestamp)
+        return Trajectory(edges=edges, timestamps=times, trajectory_id=trace.source_trajectory_id)
+
+
+def match_traces(matcher: HMMMapMatcher, traces: list[GPSTrace]) -> list[Trajectory]:
+    """Match a batch of traces, skipping the (rare) degenerate single-edge results."""
+    matched: list[Trajectory] = []
+    for trace in traces:
+        trajectory = matcher.match(trace)
+        if len(trajectory) >= 2:
+            matched.append(trajectory)
+    if not matched:
+        raise DatasetError("map matching produced no usable trajectories")
+    return matched

@@ -1,0 +1,13 @@
+"""Road-network substrate: network model, routing and synthetic generators."""
+
+from .generators import edge_graph_out_degrees, grid_network, poisson_out_degree_graph
+from .road_network import EdgeId, RoadNetwork, RoadSegment
+
+__all__ = [
+    "RoadNetwork",
+    "RoadSegment",
+    "EdgeId",
+    "grid_network",
+    "poisson_out_degree_graph",
+    "edge_graph_out_degrees",
+]

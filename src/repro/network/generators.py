@@ -1,0 +1,108 @@
+"""Synthetic road-network generators.
+
+Two families are used throughout the experiments:
+
+* :func:`grid_network` — a city-like grid with bidirectional streets; the
+  average out-degree of its *edge graph* is close to the 3–4 observed for real
+  road networks, which is the regime the paper targets.
+* :func:`poisson_out_degree_graph` — the "directed random Poisson graph" used
+  by the paper's RandWalk experiments (Figs. 12 and 13), where the alphabet
+  size ``sigma`` and the average out-degree ``d`` are controlled directly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from ..exceptions import NetworkError
+from .road_network import RoadNetwork
+
+
+def grid_network(rows: int, cols: int, spacing: float = 100.0, bidirectional: bool = True) -> RoadNetwork:
+    """Build a rows x cols grid of intersections joined by straight streets.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions (at least 2 x 2).
+    spacing:
+        Distance between adjacent intersections.
+    bidirectional:
+        When true every street is two one-way segments (one per direction),
+        which is how real road networks are modelled as directed graphs.
+    """
+    if rows < 2 or cols < 2:
+        raise NetworkError("grid_network needs at least a 2x2 grid")
+    coordinates: dict[Hashable, tuple[float, float]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            coordinates[(r, c)] = (c * spacing, r * spacing)
+    edges: list[tuple[Hashable, Hashable]] = []
+    for r in range(rows):
+        for c in range(cols):
+            here = (r, c)
+            for dr, dc in ((0, 1), (1, 0)):
+                nr, nc = r + dr, c + dc
+                if nr < rows and nc < cols:
+                    there = (nr, nc)
+                    edges.append((here, there))
+                    if bidirectional:
+                        edges.append((there, here))
+    return RoadNetwork(coordinates, edges)
+
+
+def poisson_out_degree_graph(
+    n_nodes: int,
+    average_out_degree: float,
+    rng: np.random.Generator,
+    allow_dead_ends: bool = False,
+) -> RoadNetwork:
+    """Directed graph whose out-degrees are Poisson distributed.
+
+    Every node receives ``max(1, Poisson(average_out_degree))`` outgoing edges
+    to uniformly random distinct targets (self-loops excluded), matching the
+    RandWalk setup of Section VI-E.  Node coordinates are drawn uniformly in
+    the unit square so that distance-based utilities still work.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of vertices.
+    average_out_degree:
+        Mean of the Poisson out-degree distribution.
+    rng:
+        Randomness source (pass a seeded generator for reproducibility).
+    allow_dead_ends:
+        When false (default), each node keeps at least one outgoing edge so
+        random walks never get stuck.
+    """
+    if n_nodes < 2:
+        raise NetworkError("poisson_out_degree_graph needs at least two nodes")
+    if average_out_degree <= 0:
+        raise NetworkError("average_out_degree must be positive")
+    coordinates = {
+        node: (float(x), float(y))
+        for node, (x, y) in enumerate(rng.random((n_nodes, 2)))
+    }
+    edges: list[tuple[Hashable, Hashable]] = []
+    for node in range(n_nodes):
+        degree = int(rng.poisson(average_out_degree))
+        if not allow_dead_ends:
+            degree = max(degree, 1)
+        degree = min(degree, n_nodes - 1)
+        if degree == 0:
+            continue
+        targets = rng.choice(n_nodes - 1, size=degree, replace=False)
+        for target in targets:
+            target = int(target)
+            if target >= node:
+                target += 1  # skip self-loop
+            edges.append((node, target))
+    return RoadNetwork(coordinates, edges)
+
+
+def edge_graph_out_degrees(network: RoadNetwork) -> list[int]:
+    """Out-degree of every segment in the edge graph (successor segments)."""
+    return [len(network.successor_edges(edge_id)) for edge_id in network.edges()]

@@ -1,0 +1,251 @@
+"""Directed road-network model.
+
+The paper's data are trajectories over a road network whose *edges* (road
+segments) are the alphabet.  :class:`RoadNetwork` therefore exposes both the
+node view (for routing and map matching) and the edge view (for trajectory
+generation and the ET-graph): two road segments are consecutive in an NCT only
+when the head node of the first is the tail node of the second.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from ..exceptions import NetworkError
+
+EdgeId = tuple[Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """One directed road segment (graph edge)."""
+
+    tail: Hashable
+    head: Hashable
+    length: float
+
+    @property
+    def edge_id(self) -> EdgeId:
+        """The ``(tail, head)`` pair used as the segment identifier."""
+        return (self.tail, self.head)
+
+
+class RoadNetwork:
+    """A directed road network with planar node coordinates.
+
+    Parameters
+    ----------
+    coordinates:
+        Mapping from node ID to ``(x, y)`` coordinates.
+    edges:
+        Iterable of ``(tail, head)`` pairs; edge lengths default to the
+        Euclidean distance between the endpoints.
+    """
+
+    def __init__(
+        self,
+        coordinates: dict[Hashable, tuple[float, float]],
+        edges: Iterable[EdgeId],
+    ):
+        self._coordinates = dict(coordinates)
+        self._segments: dict[EdgeId, RoadSegment] = {}
+        self._out_edges: dict[Hashable, list[EdgeId]] = {node: [] for node in self._coordinates}
+        self._in_edges: dict[Hashable, list[EdgeId]] = {node: [] for node in self._coordinates}
+        for tail, head in edges:
+            if tail not in self._coordinates or head not in self._coordinates:
+                raise NetworkError(f"edge ({tail!r}, {head!r}) references an unknown node")
+            length = self.euclidean(tail, head)
+            segment = RoadSegment(tail=tail, head=head, length=length)
+            if segment.edge_id in self._segments:
+                continue
+            self._segments[segment.edge_id] = segment
+            self._out_edges[tail].append(segment.edge_id)
+            self._in_edges[head].append(segment.edge_id)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of intersections."""
+        return len(self._coordinates)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed road segments (the alphabet size of NCTs)."""
+        return len(self._segments)
+
+    def nodes(self) -> Iterator[Hashable]:
+        """Iterate over node IDs."""
+        return iter(self._coordinates)
+
+    def edges(self) -> Iterator[EdgeId]:
+        """Iterate over road-segment IDs in insertion order."""
+        return iter(self._segments)
+
+    def coordinate(self, node: Hashable) -> tuple[float, float]:
+        """Planar coordinates of a node."""
+        try:
+            return self._coordinates[node]
+        except KeyError:
+            raise NetworkError(f"unknown node: {node!r}") from None
+
+    def segment(self, edge_id: EdgeId) -> RoadSegment:
+        """The :class:`RoadSegment` for an edge ID."""
+        try:
+            return self._segments[edge_id]
+        except KeyError:
+            raise NetworkError(f"unknown road segment: {edge_id!r}") from None
+
+    def has_edge(self, edge_id: EdgeId) -> bool:
+        """True when the directed segment exists."""
+        return edge_id in self._segments
+
+    def out_edges(self, node: Hashable) -> list[EdgeId]:
+        """Directed segments leaving ``node``."""
+        try:
+            return list(self._out_edges[node])
+        except KeyError:
+            raise NetworkError(f"unknown node: {node!r}") from None
+
+    def in_edges(self, node: Hashable) -> list[EdgeId]:
+        """Directed segments entering ``node``."""
+        try:
+            return list(self._in_edges[node])
+        except KeyError:
+            raise NetworkError(f"unknown node: {node!r}") from None
+
+    def successor_edges(self, edge_id: EdgeId) -> list[EdgeId]:
+        """Segments a vehicle can take immediately after ``edge_id``."""
+        return self.out_edges(self.segment(edge_id).head)
+
+    def euclidean(self, node_a: Hashable, node_b: Hashable) -> float:
+        """Euclidean distance between two nodes."""
+        ax, ay = self.coordinate(node_a)
+        bx, by = self.coordinate(node_b)
+        return math.hypot(ax - bx, ay - by)
+
+    def edge_midpoint(self, edge_id: EdgeId) -> tuple[float, float]:
+        """Midpoint of a segment, used by the GPS simulator and map matcher."""
+        segment = self.segment(edge_id)
+        ax, ay = self.coordinate(segment.tail)
+        bx, by = self.coordinate(segment.head)
+        return ((ax + bx) / 2.0, (ay + by) / 2.0)
+
+    def turn_angle(self, from_edge: EdgeId, to_edge: EdgeId) -> float:
+        """Absolute turn angle (radians) between two consecutive segments."""
+        a = self.segment(from_edge)
+        b = self.segment(to_edge)
+        ax, ay = self.coordinate(a.tail)
+        hx, hy = self.coordinate(a.head)
+        bx, by = self.coordinate(b.head)
+        v1 = (hx - ax, hy - ay)
+        v2 = (bx - hx, by - hy)
+        n1 = math.hypot(*v1)
+        n2 = math.hypot(*v2)
+        if n1 == 0 or n2 == 0:
+            return 0.0
+        cos_angle = max(-1.0, min(1.0, (v1[0] * v2[0] + v1[1] * v2[1]) / (n1 * n2)))
+        return math.acos(cos_angle)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def shortest_path_nodes(self, source: Hashable, target: Hashable) -> list[Hashable]:
+        """Dijkstra shortest node path from ``source`` to ``target``.
+
+        Raises :class:`NetworkError` when the target is unreachable.
+        """
+        if source == target:
+            return [source]
+        distances: dict[Hashable, float] = {source: 0.0}
+        previous: dict[Hashable, Hashable] = {}
+        heap: list[tuple[float, int, Hashable]] = [(0.0, 0, source)]
+        counter = 1
+        visited: set[Hashable] = set()
+        while heap:
+            distance, _, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == target:
+                break
+            for edge_id in self._out_edges.get(node, []):
+                segment = self._segments[edge_id]
+                candidate = distance + segment.length
+                if candidate < distances.get(segment.head, math.inf):
+                    distances[segment.head] = candidate
+                    previous[segment.head] = node
+                    heapq.heappush(heap, (candidate, counter, segment.head))
+                    counter += 1
+        if target not in visited:
+            raise NetworkError(f"no path from {source!r} to {target!r}")
+        path = [target]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        return list(reversed(path))
+
+    def shortest_path_edges(self, source: Hashable, target: Hashable) -> list[EdgeId]:
+        """Shortest path as a sequence of road segments."""
+        nodes = self.shortest_path_nodes(source, target)
+        return [(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)]
+
+    def shortest_path_between_edges(self, from_edge: EdgeId, to_edge: EdgeId) -> list[EdgeId]:
+        """Segments connecting the head of ``from_edge`` to the tail of ``to_edge``.
+
+        Used to interpolate "gapped" transitions (the Singapore-2 preprocessing
+        described in Section VI-A4).  The returned list excludes both
+        endpoints and may be empty when the edges are already consecutive.
+        """
+        head = self.segment(from_edge).head
+        tail = self.segment(to_edge).tail
+        if head == tail:
+            return []
+        return self.shortest_path_edges(head, tail)
+
+    def shortest_path_length(self, source: Hashable, target: Hashable) -> float:
+        """Length of the shortest node path."""
+        nodes = self.shortest_path_nodes(source, target)
+        return sum(
+            self._segments[(nodes[i], nodes[i + 1])].length for i in range(len(nodes) - 1)
+        )
+
+    def all_pairs_shortest_lengths(self) -> dict[Hashable, dict[Hashable, float]]:
+        """All-pairs shortest path lengths (used by the HMM map matcher).
+
+        Runs one Dijkstra per node; intended for the modest networks used in
+        tests and benchmarks.
+        """
+        result: dict[Hashable, dict[Hashable, float]] = {}
+        for source in self._coordinates:
+            distances: dict[Hashable, float] = {source: 0.0}
+            heap: list[tuple[float, int, Hashable]] = [(0.0, 0, source)]
+            counter = 1
+            done: set[Hashable] = set()
+            while heap:
+                distance, _, node = heapq.heappop(heap)
+                if node in done:
+                    continue
+                done.add(node)
+                for edge_id in self._out_edges.get(node, []):
+                    segment = self._segments[edge_id]
+                    candidate = distance + segment.length
+                    if candidate < distances.get(segment.head, math.inf):
+                        distances[segment.head] = candidate
+                        heapq.heappush(heap, (candidate, counter, segment.head))
+                        counter += 1
+            result[source] = distances
+        return result
+
+    def validate_trajectory(self, edges: Sequence[EdgeId]) -> bool:
+        """True when consecutive segments are physically connected."""
+        for first, second in zip(edges, edges[1:]):
+            if self.segment(first).head != self.segment(second).tail:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RoadNetwork(nodes={self.n_nodes}, edges={self.n_edges})"

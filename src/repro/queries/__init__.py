@@ -1,0 +1,22 @@
+"""Query layer: temporal index, timestamp compression and strict path queries."""
+
+from .strict_path import StrictPathIndex, StrictPathMatch
+from .temporal import TemporalIndex
+from .timestamp_compression import (
+    BoundedErrorTimestampCodec,
+    CompressedTimestampStore,
+    DeltaTimestampCodec,
+    EncodedTimestamps,
+    TimestampStoreStatistics,
+)
+
+__all__ = [
+    "TemporalIndex",
+    "StrictPathIndex",
+    "StrictPathMatch",
+    "DeltaTimestampCodec",
+    "BoundedErrorTimestampCodec",
+    "EncodedTimestamps",
+    "CompressedTimestampStore",
+    "TimestampStoreStatistics",
+]

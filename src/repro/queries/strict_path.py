@@ -1,0 +1,180 @@
+"""Strict path queries on top of CiNCT (the application of Section VII).
+
+A *strict path query* (Krogh et al.) asks for the trajectories that travelled
+along a given path ``P`` during a time interval ``[t1, t2]``.  Following the
+architecture of SNT-index / Koide et al. that the paper cites, the spatial
+part is answered with a suffix-range query and per-occurrence locate on the
+compressed index, and the temporal part with the companion
+:class:`~repro.queries.temporal.TemporalIndex`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.cinct import CiNCT
+from ..exceptions import QueryError
+from ..network.road_network import EdgeId
+from ..queries.temporal import TemporalIndex
+from ..strings.trajectory_string import TrajectoryString
+from ..trajectories.model import TrajectoryDataset
+
+
+@dataclass(frozen=True)
+class StrictPathMatch:
+    """One match of a strict path query."""
+
+    trajectory_id: int
+    start_edge_index: int
+    end_edge_index: int
+    start_time: float | None
+    end_time: float | None
+
+
+class StrictPathIndex:
+    """Spatio-temporal index answering strict path queries.
+
+    Parameters
+    ----------
+    dataset:
+        The trajectory dataset (timestamps are optional; without them only
+        purely spatial strict-path queries are supported).
+    block_size:
+        RRR block size of the underlying CiNCT index.
+    sa_sample_rate:
+        Suffix-array sampling rate used for locate.
+    """
+
+    def __init__(self, dataset: TrajectoryDataset, block_size: int = 63, sa_sample_rate: int = 16):
+        self._dataset = dataset
+        self._trajectory_string: TrajectoryString = dataset.to_trajectory_string()
+        self._index = CiNCT.from_text(
+            self._trajectory_string.text,
+            sigma=self._trajectory_string.sigma,
+            block_size=block_size,
+            sa_sample_rate=sa_sample_rate,
+        )
+        has_timestamps = all(t.timestamps is not None for t in dataset.trajectories)
+        self._temporal = TemporalIndex.from_trajectories(dataset.trajectories) if has_timestamps else None
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def cinct(self) -> CiNCT:
+        """The underlying CiNCT index."""
+        return self._index
+
+    @property
+    def temporal(self) -> TemporalIndex | None:
+        """The temporal companion index (``None`` without timestamps)."""
+        return self._temporal
+
+    def size_in_bits(self) -> int:
+        """Spatial index plus temporal index."""
+        bits = self._index.size_in_bits()
+        if self._temporal is not None:
+            bits += self._temporal.size_in_bits()
+        return bits
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def count_path(self, path: Sequence[EdgeId]) -> int:
+        """Number of traversals of ``path`` across all trajectories."""
+        pattern = self._encode(path)
+        return self._index.count(pattern)
+
+    def query(
+        self,
+        path: Sequence[EdgeId],
+        t_start: float | None = None,
+        t_end: float | None = None,
+    ) -> list[StrictPathMatch]:
+        """Find trajectories that traversed ``path`` (optionally within a time window).
+
+        Parameters
+        ----------
+        path:
+            Road segments in travel order.
+        t_start, t_end:
+            When both are given, only traversals that started no earlier than
+            ``t_start`` and finished no later than ``t_end`` are returned
+            (the strict-path-query semantics).
+        """
+        if (t_start is None) != (t_end is None):
+            raise QueryError("provide both t_start and t_end, or neither")
+        if t_start is not None and self._temporal is None:
+            raise QueryError("the dataset has no timestamps; temporal filtering is unavailable")
+        pattern = self._encode(path)
+        found = self._index.suffix_range(pattern)
+        if found is None:
+            return []
+        sp, ep = found
+        matches: list[StrictPathMatch] = []
+        for row in range(sp, ep):
+            text_position = self._index.locate(row)
+            match = self._match_from_text_position(text_position, len(pattern))
+            if match is None:
+                continue
+            if t_start is not None:
+                if match.start_time is None or match.end_time is None:
+                    continue
+                if match.start_time < t_start or match.end_time > t_end:
+                    continue
+            matches.append(match)
+        matches.sort(key=lambda m: (m.trajectory_id, m.start_edge_index))
+        return matches
+
+    def matching_trajectory_ids(
+        self,
+        path: Sequence[EdgeId],
+        t_start: float | None = None,
+        t_end: float | None = None,
+    ) -> list[int]:
+        """Distinct trajectory IDs returned by :meth:`query`."""
+        return sorted({match.trajectory_id for match in self.query(path, t_start, t_end)})
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _encode(self, path: Sequence[EdgeId]) -> list[int]:
+        if not path:
+            raise QueryError("the query path must contain at least one segment")
+        return self._trajectory_string.encode_pattern(list(path))
+
+    def _match_from_text_position(self, text_position: int, pattern_length: int) -> StrictPathMatch | None:
+        offsets = self._trajectory_string.trajectory_offsets
+        lengths = self._trajectory_string.trajectory_lengths
+        trajectory_index = bisect_right(offsets, text_position) - 1
+        if trajectory_index < 0 or trajectory_index >= len(offsets):
+            return None
+        offset = offsets[trajectory_index]
+        length = lengths[trajectory_index]
+        within = text_position - offset
+        if within >= length:
+            return None  # the position falls on a separator, not a segment
+        # The trajectory is stored reversed: text offset `within` is travel
+        # index (length - 1 - within); the match covers pattern_length
+        # positions going *forward* in the text, i.e. backwards in travel
+        # order, ending at that travel index.
+        end_travel_index = length - 1 - within
+        start_travel_index = end_travel_index - (pattern_length - 1)
+        if start_travel_index < 0:
+            return None
+        trajectory = self._dataset.trajectories[trajectory_index]
+        start_time = end_time = None
+        if trajectory.timestamps is not None:
+            start_time = trajectory.timestamps[start_travel_index]
+            end_time = trajectory.timestamps[end_travel_index]
+        return StrictPathMatch(
+            trajectory_id=trajectory.trajectory_id
+            if trajectory.trajectory_id is not None
+            else trajectory_index,
+            start_edge_index=start_travel_index,
+            end_edge_index=end_travel_index,
+            start_time=start_time,
+            end_time=end_time,
+        )

@@ -1,0 +1,85 @@
+"""Lossless temporal storage for NCT timestamps.
+
+The paper deliberately leaves timestamp compression out of scope but notes
+(Section VII) that CiNCT composes with a temporal index.  This module provides
+the minimal such companion structure: per-trajectory delta-encoded timestamps
+plus an interval table supporting "which trajectories were active during
+``[t1, t2]``" filtering, which is what the strict-path query needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConstructionError, QueryError
+from ..succinct import bits_needed
+from ..trajectories.model import Trajectory
+
+
+@dataclass
+class TemporalIndex:
+    """Delta-encoded timestamps and per-trajectory activity intervals."""
+
+    starts: np.ndarray
+    deltas: list[np.ndarray]
+    ends: np.ndarray
+
+    @classmethod
+    def from_trajectories(cls, trajectories: Sequence[Trajectory]) -> "TemporalIndex":
+        """Build the temporal index; every trajectory must carry timestamps."""
+        starts: list[float] = []
+        ends: list[float] = []
+        deltas: list[np.ndarray] = []
+        for trajectory in trajectories:
+            if trajectory.timestamps is None:
+                raise ConstructionError(
+                    f"trajectory {trajectory.trajectory_id} has no timestamps; "
+                    "the temporal index requires them"
+                )
+            times = np.asarray(trajectory.timestamps, dtype=np.float64)
+            if np.any(np.diff(times) < 0):
+                raise ConstructionError(
+                    f"trajectory {trajectory.trajectory_id} has decreasing timestamps"
+                )
+            starts.append(float(times[0]))
+            ends.append(float(times[-1]))
+            deltas.append(np.diff(times))
+        return cls(
+            starts=np.asarray(starts, dtype=np.float64),
+            deltas=deltas,
+            ends=np.asarray(ends, dtype=np.float64),
+        )
+
+    @property
+    def n_trajectories(self) -> int:
+        """Number of indexed trajectories."""
+        return int(self.starts.size)
+
+    def timestamp(self, trajectory_id: int, edge_index: int) -> float:
+        """Timestamp of the ``edge_index``-th segment of a trajectory."""
+        if not 0 <= trajectory_id < self.n_trajectories:
+            raise QueryError(f"trajectory id {trajectory_id} out of range")
+        deltas = self.deltas[trajectory_id]
+        if not 0 <= edge_index <= deltas.size:
+            raise QueryError(f"edge index {edge_index} out of range for trajectory {trajectory_id}")
+        return float(self.starts[trajectory_id] + deltas[:edge_index].sum())
+
+    def active_during(self, t_start: float, t_end: float) -> list[int]:
+        """Trajectory IDs whose activity interval intersects ``[t_start, t_end]``."""
+        if t_end < t_start:
+            raise QueryError("t_end must not precede t_start")
+        mask = (self.starts <= t_end) & (self.ends >= t_start)
+        return [int(i) for i in np.nonzero(mask)[0]]
+
+    def size_in_bits(self, delta_resolution: float = 1.0) -> int:
+        """Approximate storage cost with deltas quantised at ``delta_resolution``."""
+        bits = self.n_trajectories * 64  # absolute start times
+        for deltas in self.deltas:
+            if deltas.size == 0:
+                continue
+            max_delta = max(int(round(float(deltas.max()) / delta_resolution)), 1)
+            bits += deltas.size * bits_needed(max_delta)
+        return bits

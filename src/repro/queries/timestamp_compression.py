@@ -1,0 +1,198 @@
+"""Timestamp compression companions for CiNCT (Section VII composition).
+
+The paper compresses spatial paths only and points out that existing
+timestamp compressors — lossless delta coding (Brisaboa et al.) and lossy
+bounded-error schemes (PRESS, COMPRESS) — can be combined with CiNCT.  This
+module implements both families so the strict-path-query layer (and the
+examples) can demonstrate the composition:
+
+* :class:`DeltaTimestampCodec` — lossless: per-trajectory start time plus
+  integer-quantised deltas stored at the minimal fixed width;
+* :class:`BoundedErrorTimestampCodec` — lossy: deltas quantised to a
+  user-chosen resolution, guaranteeing a per-sample reconstruction error of at
+  most half the resolution (the classic bounded-error guarantee of the lossy
+  NCT compressors the paper cites).
+
+Both codecs report exact bit sizes so benchmarks can chart the space/accuracy
+trade-off alongside the spatial index sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConstructionError, QueryError
+from ..succinct import bits_needed
+from ..trajectories.model import Trajectory
+
+
+@dataclass
+class EncodedTimestamps:
+    """Compressed timestamps of one trajectory."""
+
+    start: float
+    quantised_deltas: np.ndarray
+    resolution: float
+    delta_width: int
+
+    @property
+    def n_samples(self) -> int:
+        """Number of timestamps encoded (deltas + the explicit start)."""
+        return int(self.quantised_deltas.size) + 1
+
+    def size_in_bits(self) -> int:
+        """Bits used: a 64-bit start plus fixed-width deltas plus the width byte."""
+        return 64 + int(self.quantised_deltas.size) * self.delta_width + 8
+
+    def decode(self) -> np.ndarray:
+        """Reconstruct the timestamp sequence."""
+        deltas = self.quantised_deltas.astype(np.float64) * self.resolution
+        return self.start + np.concatenate(([0.0], np.cumsum(deltas)))
+
+
+class DeltaTimestampCodec:
+    """Lossless delta coding of per-segment timestamps.
+
+    Timestamps are assumed to be given at integral multiples of ``resolution``
+    (1 second by default, which is how the paper's datasets are sampled); any
+    finer fraction is preserved exactly only if it is representable at that
+    resolution, otherwise :class:`BoundedErrorTimestampCodec` should be used.
+    """
+
+    def __init__(self, resolution: float = 1.0):
+        if resolution <= 0:
+            raise ConstructionError("resolution must be positive")
+        self.resolution = float(resolution)
+
+    def encode(self, timestamps: Sequence[float]) -> EncodedTimestamps:
+        """Encode one non-decreasing timestamp sequence."""
+        times = np.asarray(timestamps, dtype=np.float64)
+        if times.size == 0:
+            raise ConstructionError("cannot encode an empty timestamp sequence")
+        deltas = np.diff(times)
+        if np.any(deltas < 0):
+            raise ConstructionError("timestamps must be non-decreasing")
+        quantised = np.rint(deltas / self.resolution).astype(np.int64)
+        width = bits_needed(int(quantised.max())) if quantised.size and quantised.max() > 0 else 1
+        return EncodedTimestamps(
+            start=float(times[0]),
+            quantised_deltas=quantised,
+            resolution=self.resolution,
+            delta_width=width,
+        )
+
+    def encode_trajectory(self, trajectory: Trajectory) -> EncodedTimestamps:
+        """Encode the timestamps attached to a trajectory."""
+        if trajectory.timestamps is None:
+            raise ConstructionError(
+                f"trajectory {trajectory.trajectory_id} carries no timestamps"
+            )
+        return self.encode(trajectory.timestamps)
+
+    def max_error(self) -> float:
+        """Worst-case per-sample reconstruction error (half the resolution)."""
+        return self.resolution / 2.0
+
+
+class BoundedErrorTimestampCodec(DeltaTimestampCodec):
+    """Lossy delta coding with a configurable time resolution.
+
+    A coarser ``resolution`` (e.g. 5 seconds) shrinks the delta width at the
+    cost of a bounded reconstruction error; the guarantee is that every
+    reconstructed *delta* is within half a resolution step of the original,
+    so the error on the k-th timestamp is at most ``k * resolution / 2`` in
+    the worst case and typically far smaller because rounding errors cancel.
+    """
+
+    def __init__(self, resolution: float = 5.0):
+        super().__init__(resolution=resolution)
+
+
+@dataclass
+class TimestampStoreStatistics:
+    """Aggregate size/accuracy statistics over a compressed dataset."""
+
+    n_trajectories: int
+    n_samples: int
+    total_bits: int
+    mean_absolute_error: float
+    max_absolute_error: float
+
+    @property
+    def bits_per_timestamp(self) -> float:
+        """Average storage per timestamp."""
+        return self.total_bits / max(self.n_samples, 1)
+
+
+class CompressedTimestampStore:
+    """Compressed timestamps for a whole dataset, addressable by trajectory.
+
+    Parameters
+    ----------
+    trajectories:
+        Trajectories carrying timestamps.
+    codec:
+        The codec to apply (lossless by default).
+    """
+
+    def __init__(
+        self,
+        trajectories: Sequence[Trajectory],
+        codec: DeltaTimestampCodec | None = None,
+    ):
+        if not trajectories:
+            raise ConstructionError("the timestamp store needs at least one trajectory")
+        self.codec = codec or DeltaTimestampCodec()
+        self._encoded: list[EncodedTimestamps] = []
+        self._originals: list[np.ndarray] = []
+        for trajectory in trajectories:
+            encoded = self.codec.encode_trajectory(trajectory)
+            self._encoded.append(encoded)
+            self._originals.append(np.asarray(trajectory.timestamps, dtype=np.float64))
+
+    @property
+    def n_trajectories(self) -> int:
+        """Number of trajectories stored."""
+        return len(self._encoded)
+
+    def timestamps(self, trajectory_id: int) -> np.ndarray:
+        """Reconstructed timestamps of one trajectory."""
+        self._check_id(trajectory_id)
+        return self._encoded[trajectory_id].decode()
+
+    def timestamp(self, trajectory_id: int, edge_index: int) -> float:
+        """Reconstructed timestamp of one segment of one trajectory."""
+        times = self.timestamps(trajectory_id)
+        if not 0 <= edge_index < times.size:
+            raise QueryError(
+                f"edge index {edge_index} out of range for trajectory {trajectory_id}"
+            )
+        return float(times[edge_index])
+
+    def size_in_bits(self) -> int:
+        """Total compressed size across all trajectories."""
+        return sum(encoded.size_in_bits() for encoded in self._encoded)
+
+    def statistics(self) -> TimestampStoreStatistics:
+        """Size and reconstruction-error statistics of the store."""
+        errors: list[float] = []
+        n_samples = 0
+        for encoded, original in zip(self._encoded, self._originals):
+            reconstructed = encoded.decode()
+            errors.extend(np.abs(reconstructed - original).tolist())
+            n_samples += int(original.size)
+        errors_arr = np.asarray(errors, dtype=np.float64)
+        return TimestampStoreStatistics(
+            n_trajectories=self.n_trajectories,
+            n_samples=n_samples,
+            total_bits=self.size_in_bits(),
+            mean_absolute_error=float(errors_arr.mean()) if errors_arr.size else 0.0,
+            max_absolute_error=float(errors_arr.max()) if errors_arr.size else 0.0,
+        )
+
+    def _check_id(self, trajectory_id: int) -> None:
+        if not 0 <= trajectory_id < self.n_trajectories:
+            raise QueryError(f"trajectory id {trajectory_id} out of range")

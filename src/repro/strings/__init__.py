@@ -1,0 +1,36 @@
+"""Strings substrate: alphabets, trajectory strings, suffix arrays and BWT."""
+
+from .alphabet import END_SYMBOL, FIRST_EDGE_SYMBOL, SEP_SYMBOL, Alphabet
+from .bwt import (
+    BWTResult,
+    burrows_wheeler_transform,
+    compute_c_array,
+    compute_counts,
+    invert_bwt,
+    lf_mapping,
+)
+from .suffix_array import inverse_suffix_array, suffix_array, suffix_array_naive
+from .trajectory_string import (
+    TrajectoryString,
+    build_trajectory_string,
+    trajectory_string_from_symbols,
+)
+
+__all__ = [
+    "Alphabet",
+    "END_SYMBOL",
+    "SEP_SYMBOL",
+    "FIRST_EDGE_SYMBOL",
+    "suffix_array",
+    "suffix_array_naive",
+    "inverse_suffix_array",
+    "BWTResult",
+    "burrows_wheeler_transform",
+    "compute_counts",
+    "compute_c_array",
+    "lf_mapping",
+    "invert_bwt",
+    "TrajectoryString",
+    "build_trajectory_string",
+    "trajectory_string_from_symbols",
+]

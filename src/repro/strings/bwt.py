@@ -1,0 +1,135 @@
+"""Burrows–Wheeler transform and the ``C[]`` array.
+
+For a text ``T`` of length ``n`` whose last symbol is a unique minimum
+(``#`` in the trajectory-string model), the BWT computed from rotations (as in
+the paper's Fig. 2) coincides with the suffix-array formulation used here:
+``Tbwt[j] = T[(SA[j] - 1) mod n]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConstructionError
+from .suffix_array import inverse_suffix_array, suffix_array
+
+
+@dataclass
+class BWTResult:
+    """The BWT of a text together with the arrays FM-indexes need.
+
+    Attributes
+    ----------
+    text:
+        The original text (integer symbols).
+    bwt:
+        The Burrows–Wheeler transform of ``text``.
+    suffix_array:
+        The suffix array used to compute the BWT.
+    counts:
+        ``counts[w]`` is the number of occurrences of symbol ``w`` in ``text``.
+    c_array:
+        ``c_array[w]`` is the number of symbols in ``text`` strictly smaller
+        than ``w`` (the classic FM-index ``C[]``); has length ``sigma + 1`` so
+        ``c_array[w + 1]`` is always valid.
+    """
+
+    text: np.ndarray
+    bwt: np.ndarray
+    suffix_array: np.ndarray
+    counts: np.ndarray
+    c_array: np.ndarray
+
+    @property
+    def length(self) -> int:
+        """Length of the text / BWT."""
+        return int(self.text.size)
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size (largest symbol + 1)."""
+        return int(self.counts.size)
+
+    def suffix_range_of_symbol(self, symbol: int) -> tuple[int, int]:
+        """Return the suffix range ``[C[w], C[w+1])`` of a single symbol."""
+        return int(self.c_array[symbol]), int(self.c_array[symbol + 1])
+
+
+def compute_counts(text: np.ndarray, sigma: int | None = None) -> np.ndarray:
+    """Return per-symbol occurrence counts of ``text``."""
+    if text.size == 0:
+        return np.zeros(0 if sigma is None else sigma, dtype=np.int64)
+    max_symbol = int(text.max())
+    if sigma is None:
+        sigma = max_symbol + 1
+    elif sigma <= max_symbol:
+        raise ConstructionError(f"sigma {sigma} too small for max symbol {max_symbol}")
+    return np.bincount(text, minlength=sigma).astype(np.int64)
+
+
+def compute_c_array(counts: np.ndarray) -> np.ndarray:
+    """Return the exclusive prefix sums of ``counts`` (length ``sigma + 1``)."""
+    c = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=c[1:])
+    return c
+
+
+def burrows_wheeler_transform(text: Sequence[int] | np.ndarray, sigma: int | None = None) -> BWTResult:
+    """Compute the BWT of ``text`` (which must end with a unique minimal symbol).
+
+    Raises
+    ------
+    ConstructionError
+        If ``text`` is empty or its final symbol is not a unique minimum.
+    """
+    arr = np.asarray(text, dtype=np.int64)
+    if arr.size == 0:
+        raise ConstructionError("cannot compute the BWT of an empty text")
+    last = int(arr[-1])
+    if int(arr.min()) != last or int(np.count_nonzero(arr == last)) != 1:
+        raise ConstructionError(
+            "the text must terminate with a unique, lexicographically smallest symbol"
+        )
+    sa = suffix_array(arr)
+    bwt = arr[(sa - 1) % arr.size]
+    counts = compute_counts(arr, sigma)
+    c_array = compute_c_array(counts)
+    return BWTResult(text=arr, bwt=bwt, suffix_array=sa, counts=counts, c_array=c_array)
+
+
+def lf_mapping(result: BWTResult) -> np.ndarray:
+    """Return the LF-mapping array: ``lf[j]`` is the BWT row of ``T[SA[j]-1:]``."""
+    bwt = result.bwt
+    n = bwt.size
+    lf = np.zeros(n, dtype=np.int64)
+    occ = np.zeros(result.sigma, dtype=np.int64)
+    for j in range(n):
+        symbol = int(bwt[j])
+        lf[j] = int(result.c_array[symbol]) + int(occ[symbol])
+        occ[symbol] += 1
+    return lf
+
+
+def invert_bwt(result: BWTResult) -> np.ndarray:
+    """Reconstruct the original text from its BWT via repeated LF-mapping."""
+    n = result.length
+    lf = lf_mapping(result)
+    out = np.zeros(n, dtype=np.int64)
+    # Row 0 of the sorted-rotation matrix starts with the terminal symbol, so
+    # the text position preceding the terminator is recovered first; walk
+    # backwards filling the output right to left.
+    j = 0
+    for position in range(n - 1, -1, -1):
+        out[position] = result.bwt[j]
+        j = int(lf[j])
+    # The walk reproduces the text rotated by one (terminator first); rotate back.
+    return np.roll(out, -1)
+
+
+def isa_of_text_position(result: BWTResult, i: int) -> int:
+    """Return ``ISA[i]``, the BWT row whose suffix starts at text position ``i``."""
+    isa = inverse_suffix_array(result.suffix_array)
+    return int(isa[i])

@@ -1,0 +1,127 @@
+"""Huffman coding utilities.
+
+Used in two places:
+
+* :mod:`repro.wavelet.huffman_wt` builds a Huffman-*shaped* wavelet tree whose
+  shape is the Huffman tree of the stored string.
+* :mod:`repro.compressors.huffman_coder` uses canonical Huffman codes as the
+  final entropy-coding stage of the MEL and PRESS baselines.
+
+The implementation builds the classic frequency-merged binary tree and derives
+both the code for every symbol and the explicit tree topology (needed by the
+wavelet tree).  Ties are broken deterministically by symbol value so that
+builds are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..exceptions import ConstructionError
+
+
+@dataclass
+class HuffmanNode:
+    """A node of a Huffman tree.
+
+    Leaves carry a ``symbol``; internal nodes carry ``left``/``right`` children.
+    """
+
+    symbol: int | None = None
+    left: "HuffmanNode | None" = None
+    right: "HuffmanNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node holds a symbol."""
+        return self.symbol is not None
+
+
+@dataclass
+class HuffmanCode:
+    """The result of building a Huffman code over an integer alphabet.
+
+    Attributes
+    ----------
+    root:
+        Root of the Huffman tree (``None`` only for an empty alphabet).
+    codes:
+        Mapping from symbol to its code as a tuple of bits (0/1), root to leaf.
+    lengths:
+        Mapping from symbol to code length.
+    """
+
+    root: HuffmanNode | None
+    codes: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    lengths: dict[int, int] = field(default_factory=dict)
+
+    def encoded_length(self, frequencies: Mapping[int, int]) -> int:
+        """Total bits needed to encode a string with the given symbol counts."""
+        return sum(self.lengths[symbol] * count for symbol, count in frequencies.items())
+
+
+def build_huffman_code(frequencies: Mapping[int, int]) -> HuffmanCode:
+    """Build a Huffman code for the given ``symbol -> count`` mapping.
+
+    Symbols with zero count are ignored.  A single-symbol alphabet receives a
+    one-bit code (the degenerate tree has one internal node with a single
+    leaf child duplicated on the left), matching the behaviour of practical
+    wavelet-tree libraries.
+    """
+    items = sorted((int(count), int(symbol)) for symbol, count in frequencies.items() if count > 0)
+    if not items:
+        raise ConstructionError("cannot build a Huffman code over an empty frequency table")
+
+    if len(items) == 1:
+        only_symbol = items[0][1]
+        leaf = HuffmanNode(symbol=only_symbol)
+        root = HuffmanNode(left=leaf, right=None)
+        return HuffmanCode(root=root, codes={only_symbol: (0,)}, lengths={only_symbol: 1})
+
+    heap: list[tuple[int, int, HuffmanNode]] = []
+    tiebreak = 0
+    for count, symbol in items:
+        heap.append((count, tiebreak, HuffmanNode(symbol=symbol)))
+        tiebreak += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        count_a, _, node_a = heapq.heappop(heap)
+        count_b, _, node_b = heapq.heappop(heap)
+        merged = HuffmanNode(left=node_a, right=node_b)
+        heapq.heappush(heap, (count_a + count_b, tiebreak, merged))
+        tiebreak += 1
+    root = heap[0][2]
+
+    codes: dict[int, tuple[int, ...]] = {}
+    lengths: dict[int, int] = {}
+
+    stack: list[tuple[HuffmanNode, tuple[int, ...]]] = [(root, ())]
+    while stack:
+        node, prefix = stack.pop()
+        if node.is_leaf:
+            codes[node.symbol] = prefix  # type: ignore[index]
+            lengths[node.symbol] = len(prefix)  # type: ignore[index]
+            continue
+        if node.left is not None:
+            stack.append((node.left, prefix + (0,)))
+        if node.right is not None:
+            stack.append((node.right, prefix + (1,)))
+    return HuffmanCode(root=root, codes=codes, lengths=lengths)
+
+
+def frequencies_of(sequence: Sequence[int]) -> dict[int, int]:
+    """Return a ``symbol -> count`` mapping for an integer sequence."""
+    counts: dict[int, int] = {}
+    for symbol in sequence:
+        counts[symbol] = counts.get(symbol, 0) + 1
+    return counts
+
+
+def average_code_length(code: HuffmanCode, frequencies: Mapping[int, int]) -> float:
+    """Average bits per symbol of ``code`` under the empirical distribution."""
+    total = sum(frequencies.values())
+    if total == 0:
+        return 0.0
+    return code.encoded_length(frequencies) / total

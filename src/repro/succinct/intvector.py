@@ -1,0 +1,85 @@
+"""Fixed-width integer vectors with exact bit-size accounting.
+
+Several parts of CiNCT and the baseline FM-indexes store arrays of small
+integers (the ``C[]`` array, correction terms, per-context rank samples, ...).
+:class:`IntVector` wraps a numpy array and reports its size as
+``len * width`` bits, where the width is the minimum number of bits needed to
+represent the largest stored value, matching how the C++/sdsl implementation
+would size an ``int_vector``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import QueryError
+
+
+def bits_needed(value: int) -> int:
+    """Minimum number of bits needed to represent ``value`` (at least 1)."""
+    if value < 0:
+        raise ValueError(f"bits_needed expects a non-negative value, got {value}")
+    return max(int(value).bit_length(), 1)
+
+
+class IntVector:
+    """An immutable vector of non-negative integers with a fixed bit width.
+
+    Parameters
+    ----------
+    values:
+        The integers to store.
+    width:
+        Bit width per element; inferred from the maximum value when omitted.
+    """
+
+    def __init__(self, values: Iterable[int], width: int | None = None):
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=np.int64)
+        if arr.size and int(arr.min()) < 0:
+            raise ValueError("IntVector stores non-negative integers only")
+        self._values = arr
+        if width is None:
+            width = bits_needed(int(arr.max())) if arr.size else 1
+        else:
+            if arr.size and bits_needed(int(arr.max())) > width:
+                raise ValueError(
+                    f"width {width} too small for maximum value {int(arr.max())}"
+                )
+        self._width = int(width)
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._values.size:
+            raise QueryError(f"index {i} out of range [0, {self._values.size})")
+        return int(self._values[i])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(v) for v in self._values)
+
+    @property
+    def width(self) -> int:
+        """Bits per element."""
+        return self._width
+
+    def to_numpy(self) -> np.ndarray:
+        """Return a copy of the underlying values as ``int64``."""
+        return self._values.copy()
+
+    def size_in_bits(self) -> int:
+        """``len(self) * width`` bits plus a 64-bit length header."""
+        return int(self._values.size) * self._width + 64
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"IntVector(n={len(self)}, width={self._width})"
+
+
+def prefix_sums(counts: Sequence[int]) -> list[int]:
+    """Return exclusive prefix sums of ``counts`` (length ``len(counts) + 1``)."""
+    out = [0]
+    for count in counts:
+        out.append(out[-1] + int(count))
+    return out

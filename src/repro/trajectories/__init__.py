@@ -1,0 +1,27 @@
+"""Trajectory substrate: data model, synthetic generators and GPS simulation."""
+
+from .generators import (
+    inject_gaps,
+    interpolate_gaps,
+    random_walk_symbols,
+    shortest_path_trips,
+    sparse_state_walks,
+    straight_biased_walks,
+)
+from .gps import GPSPoint, GPSTrace, simulate_gps_trace
+from .model import Trajectory, TrajectoryDataset, symbol_trajectories
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryDataset",
+    "symbol_trajectories",
+    "straight_biased_walks",
+    "shortest_path_trips",
+    "inject_gaps",
+    "interpolate_gaps",
+    "random_walk_symbols",
+    "sparse_state_walks",
+    "GPSPoint",
+    "GPSTrace",
+    "simulate_gps_trace",
+]

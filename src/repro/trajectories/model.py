@@ -1,0 +1,131 @@
+"""Trajectory data model.
+
+A network-constrained trajectory (Definition 1) is a sequence of physically
+connected road segments, optionally annotated with per-segment timestamps.
+:class:`TrajectoryDataset` groups trajectories with the network they live on
+and converts them into the trajectory-string representation consumed by the
+indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..exceptions import DatasetError
+from ..network.road_network import EdgeId, RoadNetwork
+from ..strings.alphabet import Alphabet
+from ..strings.trajectory_string import TrajectoryString, build_trajectory_string
+
+
+@dataclass
+class Trajectory:
+    """One NCT: road segments in travel order, with optional timestamps."""
+
+    edges: list[EdgeId]
+    timestamps: list[float] | None = None
+    trajectory_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise DatasetError("a trajectory must contain at least one road segment")
+        if self.timestamps is not None and len(self.timestamps) != len(self.edges):
+            raise DatasetError(
+                "timestamps must align with edges "
+                f"({len(self.timestamps)} timestamps for {len(self.edges)} edges)"
+            )
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self) -> Iterator[EdgeId]:
+        return iter(self.edges)
+
+    def is_connected(self, network: RoadNetwork) -> bool:
+        """True when consecutive segments are physically connected on ``network``."""
+        return network.validate_trajectory(self.edges)
+
+    def time_interval(self) -> tuple[float, float] | None:
+        """Overall ``(start, end)`` time span, or ``None`` without timestamps."""
+        if self.timestamps is None:
+            return None
+        return (self.timestamps[0], self.timestamps[-1])
+
+
+@dataclass
+class TrajectoryDataset:
+    """A named collection of trajectories, optionally tied to a road network."""
+
+    name: str
+    trajectories: list[Trajectory]
+    network: RoadNetwork | None = None
+    description: str = ""
+    _alphabet: Alphabet | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.trajectories:
+            raise DatasetError(f"dataset {self.name!r} contains no trajectories")
+        for index, trajectory in enumerate(self.trajectories):
+            if trajectory.trajectory_id is None:
+                trajectory.trajectory_id = index
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self.trajectories)
+
+    @property
+    def total_edges(self) -> int:
+        """Total number of road-segment observations across all trajectories."""
+        return sum(len(t) for t in self.trajectories)
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The alphabet over every segment appearing in the dataset."""
+        if self._alphabet is None:
+            self._alphabet = Alphabet.from_trajectories(t.edges for t in self.trajectories)
+        return self._alphabet
+
+    def distinct_edges(self) -> int:
+        """Number of distinct road segments observed."""
+        return self.alphabet.n_edges
+
+    def to_trajectory_string(self) -> TrajectoryString:
+        """Concatenate the dataset into the trajectory string of Definition 2."""
+        return build_trajectory_string([t.edges for t in self.trajectories], alphabet=self.alphabet)
+
+    def connected_fraction(self) -> float:
+        """Fraction of transitions that are physically connected on the network.
+
+        The Singapore dataset of the paper contains many transitions without a
+        physical connection ("gaps"); this statistic quantifies that property
+        for synthetic analogues.  Returns 1.0 when no network is attached.
+        """
+        if self.network is None:
+            return 1.0
+        connected = 0
+        total = 0
+        for trajectory in self.trajectories:
+            for first, second in zip(trajectory.edges, trajectory.edges[1:]):
+                total += 1
+                if self.network.segment(first).head == self.network.segment(second).tail:
+                    connected += 1
+        return connected / total if total else 1.0
+
+    def subset(self, n: int, name: str | None = None) -> "TrajectoryDataset":
+        """Return a dataset containing only the first ``n`` trajectories."""
+        if n < 1:
+            raise DatasetError("subset size must be at least 1")
+        return TrajectoryDataset(
+            name=name or f"{self.name}-subset{n}",
+            trajectories=self.trajectories[:n],
+            network=self.network,
+            description=self.description,
+        )
+
+
+def symbol_trajectories(dataset: TrajectoryDataset) -> list[list[int]]:
+    """Encode every trajectory of ``dataset`` into internal symbols."""
+    alphabet = dataset.alphabet
+    return [alphabet.encode_path(t.edges) for t in dataset.trajectories]

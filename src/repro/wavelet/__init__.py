@@ -1,0 +1,22 @@
+"""Wavelet structures: Huffman-shaped / balanced wavelet trees and the wavelet matrix."""
+
+from .factories import (
+    BitVectorFactory,
+    BitVectorLike,
+    plain_bitvector_factory,
+    rrr_bitvector_factory,
+)
+from .matrix import WaveletMatrix
+from .tree import BalancedWaveletTree, HuffmanWaveletTree, WaveletTree, fixed_width_codes
+
+__all__ = [
+    "BitVectorFactory",
+    "BitVectorLike",
+    "plain_bitvector_factory",
+    "rrr_bitvector_factory",
+    "WaveletTree",
+    "HuffmanWaveletTree",
+    "BalancedWaveletTree",
+    "fixed_width_codes",
+    "WaveletMatrix",
+]

@@ -1,0 +1,60 @@
+"""Bit-vector backends for wavelet structures.
+
+Every wavelet tree / matrix in this package stores one bit vector per node or
+level.  Which succinct dictionary backs those bit vectors determines the
+index variant:
+
+* plain :class:`~repro.succinct.BitVector` → uncompressed indexes (``UFMI``);
+* :class:`~repro.succinct.RRRBitVector` → implicit-compression-boosting
+  indexes (``ICB-Huff``, ``ICB-WM``) and CiNCT itself, with the block-size
+  parameter ``b`` from the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+from ..succinct import BitVector, RRRBitVector
+
+
+class BitVectorLike(Protocol):
+    """Minimal interface required from a bit-vector backend."""
+
+    def __len__(self) -> int: ...
+
+    def access(self, i: int) -> int: ...
+
+    def rank1(self, i: int) -> int: ...
+
+    def rank0(self, i: int) -> int: ...
+
+    def size_in_bits(self) -> int: ...
+
+
+BitVectorFactory = Callable[[Sequence[int]], BitVectorLike]
+
+
+def plain_bitvector_factory() -> BitVectorFactory:
+    """Return a factory producing plain (uncompressed) bit vectors."""
+
+    def factory(bits: Sequence[int]) -> BitVector:
+        return BitVector(bits)
+
+    return factory
+
+
+def rrr_bitvector_factory(block_size: int = 63, sample_rate: int = 32) -> BitVectorFactory:
+    """Return a factory producing RRR-compressed bit vectors.
+
+    Parameters
+    ----------
+    block_size:
+        The RRR block size ``b`` (15, 31 or 63 in the paper's experiments).
+    sample_rate:
+        Blocks between absolute rank samples.
+    """
+
+    def factory(bits: Sequence[int]) -> RRRBitVector:
+        return RRRBitVector(bits, block_size=block_size, sample_rate=sample_rate)
+
+    return factory

@@ -1,0 +1,109 @@
+"""Shared fixtures for the test suite.
+
+Most fixtures are session-scoped because index construction (BWT + wavelet
+trees) is the expensive part; the structures themselves are immutable so
+sharing them across tests is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CiNCT
+from repro.fmindex import UncompressedFMIndex
+from repro.network import grid_network
+from repro.strings import build_trajectory_string, burrows_wheeler_transform
+from repro.trajectories import TrajectoryDataset, straight_biased_walks
+
+# The worked example of the paper (Fig. 1a): four NCTs on six segments A-F.
+PAPER_TRAJECTORIES = [
+    ["A", "B", "E", "F"],
+    ["A", "B", "C"],
+    ["B", "C"],
+    ["A", "D"],
+]
+
+
+@pytest.fixture(scope="session")
+def paper_trajectory_string():
+    """Trajectory string of the paper's running example (Eq. 1)."""
+    return build_trajectory_string(PAPER_TRAJECTORIES)
+
+
+@pytest.fixture(scope="session")
+def paper_bwt(paper_trajectory_string):
+    """BWT of the paper's running example."""
+    return burrows_wheeler_transform(
+        paper_trajectory_string.text, sigma=paper_trajectory_string.sigma
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_cinct(paper_bwt):
+    """CiNCT index over the paper's running example."""
+    return CiNCT(paper_bwt, block_size=15)
+
+
+@pytest.fixture(scope="session")
+def paper_reference(paper_bwt):
+    """Uncompressed reference FM-index over the paper's running example."""
+    return UncompressedFMIndex(paper_bwt)
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    """A 6x6 grid road network used by network/trajectory tests."""
+    return grid_network(6, 6)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset(small_network):
+    """A realistic small dataset of turn-biased walks on the grid network."""
+    rng = np.random.default_rng(42)
+    trajectories = straight_biased_walks(
+        small_network,
+        n_trajectories=40,
+        min_length=6,
+        max_length=20,
+        rng=rng,
+        straight_bias=2.5,
+    )
+    return TrajectoryDataset(
+        name="test-grid-walks",
+        trajectories=trajectories,
+        network=small_network,
+        description="fixture dataset",
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_trajectory_string(medium_dataset):
+    """Trajectory string of the medium fixture dataset."""
+    return medium_dataset.to_trajectory_string()
+
+
+@pytest.fixture(scope="session")
+def medium_bwt(medium_trajectory_string):
+    """BWT of the medium fixture dataset."""
+    return burrows_wheeler_transform(
+        medium_trajectory_string.text, sigma=medium_trajectory_string.sigma
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_cinct(medium_bwt):
+    """CiNCT over the medium fixture dataset (block size 31)."""
+    return CiNCT(medium_bwt, block_size=31)
+
+
+@pytest.fixture(scope="session")
+def medium_reference(medium_bwt):
+    """Reference FM-index over the medium fixture dataset."""
+    return UncompressedFMIndex(medium_bwt)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A seeded random generator for deterministic sampling inside tests."""
+    return np.random.default_rng(12345)

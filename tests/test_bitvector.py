@@ -1,0 +1,165 @@
+"""Tests for the plain bit vector (rank/select/access)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError
+from repro.succinct import BitVector, bitvector_from_positions
+
+
+def naive_rank1(bits: list[int], i: int) -> int:
+    return sum(bits[:i])
+
+
+class TestBasicAccess:
+    def test_length(self):
+        assert len(BitVector([1, 0, 1])) == 3
+
+    def test_empty(self):
+        bv = BitVector([])
+        assert len(bv) == 0
+        assert bv.n_ones == 0
+        assert bv.rank1(0) == 0
+
+    def test_access_values(self):
+        bits = [1, 0, 0, 1, 1, 0, 1]
+        bv = BitVector(bits)
+        assert [bv.access(i) for i in range(len(bits))] == bits
+
+    def test_getitem(self):
+        bv = BitVector([0, 1])
+        assert bv[0] == 0
+        assert bv[1] == 1
+
+    def test_iteration(self):
+        bits = [1, 1, 0, 1, 0]
+        assert list(BitVector(bits)) == bits
+
+    def test_to_list_roundtrip(self):
+        bits = [int(b) for b in np.random.default_rng(0).integers(0, 2, 200)]
+        assert BitVector(bits).to_list() == bits
+
+    def test_counts(self):
+        bv = BitVector([1, 0, 1, 1])
+        assert bv.n_ones == 3
+        assert bv.n_zeros == 1
+
+    def test_access_out_of_range(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(QueryError):
+            bv.access(2)
+        with pytest.raises(QueryError):
+            bv.access(-1)
+
+    def test_accepts_numpy_input(self):
+        arr = np.array([1, 0, 1], dtype=np.int64)
+        assert BitVector(arr).to_list() == [1, 0, 1]
+
+    def test_nonzero_values_become_one(self):
+        assert BitVector([5, 0, -3]).to_list() == [1, 0, 1]
+
+
+class TestRank:
+    @pytest.mark.parametrize("n", [1, 7, 63, 64, 65, 129, 500])
+    def test_rank_matches_naive(self, n):
+        rng = np.random.default_rng(n)
+        bits = [int(b) for b in rng.integers(0, 2, n)]
+        bv = BitVector(bits)
+        for i in range(n + 1):
+            assert bv.rank1(i) == naive_rank1(bits, i)
+            assert bv.rank0(i) == i - naive_rank1(bits, i)
+
+    def test_rank_full_length(self):
+        bits = [1] * 100
+        assert BitVector(bits).rank1(100) == 100
+
+    def test_rank_all_zeros(self):
+        bv = BitVector([0] * 130)
+        assert bv.rank1(130) == 0
+        assert bv.rank0(130) == 130
+
+    def test_rank_bit_dispatch(self):
+        bv = BitVector([1, 0, 1, 0])
+        assert bv.rank(1, 4) == 2
+        assert bv.rank(0, 4) == 2
+
+    def test_rank_out_of_range(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(QueryError):
+            bv.rank1(3)
+        with pytest.raises(QueryError):
+            bv.rank1(-1)
+
+
+class TestSelect:
+    def test_select1_simple(self):
+        bv = BitVector([0, 1, 0, 1, 1])
+        assert bv.select1(1) == 1
+        assert bv.select1(2) == 3
+        assert bv.select1(3) == 4
+
+    def test_select0_simple(self):
+        bv = BitVector([0, 1, 0, 1, 1])
+        assert bv.select0(1) == 0
+        assert bv.select0(2) == 2
+
+    @pytest.mark.parametrize("n", [10, 100, 300])
+    def test_select_inverse_of_rank(self, n):
+        rng = np.random.default_rng(n)
+        bits = [int(b) for b in rng.integers(0, 2, n)]
+        bv = BitVector(bits)
+        for k in range(1, bv.n_ones + 1):
+            position = bv.select1(k)
+            assert bits[position] == 1
+            assert bv.rank1(position + 1) == k
+        for k in range(1, bv.n_zeros + 1):
+            position = bv.select0(k)
+            assert bits[position] == 0
+            assert bv.rank0(position + 1) == k
+
+    def test_select_out_of_range(self):
+        bv = BitVector([1, 0, 1])
+        with pytest.raises(QueryError):
+            bv.select1(0)
+        with pytest.raises(QueryError):
+            bv.select1(3)
+        with pytest.raises(QueryError):
+            bv.select0(2)
+
+
+class TestSizeAndConstruction:
+    def test_size_grows_with_length(self):
+        small = BitVector([1] * 64)
+        large = BitVector([1] * 6400)
+        assert large.size_in_bits() > small.size_in_bits()
+
+    def test_size_at_least_payload(self):
+        bv = BitVector([0, 1] * 500)
+        assert bv.size_in_bits() >= 1000
+
+    def test_from_positions(self):
+        bv = bitvector_from_positions(10, [0, 3, 9])
+        assert bv.to_list() == [1, 0, 0, 1, 0, 0, 0, 0, 0, 1]
+
+    def test_from_positions_out_of_range(self):
+        with pytest.raises(QueryError):
+            bitvector_from_positions(5, [5])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=400))
+def test_rank_select_properties(bits):
+    """rank/select agree with the naive definitions on arbitrary bit lists."""
+    bv = BitVector(bits)
+    assert bv.rank1(len(bits)) == sum(bits)
+    midpoint = len(bits) // 2
+    assert bv.rank1(midpoint) == sum(bits[:midpoint])
+    if bv.n_ones:
+        k = (bv.n_ones + 1) // 2
+        position = bv.select1(k)
+        assert bits[position] == 1
+        assert sum(bits[: position + 1]) == k

@@ -1,0 +1,264 @@
+"""Tests for the CiNCT index: equivalence with the reference FM-index,
+extraction, locate, sizes and configuration options."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CiNCT
+from repro.exceptions import ConstructionError, QueryError
+from repro.fmindex import UncompressedFMIndex
+from repro.strings import build_trajectory_string, burrows_wheeler_transform
+
+
+def all_substrings(trajectory, max_length):
+    for start in range(len(trajectory)):
+        for length in range(1, max_length + 1):
+            if start + length <= len(trajectory):
+                yield trajectory[start : start + length]
+
+
+class TestPaperExampleQueries:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            (["A"], 3),
+            (["B"], 3),
+            (["A", "B"], 2),
+            (["B", "C"], 2),
+            (["A", "B", "C"], 1),
+            (["A", "B", "E", "F"], 1),
+            (["A", "D"], 1),
+            (["E", "F"], 1),
+            (["B", "A"], 0),
+            (["D", "A"], 0),
+            (["C", "B"], 0),
+            (["F", "E"], 0),
+        ],
+    )
+    def test_counts(self, paper_cinct, paper_trajectory_string, path, expected):
+        pattern = paper_trajectory_string.encode_pattern(path)
+        assert paper_cinct.count(pattern) == expected
+
+    def test_suffix_range_matches_reference(self, paper_cinct, paper_reference, paper_trajectory_string):
+        for path in (["A"], ["A", "B"], ["B", "C"], ["A", "B", "E", "F"], ["A", "D"]):
+            pattern = paper_trajectory_string.encode_pattern(path)
+            assert paper_cinct.suffix_range(pattern) == paper_reference.suffix_range(pattern)
+
+    def test_contains(self, paper_cinct, paper_trajectory_string):
+        assert paper_cinct.contains(paper_trajectory_string.encode_pattern(["A", "B"]))
+        assert not paper_cinct.contains(paper_trajectory_string.encode_pattern(["D", "A"]))
+
+
+class TestEquivalenceWithAlgorithm1:
+    """Algorithm 3 must return exactly the ranges of Algorithm 1."""
+
+    def test_exhaustive_on_paper_example(self, paper_cinct, paper_reference, paper_trajectory_string):
+        for k in range(paper_trajectory_string.n_trajectories):
+            trajectory = paper_trajectory_string.trajectory_edges(k)
+            for path in all_substrings(trajectory, 4):
+                pattern = paper_trajectory_string.encode_pattern(path)
+                assert paper_cinct.suffix_range(pattern) == paper_reference.suffix_range(pattern)
+
+    def test_sampled_on_medium_dataset(self, medium_cinct, medium_reference, medium_trajectory_string, rng):
+        checked = 0
+        for k in range(0, medium_trajectory_string.n_trajectories, 3):
+            trajectory = medium_trajectory_string.trajectory_edges(k)
+            for length in (1, 2, 3, 5, 8):
+                if len(trajectory) < length:
+                    continue
+                start = int(rng.integers(0, len(trajectory) - length + 1))
+                path = trajectory[start : start + length]
+                pattern = medium_trajectory_string.encode_pattern(path)
+                expected = medium_reference.suffix_range(pattern)
+                assert medium_cinct.suffix_range(pattern) == expected
+                assert expected is not None
+                checked += 1
+        assert checked >= 20
+
+    def test_random_negative_patterns(self, medium_cinct, medium_reference, rng):
+        sigma = medium_cinct.sigma
+        for _ in range(100):
+            pattern = [int(s) for s in rng.integers(2, sigma, size=4)]
+            assert medium_cinct.suffix_range(pattern) == medium_reference.suffix_range(pattern)
+
+    def test_count_never_negative(self, medium_cinct, rng):
+        sigma = medium_cinct.sigma
+        for _ in range(50):
+            pattern = [int(s) for s in rng.integers(2, sigma, size=3)]
+            assert medium_cinct.count(pattern) >= 0
+
+
+class TestExtraction:
+    def test_matches_reference_extract(self, medium_cinct, medium_reference):
+        n = medium_cinct.length
+        for j in range(0, n, max(n // 40, 1)):
+            for length in (1, 3, 7):
+                assert medium_cinct.extract(j, length) == medium_reference.extract(j, length)
+
+    def test_extract_against_suffix_array(self, paper_cinct, paper_bwt):
+        """extract(j, l) returns T[SA[j]-l .. SA[j]) (cyclically)."""
+        text = paper_bwt.text
+        n = paper_bwt.length
+        sa = paper_bwt.suffix_array
+        for j in range(n):
+            for length in (1, 2, 3):
+                got = paper_cinct.extract(j, length)
+                expected = [int(text[(int(sa[j]) - length + k) % n]) for k in range(length)]
+                assert got == expected
+
+    def test_extract_full_text(self, paper_cinct, paper_bwt):
+        recovered = paper_cinct.extract_full_text()
+        expected = list(np.roll(paper_bwt.text, 1))
+        assert recovered == expected
+
+    def test_zero_length(self, medium_cinct):
+        assert medium_cinct.extract(0, 0) == []
+
+    def test_extract_bounds(self, medium_cinct):
+        with pytest.raises(QueryError):
+            medium_cinct.extract(-1, 2)
+        with pytest.raises(QueryError):
+            medium_cinct.extract(medium_cinct.length, 2)
+        with pytest.raises(QueryError):
+            medium_cinct.extract(0, -1)
+
+
+class TestLocate:
+    def test_locate_requires_sampling(self, medium_cinct):
+        with pytest.raises(QueryError):
+            medium_cinct.locate(0)
+
+    def test_locate_returns_suffix_array_values(self, medium_bwt):
+        index = CiNCT(medium_bwt, block_size=31, sa_sample_rate=8)
+        sa = medium_bwt.suffix_array
+        for j in range(0, medium_bwt.length, max(medium_bwt.length // 60, 1)):
+            assert index.locate(j) == int(sa[j])
+
+    def test_locate_bounds(self, medium_bwt):
+        index = CiNCT(medium_bwt, block_size=31, sa_sample_rate=8)
+        with pytest.raises(QueryError):
+            index.locate(medium_bwt.length)
+
+    def test_sampling_increases_size(self, medium_bwt):
+        plain = CiNCT(medium_bwt, block_size=31)
+        sampled = CiNCT(medium_bwt, block_size=31, sa_sample_rate=8)
+        assert sampled.size_in_bits() > plain.size_in_bits()
+
+
+class TestConfiguration:
+    def test_invalid_backend_rejected(self, paper_bwt):
+        with pytest.raises(ConstructionError):
+            CiNCT(paper_bwt, bitvector_backend="lz77")  # type: ignore[arg-type]
+
+    def test_invalid_sample_rate_rejected(self, paper_bwt):
+        with pytest.raises(ConstructionError):
+            CiNCT(paper_bwt, sa_sample_rate=0)
+
+    @pytest.mark.parametrize("block_size", [15, 31, 63])
+    def test_block_sizes_all_correct(self, medium_bwt, medium_reference, medium_trajectory_string, block_size):
+        index = CiNCT(medium_bwt, block_size=block_size)
+        trajectory = medium_trajectory_string.trajectory_edges(0)
+        pattern = medium_trajectory_string.encode_pattern(trajectory[:4])
+        assert index.suffix_range(pattern) == medium_reference.suffix_range(pattern)
+
+    def test_plain_backend_correct(self, medium_bwt, medium_reference, medium_trajectory_string):
+        index = CiNCT(medium_bwt, bitvector_backend="plain")
+        trajectory = medium_trajectory_string.trajectory_edges(1)
+        pattern = medium_trajectory_string.encode_pattern(trajectory[:3])
+        assert index.suffix_range(pattern) == medium_reference.suffix_range(pattern)
+
+    def test_random_labelling_still_correct(self, medium_bwt, medium_reference, medium_trajectory_string):
+        """Any valid RML yields correct answers; only size/speed change."""
+        index = CiNCT(
+            medium_bwt,
+            labeling_strategy="random",
+            rng=np.random.default_rng(5),
+        )
+        for k in (0, 1, 2):
+            trajectory = medium_trajectory_string.trajectory_edges(k)
+            pattern = medium_trajectory_string.encode_pattern(trajectory[:3])
+            assert index.suffix_range(pattern) == medium_reference.suffix_range(pattern)
+
+    def test_empty_pattern_rejected(self, medium_cinct):
+        with pytest.raises(QueryError):
+            medium_cinct.suffix_range([])
+
+    def test_out_of_alphabet_pattern_rejected(self, medium_cinct):
+        with pytest.raises(QueryError):
+            medium_cinct.suffix_range([medium_cinct.sigma + 5])
+
+    def test_from_trajectories_classmethod(self):
+        index, ts = CiNCT.from_trajectories([["a", "b", "c"], ["b", "c", "d"]], block_size=15)
+        assert index.count(ts.encode_pattern(["b", "c"])) == 2
+        assert index.count(ts.encode_pattern(["c", "b"])) == 0
+
+    def test_construction_breakdown_recorded(self, medium_bwt):
+        index = CiNCT(medium_bwt)
+        breakdown = index.construction
+        assert breakdown.et_graph_seconds >= 0
+        assert breakdown.labeling_seconds >= 0
+        assert breakdown.wavelet_tree_seconds > 0
+        assert breakdown.total_seconds >= breakdown.wavelet_tree_seconds
+
+
+class TestSizeAccounting:
+    def test_et_graph_inclusion(self, medium_cinct):
+        with_graph = medium_cinct.size_in_bits(include_et_graph=True)
+        without_graph = medium_cinct.size_in_bits(include_et_graph=False)
+        assert with_graph > without_graph > 0
+
+    def test_bits_per_symbol(self, medium_cinct):
+        assert medium_cinct.bits_per_symbol() == pytest.approx(
+            medium_cinct.size_in_bits() / medium_cinct.length
+        )
+
+    def test_labelled_bwt_property_is_copy(self, medium_cinct):
+        labelled = medium_cinct.labelled_bwt
+        labelled[0] = 10**6
+        assert medium_cinct.labelled_bwt[0] != 10**6
+
+    def test_smaller_than_icb_huff_on_realistic_data(self, medium_bwt):
+        """The headline size claim, at test scale, against the closest baseline."""
+        from repro.fmindex import ICBHuffmanFMIndex
+
+        cinct_bits = CiNCT(medium_bwt, block_size=63).size_in_bits(include_et_graph=False)
+        icb_bits = ICBHuffmanFMIndex(medium_bwt, block_size=63).size_in_bits()
+        assert cinct_bits < icb_bits
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=2, max_size=12),
+        min_size=2,
+        max_size=8,
+    ),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_cinct_equals_reference_on_arbitrary_trajectories(raw_trajectories, pattern_seed):
+    """Property: for arbitrary symbolic trajectories, CiNCT's suffix ranges,
+    counts and extractions match the uncompressed reference index."""
+    trajectories = [[f"e{v}" for v in t] for t in raw_trajectories]
+    ts = build_trajectory_string(trajectories)
+    bwt = burrows_wheeler_transform(ts.text, sigma=ts.sigma)
+    cinct = CiNCT(bwt, block_size=15)
+    reference = UncompressedFMIndex(bwt)
+    rng = np.random.default_rng(pattern_seed)
+    # positive patterns: windows of the data
+    for k in range(min(3, ts.n_trajectories)):
+        trajectory = ts.trajectory_edges(k)
+        length = min(len(trajectory), 1 + int(rng.integers(0, 3)))
+        start = int(rng.integers(0, len(trajectory) - length + 1))
+        pattern = ts.encode_pattern(trajectory[start : start + length])
+        assert cinct.suffix_range(pattern) == reference.suffix_range(pattern)
+    # negative/random patterns
+    for _ in range(3):
+        pattern = [int(s) for s in rng.integers(2, ts.sigma, size=2)]
+        assert cinct.suffix_range(pattern) == reference.suffix_range(pattern)
+    # extraction
+    j = int(rng.integers(0, ts.length))
+    assert cinct.extract(j, 3) == reference.extract(j, 3)

@@ -1,0 +1,106 @@
+"""Tests for the ``repro-cinct`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import save_dataset_jsonl
+from repro.trajectories import Trajectory, TrajectoryDataset
+
+
+@pytest.fixture()
+def jsonl_dataset(tmp_path):
+    dataset = TrajectoryDataset(
+        name="cli-fixture",
+        trajectories=[
+            Trajectory(edges=["a", "b", "c", "d"]),
+            Trajectory(edges=["b", "c", "d", "e"]),
+            Trajectory(edges=["a", "b", "c"]),
+        ],
+    )
+    return save_dataset_jsonl(dataset, tmp_path / "trips.jsonl")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_arguments(self):
+        args = build_parser().parse_args(["stats", "--dataset", "roma", "--scale", "0.1"])
+        assert args.dataset == "roma"
+        assert args.scale == 0.1
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--dataset", "atlantis"])
+
+
+class TestStatsCommand:
+    def test_prints_table(self, capsys):
+        assert main(["stats", "--dataset", "chess", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "H0(" in out or "H0" in out
+        assert "Chess" in out
+
+
+class TestBuildAndQuery:
+    def test_build_from_jsonl_then_query(self, jsonl_dataset, tmp_path, capsys):
+        output = tmp_path / "index"
+        assert main(["build", "--input", str(jsonl_dataset), "--output", str(output)]) == 0
+        build_output = capsys.readouterr().out
+        assert "index size" in build_output
+        assert (output / "bwt.npz").exists()
+        assert (output / "index.json").exists()
+
+        assert main(["query", "--index", str(output), "b", "c", "d"]) == 0
+        query_output = capsys.readouterr().out
+        assert "matches   : 2" in query_output
+
+    def test_query_unknown_segment_reports_zero(self, jsonl_dataset, tmp_path, capsys):
+        output = tmp_path / "index"
+        main(["build", "--input", str(jsonl_dataset), "--output", str(output)])
+        capsys.readouterr()
+        assert main(["query", "--index", str(output), "zz", "qq"]) == 0
+        out = capsys.readouterr().out
+        assert "not found" in out or "matches   : 0" in out
+
+    def test_build_from_named_dataset(self, tmp_path, capsys):
+        output = tmp_path / "roma-index"
+        assert main(["build", "--dataset", "roma", "--scale", "0.05", "--output", str(output)]) == 0
+        assert (output / "index.json").exists()
+
+    def test_build_requires_source(self, tmp_path, capsys):
+        assert main(["build", "--output", str(tmp_path / "x")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_build_rejects_unknown_extension(self, tmp_path, capsys):
+        bogus = tmp_path / "data.parquet"
+        bogus.write_text("not really", encoding="utf-8")
+        assert main(["build", "--input", str(bogus), "--output", str(tmp_path / "x")]) == 2
+
+
+class TestCompareCommand:
+    def test_compare_two_variants(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--dataset",
+                "chess",
+                "--scale",
+                "0.05",
+                "--variants",
+                "CiNCT",
+                "UFMI",
+                "--n-patterns",
+                "5",
+                "--pattern-length",
+                "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CiNCT" in out
+        assert "UFMI" in out
+        assert "bits/symbol" in out

@@ -1,0 +1,142 @@
+"""Tests for the dataset registry (synthetic analogues of the paper's datasets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ETGraph
+from repro.datasets import (
+    chess_like,
+    load_dataset,
+    mogen_like,
+    paper_dataset_names,
+    randwalk,
+    roma_like,
+    singapore2_like,
+    singapore_like,
+)
+from repro.exceptions import DatasetError
+
+SMALL = 0.12
+
+
+@pytest.fixture(scope="module")
+def small_singapore():
+    return singapore_like(scale=SMALL)
+
+
+@pytest.fixture(scope="module")
+def small_singapore2():
+    return singapore2_like(scale=SMALL)
+
+
+class TestBundleShape:
+    @pytest.mark.parametrize(
+        "builder,kwargs",
+        [
+            (singapore_like, {"scale": SMALL}),
+            (singapore2_like, {"scale": SMALL}),
+            (roma_like, {"scale": 0.3}),
+            (mogen_like, {"scale": 0.08}),
+            (chess_like, {"scale": 0.1}),
+            (randwalk, {"sigma": 256, "length_factor": 8}),
+        ],
+    )
+    def test_bundles_are_well_formed(self, builder, kwargs):
+        bundle = builder(**kwargs)
+        assert bundle.length == bundle.text.size
+        assert bundle.n_trajectories >= 1
+        assert int(bundle.text[-1]) == 0
+        assert int(bundle.text.max()) < bundle.sigma
+        total_symbols = sum(len(t) for t in bundle.symbol_trajectories)
+        assert bundle.length == total_symbols + bundle.n_trajectories + 1
+
+    def test_network_datasets_carry_network(self, small_singapore):
+        assert small_singapore.dataset is not None
+        assert small_singapore.dataset.network is not None
+        assert small_singapore.trajectory_string is not None
+
+    def test_symbol_datasets_have_no_network(self):
+        bundle = chess_like(scale=0.1)
+        assert bundle.dataset is None
+
+
+class TestDatasetProperties:
+    def test_singapore_gaps_make_denser_et_graph(self):
+        """Table III: d-bar drops sharply after gap interpolation (26.8 -> 4.0).
+
+        The effect needs enough observations per road segment, so this test
+        builds at a larger scale and gap rate than the other dataset tests.
+        """
+        gapped_bundle = singapore_like(scale=0.6, gap_probability=0.2)
+        repaired_bundle = singapore2_like(scale=0.6, gap_probability=0.2)
+        gapped = ETGraph(gapped_bundle.text, sigma=gapped_bundle.sigma)
+        repaired = ETGraph(repaired_bundle.text, sigma=repaired_bundle.sigma)
+        assert gapped.average_out_degree() > repaired.average_out_degree()
+
+    def test_singapore2_is_fully_connected(self, small_singapore2):
+        assert small_singapore2.dataset.connected_fraction() == pytest.approx(1.0)
+
+    def test_singapore_is_not_fully_connected(self, small_singapore):
+        assert small_singapore.dataset.connected_fraction() < 1.0
+
+    def test_chess_analogue_is_very_sparse(self):
+        bundle = chess_like(scale=0.1)
+        graph = ETGraph(bundle.text, sigma=bundle.sigma)
+        assert graph.average_out_degree() < 2.5
+
+    def test_randwalk_degree_parameter(self):
+        low = randwalk(sigma=256, average_out_degree=2.0, length_factor=8, seed=5)
+        high = randwalk(sigma=256, average_out_degree=8.0, length_factor=8, seed=5)
+        low_degree = ETGraph(low.text, sigma=low.sigma).average_out_degree()
+        high_degree = ETGraph(high.text, sigma=high.sigma).average_out_degree()
+        assert high_degree > low_degree
+
+    def test_randwalk_length_factor(self):
+        bundle = randwalk(sigma=128, length_factor=10, seed=3)
+        assert bundle.length >= 10 * 128
+
+    def test_roma_trajectories_are_connected(self):
+        bundle = roma_like(scale=0.3)
+        network = bundle.dataset.network
+        for trajectory in bundle.dataset.trajectories:
+            assert trajectory.is_connected(network)
+
+
+class TestDeterminismAndScale:
+    def test_same_seed_same_data(self):
+        first = singapore_like(scale=SMALL, seed=3)
+        second = singapore_like(scale=SMALL, seed=3)
+        assert list(first.text) == list(second.text)
+
+    def test_different_seed_different_data(self):
+        first = singapore_like(scale=SMALL, seed=3)
+        second = singapore_like(scale=SMALL, seed=4)
+        assert list(first.text) != list(second.text)
+
+    def test_scale_controls_size(self):
+        small = chess_like(scale=0.05)
+        large = chess_like(scale=0.2)
+        assert large.length > small.length
+
+    def test_scale_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            singapore_like(scale=1e-6)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert paper_dataset_names() == ["singapore", "singapore-2", "roma", "mo-gen", "chess"]
+
+    def test_load_by_name(self):
+        bundle = load_dataset("chess", scale=0.1)
+        assert bundle.name == "Chess"
+
+    def test_load_by_name_with_seed(self):
+        bundle = load_dataset("chess", scale=0.1, seed=99)
+        assert bundle.length > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("porto")

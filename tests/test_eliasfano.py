@@ -1,0 +1,168 @@
+"""Tests for the Elias–Fano sparse bit vector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConstructionError, QueryError
+from repro.succinct import (
+    BitVector,
+    EliasFanoBitVector,
+    elias_fano_from_bits,
+    predicted_elias_fano_bits,
+)
+
+
+def reference_bits(length: int, ones: list[int]) -> list[int]:
+    bits = [0] * length
+    for position in ones:
+        bits[position] = 1
+    return bits
+
+
+class TestConstruction:
+    def test_empty_vector(self):
+        ef = EliasFanoBitVector(10, [])
+        assert len(ef) == 10
+        assert ef.n_ones == 0
+        assert ef.rank1(10) == 0
+
+    def test_zero_length(self):
+        ef = EliasFanoBitVector(0, [])
+        assert len(ef) == 0
+
+    def test_rejects_out_of_range_positions(self):
+        with pytest.raises(ConstructionError):
+            EliasFanoBitVector(5, [5])
+        with pytest.raises(ConstructionError):
+            EliasFanoBitVector(5, [-1])
+
+    def test_rejects_unsorted_positions(self):
+        with pytest.raises(ConstructionError):
+            EliasFanoBitVector(10, [4, 2])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConstructionError):
+            EliasFanoBitVector(10, [2, 2])
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ConstructionError):
+            EliasFanoBitVector(-1, [])
+
+    def test_from_bits_roundtrip(self):
+        bits = [0, 1, 0, 0, 1, 1, 0, 0, 0, 1]
+        ef = elias_fano_from_bits(bits)
+        assert ef.to_list() == bits
+
+
+class TestRankSelectAccess:
+    @pytest.fixture(scope="class")
+    def sparse(self):
+        ones = [3, 17, 64, 90, 91, 500, 999]
+        return EliasFanoBitVector(1000, ones), ones
+
+    def test_access(self, sparse):
+        ef, ones = sparse
+        one_set = set(ones)
+        for position in range(0, 1000, 7):
+            assert ef.access(position) == int(position in one_set)
+        for position in ones:
+            assert ef[position] == 1
+
+    def test_rank1_everywhere(self, sparse):
+        ef, ones = sparse
+        for i in range(0, 1001, 13):
+            assert ef.rank1(i) == sum(1 for p in ones if p < i)
+        assert ef.rank1(1000) == len(ones)
+
+    def test_rank0_complements_rank1(self, sparse):
+        ef, _ = sparse
+        for i in range(0, 1001, 17):
+            assert ef.rank0(i) + ef.rank1(i) == i
+
+    def test_select1_inverts_rank1(self, sparse):
+        ef, ones = sparse
+        for k, position in enumerate(ones, start=1):
+            assert ef.select1(k) == position
+            assert ef.rank1(position) == k - 1
+
+    def test_select0(self, sparse):
+        ef, ones = sparse
+        reference = reference_bits(1000, ones)
+        zero_positions = [i for i, bit in enumerate(reference) if bit == 0]
+        for k in range(1, len(zero_positions) + 1, 97):
+            assert ef.select0(k) == zero_positions[k - 1]
+
+    def test_out_of_range_queries_raise(self, sparse):
+        ef, ones = sparse
+        with pytest.raises(QueryError):
+            ef.access(1000)
+        with pytest.raises(QueryError):
+            ef.rank1(1001)
+        with pytest.raises(QueryError):
+            ef.select1(0)
+        with pytest.raises(QueryError):
+            ef.select1(len(ones) + 1)
+        with pytest.raises(QueryError):
+            ef.select0(1000 - len(ones) + 1)
+
+
+class TestSizeAccounting:
+    def test_sparse_vector_is_smaller_than_plain(self):
+        length = 100_000
+        ones = list(range(0, length, 1000))
+        ef = EliasFanoBitVector(length, ones)
+        plain = BitVector(reference_bits(length, ones))
+        assert ef.size_in_bits() < plain.size_in_bits()
+        assert ef.compression_ratio_vs_plain() > 10
+
+    def test_size_close_to_classic_bound(self):
+        length = 50_000
+        rng = np.random.default_rng(3)
+        ones = sorted(rng.choice(length, size=200, replace=False).tolist())
+        ef = EliasFanoBitVector(length, ones)
+        predicted = predicted_elias_fano_bits(length, len(ones))
+        assert ef.size_in_bits() <= 2 * predicted
+
+    def test_predicted_bits_empty(self):
+        assert predicted_elias_fano_bits(1000, 0) == 3 * 64
+
+
+class TestPropertyBased:
+    @given(
+        length=st.integers(min_value=1, max_value=400),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_plain_bitvector(self, length, data):
+        n_ones = data.draw(st.integers(min_value=0, max_value=length))
+        ones = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=length - 1),
+                    min_size=n_ones,
+                    max_size=n_ones,
+                    unique=True,
+                )
+            )
+        )
+        ef = EliasFanoBitVector(length, ones)
+        reference = BitVector(reference_bits(length, ones))
+        for i in range(length + 1):
+            assert ef.rank1(i) == reference.rank1(i)
+        for i in range(length):
+            assert ef.access(i) == reference.access(i)
+        for k in range(1, len(ones) + 1):
+            assert ef.select1(k) == reference.select1(k)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_to_list_roundtrip(self, bits):
+        bits = [int(b) for b in bits]
+        ef = elias_fano_from_bits(bits)
+        assert ef.to_list() == bits
+        assert ef.n_ones == sum(bits)
+        assert list(ef) == bits

@@ -1,0 +1,139 @@
+"""Tests for empirical entropy measures and dataset statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    compression_ratio,
+    dataset_statistics,
+    empirical_entropy_h0,
+    empirical_entropy_hk,
+    entropy_of_distribution,
+    huffman_encoded_bits,
+    raw_size_bits,
+)
+
+
+class TestH0:
+    def test_uniform_binary(self):
+        assert empirical_entropy_h0([0, 1] * 50) == pytest.approx(1.0)
+
+    def test_constant_sequence(self):
+        assert empirical_entropy_h0([7] * 100) == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert empirical_entropy_h0([]) == 0.0
+
+    def test_four_symbols_uniform(self):
+        assert empirical_entropy_h0([0, 1, 2, 3] * 25) == pytest.approx(2.0)
+
+    def test_known_skewed_value(self):
+        # p = (3/4, 1/4): H = 0.8113 bits
+        sequence = [0, 0, 0, 1] * 25
+        expected = -(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25))
+        assert empirical_entropy_h0(sequence) == pytest.approx(expected)
+
+    def test_accepts_numpy(self):
+        assert empirical_entropy_h0(np.array([1, 2, 1, 2])) == pytest.approx(1.0)
+
+
+class TestHk:
+    def test_k0_equals_h0(self):
+        sequence = [0, 1, 1, 2, 0, 1]
+        assert empirical_entropy_hk(sequence, 0) == pytest.approx(empirical_entropy_h0(sequence))
+
+    def test_deterministic_successor_has_zero_h1(self):
+        # Cyclic abcabcabc...: the next symbol determines the previous exactly.
+        sequence = [0, 1, 2] * 40
+        assert empirical_entropy_hk(sequence, 1) == pytest.approx(0.0, abs=1e-9)
+
+    def test_hk_decreasing_in_k(self, medium_bwt):
+        text = medium_bwt.text
+        h0 = empirical_entropy_h0(text)
+        h1 = empirical_entropy_hk(text, 1)
+        h2 = empirical_entropy_hk(text, 2)
+        assert h0 >= h1 - 1e-9
+        assert h1 >= h2 - 1e-9
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_entropy_hk([1, 2, 3], -1)
+
+    def test_short_text(self):
+        assert empirical_entropy_hk([5], 2) == 0.0
+
+    def test_random_sequence_h1_close_to_h0(self):
+        rng = np.random.default_rng(0)
+        sequence = rng.integers(0, 4, 4000)
+        h0 = empirical_entropy_h0(sequence)
+        h1 = empirical_entropy_hk(sequence, 1)
+        assert abs(h0 - h1) < 0.05
+
+
+class TestEntropyHelpers:
+    def test_distribution_entropy(self):
+        assert entropy_of_distribution([0.5, 0.5]) == pytest.approx(1.0)
+        assert entropy_of_distribution([1.0, 0.0]) == pytest.approx(0.0)
+
+    def test_distribution_negative_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_of_distribution([-0.1, 1.1])
+
+    def test_huffman_encoded_bits_bounds(self):
+        sequence = [0] * 70 + [1] * 20 + [2] * 10
+        bits = huffman_encoded_bits(sequence)
+        entropy = empirical_entropy_h0(sequence)
+        assert entropy * len(sequence) - 1e-6 <= bits <= (entropy + 1) * len(sequence)
+
+    def test_huffman_encoded_bits_degenerate(self):
+        assert huffman_encoded_bits([]) == 0
+        assert huffman_encoded_bits([3, 3, 3]) == 3
+
+
+class TestDatasetStatistics:
+    def test_fields_consistent(self, medium_trajectory_string):
+        stats = dataset_statistics("fixture", medium_trajectory_string.text, medium_trajectory_string.sigma)
+        assert stats.length == medium_trajectory_string.length
+        assert stats.sigma == medium_trajectory_string.sigma
+        assert stats.lg_sigma == pytest.approx(math.log2(stats.sigma))
+        assert stats.h0 > stats.h0_labelled  # Eq. 10
+        assert stats.h1 <= stats.h0 + 1e-9
+        assert stats.max_out_degree >= stats.average_out_degree
+        assert stats.n_et_edges > 0
+
+    def test_as_row_keys(self, medium_trajectory_string):
+        stats = dataset_statistics("fixture", medium_trajectory_string.text)
+        row = stats.as_row()
+        assert set(row) == {"dataset", "|T|", "lg sigma", "H0(T)", "H0(phi)", "H1(T)", "d_bar"}
+
+    def test_precomputed_bwt_accepted(self, medium_bwt):
+        stats = dataset_statistics("fixture", medium_bwt.text, bwt_result=medium_bwt)
+        assert stats.length == medium_bwt.length
+
+
+class TestRatios:
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+
+    def test_raw_size(self):
+        assert raw_size_bits(10) == 320
+        assert raw_size_bits(10, bytes_per_symbol=2) == 160
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=6), min_size=2, max_size=300))
+def test_entropy_bounds_property(sequence):
+    """0 <= Hk <= H0 <= lg(distinct symbols)."""
+    h0 = empirical_entropy_h0(sequence)
+    h1 = empirical_entropy_hk(sequence, 1)
+    distinct = len(set(sequence))
+    assert 0.0 <= h1 <= h0 + 1e-9
+    assert h0 <= math.log2(distinct) + 1e-9 if distinct > 1 else h0 == 0.0

@@ -1,0 +1,122 @@
+"""Tests for the empirical transition graph (ET-graph)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ETGraph
+from repro.exceptions import ConstructionError, QueryError
+from repro.strings import build_trajectory_string
+
+
+@pytest.fixture(scope="module")
+def paper_graph(paper_trajectory_string):
+    return ETGraph(paper_trajectory_string.text, sigma=paper_trajectory_string.sigma)
+
+
+class TestConstruction:
+    def test_rejects_tiny_text(self):
+        with pytest.raises(ConstructionError):
+            ETGraph([0])
+
+    def test_rejects_small_sigma(self):
+        with pytest.raises(ConstructionError):
+            ETGraph([2, 3, 0], sigma=2)
+
+    def test_sigma_inferred(self):
+        graph = ETGraph([2, 5, 2, 0])
+        assert graph.sigma == 6
+
+
+class TestPaperExample(object):
+    """Checks against the worked example of Fig. 6a."""
+
+    def test_travel_direction_edges(self, paper_trajectory_string, paper_graph):
+        alphabet = paper_trajectory_string.alphabet
+        a, b, c, d = (alphabet.encode(x) for x in "ABCD")
+        # A is followed by B (twice) and by D (once) in the trajectories.
+        assert paper_graph.has_edge(a, b)
+        assert paper_graph.has_edge(a, d)
+        assert paper_graph.bigram_count(a, b) == 2
+        assert paper_graph.bigram_count(a, d) == 1
+        # B is followed by C and by E, never by A.
+        assert paper_graph.has_edge(b, c)
+        assert not paper_graph.has_edge(b, a)
+
+    def test_separator_context(self, paper_trajectory_string, paper_graph):
+        """$ acts as the context of the first edge of every trajectory."""
+        alphabet = paper_trajectory_string.alphabet
+        sep = 1
+        a, b = alphabet.encode("A"), alphabet.encode("B")
+        assert paper_graph.has_edge(sep, a)
+        assert paper_graph.has_edge(sep, b)
+        # Three trajectories start with A, one with B.
+        assert paper_graph.bigram_count(sep, a) == 3
+        assert paper_graph.bigram_count(sep, b) == 1
+
+    def test_wraparound_edge_exists(self, paper_trajectory_string, paper_graph):
+        """The cyclic pair (T[n-1], T[0]) contributes an edge (Fig. 6b, label of #)."""
+        first_symbol = int(paper_trajectory_string.text[0])
+        assert paper_graph.has_edge(first_symbol, 0)
+
+    def test_neighbours_by_frequency_ordering(self, paper_trajectory_string, paper_graph):
+        alphabet = paper_trajectory_string.alphabet
+        a = alphabet.encode("A")
+        ordered = paper_graph.neighbours_by_frequency(a)
+        assert ordered[0][0] == alphabet.encode("B")  # most frequent successor first
+        assert ordered[0][1] >= ordered[-1][1]
+
+
+class TestStatistics:
+    def test_bigram_counts_sum_to_text_length(self, paper_trajectory_string, paper_graph):
+        total = sum(edge.bigram_count for edge in paper_graph.edges())
+        assert total == paper_trajectory_string.length  # cyclic pairs: one per position
+
+    def test_out_degree(self, paper_trajectory_string, paper_graph):
+        alphabet = paper_trajectory_string.alphabet
+        a = alphabet.encode("A")
+        assert paper_graph.out_degree(a) == 2
+        assert paper_graph.out_neighbours(a) == sorted(
+            [alphabet.encode("B"), alphabet.encode("D")]
+        )
+
+    def test_max_out_degree_at_least_average(self, medium_trajectory_string):
+        graph = ETGraph(medium_trajectory_string.text, sigma=medium_trajectory_string.sigma)
+        assert graph.max_out_degree() >= graph.average_out_degree()
+
+    def test_average_out_degree_excludes_specials_by_default(self, paper_graph):
+        with_specials = paper_graph.average_out_degree(edge_symbols_only=False)
+        only_edges = paper_graph.average_out_degree(edge_symbols_only=True)
+        # $ has many successors (trajectory starts), so including it raises the mean.
+        assert with_specials >= only_edges
+
+    def test_bigram_count_unknown_edge(self, paper_graph):
+        with pytest.raises(QueryError):
+            paper_graph.bigram_count(2, 2)
+
+    def test_contexts_listed(self, paper_graph):
+        contexts = paper_graph.contexts()
+        assert 0 in contexts  # '#' has the wrap-around successor
+        assert 1 in contexts  # '$'
+
+    def test_size_in_bits_positive_and_monotone(self, medium_trajectory_string):
+        graph = ETGraph(medium_trajectory_string.text, sigma=medium_trajectory_string.sigma)
+        assert graph.size_in_bits() > 0
+        assert graph.size_in_bits(text_length=10**9) > graph.size_in_bits(text_length=1000)
+
+
+class TestSparsityReflectsData:
+    def test_straight_line_dataset_has_degree_one(self):
+        ts = build_trajectory_string([["a", "b", "c", "d", "e"]])
+        graph = ETGraph(ts.text, sigma=ts.sigma)
+        assert graph.average_out_degree() == pytest.approx(1.0)
+
+    def test_noisy_dataset_is_denser(self):
+        rng = np.random.default_rng(0)
+        edges = [f"e{i}" for i in range(30)]
+        ordered = [[edges[(i + k) % 30] for k in range(10)] for i in range(20)]
+        shuffled = [[edges[int(rng.integers(0, 30))] for _ in range(10)] for _ in range(20)]
+        sparse_graph = ETGraph(build_trajectory_string(ordered).text)
+        dense_graph = ETGraph(build_trajectory_string(shuffled).text)
+        assert dense_graph.average_out_degree() > sparse_graph.average_out_degree()

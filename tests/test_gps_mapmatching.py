@@ -1,0 +1,114 @@
+"""Tests for GPS trace simulation and HMM map matching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.mapmatching import HMMMapMatcher, match_traces
+from repro.network import grid_network
+from repro.trajectories import GPSTrace, shortest_path_trips, simulate_gps_trace
+
+
+@pytest.fixture(scope="module")
+def matching_setup():
+    network = grid_network(6, 6, spacing=100.0)
+    rng = np.random.default_rng(21)
+    trips = shortest_path_trips(network, 8, rng, min_hops=5)
+    return network, trips, rng
+
+
+class TestGPSSimulation:
+    def test_point_count(self, matching_setup):
+        network, trips, rng = matching_setup
+        trace = simulate_gps_trace(network, trips[0], rng, points_per_edge=3)
+        assert len(trace) == 3 * len(trips[0])
+
+    def test_points_near_route_for_small_noise(self, matching_setup):
+        network, trips, _ = matching_setup
+        rng = np.random.default_rng(0)
+        trace = simulate_gps_trace(network, trips[0], rng, noise_std=1.0, points_per_edge=2)
+        for point, edge in zip(trace.points[::2], trips[0].edges):
+            mx, my = network.edge_midpoint(edge)
+            assert abs(point.x - mx) < 60 and abs(point.y - my) < 60
+
+    def test_timestamps_increase(self, matching_setup):
+        network, trips, _ = matching_setup
+        rng = np.random.default_rng(1)
+        trace = simulate_gps_trace(network, trips[0], rng)
+        times = [p.timestamp for p in trace.points]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_invalid_points_per_edge(self, matching_setup):
+        network, trips, rng = matching_setup
+        with pytest.raises(DatasetError):
+            simulate_gps_trace(network, trips[0], rng, points_per_edge=0)
+
+    def test_source_id_preserved(self, matching_setup):
+        network, trips, rng = matching_setup
+        trace = simulate_gps_trace(network, trips[1], rng)
+        assert trace.source_trajectory_id == trips[1].trajectory_id
+
+
+class TestHMMMapMatching:
+    def test_low_noise_recovers_most_segments(self, matching_setup):
+        network, trips, _ = matching_setup
+        rng = np.random.default_rng(2)
+        matcher = HMMMapMatcher(network, gps_noise_std=5.0, candidate_radius=60.0)
+        recovered_total = 0
+        truth_total = 0
+        for trip in trips[:4]:
+            trace = simulate_gps_trace(network, trip, rng, noise_std=5.0, points_per_edge=2)
+            matched = matcher.match(trace)
+            truth = set(trip.edges)
+            recovered = set(matched.edges)
+            recovered_total += len(truth & recovered)
+            truth_total += len(truth)
+        assert recovered_total / truth_total > 0.7
+
+    def test_output_is_connected(self, matching_setup):
+        network, trips, _ = matching_setup
+        rng = np.random.default_rng(3)
+        matcher = HMMMapMatcher(network, gps_noise_std=15.0, candidate_radius=90.0)
+        trace = simulate_gps_trace(network, trips[0], rng, noise_std=15.0)
+        matched = matcher.match(trace)
+        assert matched.is_connected(network)
+
+    def test_no_consecutive_duplicates(self, matching_setup):
+        network, trips, _ = matching_setup
+        rng = np.random.default_rng(4)
+        matcher = HMMMapMatcher(network, gps_noise_std=10.0)
+        trace = simulate_gps_trace(network, trips[2], rng, noise_std=10.0)
+        matched = matcher.match(trace)
+        for first, second in zip(matched.edges, matched.edges[1:]):
+            assert first != second
+
+    def test_empty_trace_rejected(self, matching_setup):
+        network, _, _ = matching_setup
+        matcher = HMMMapMatcher(network)
+        with pytest.raises(DatasetError):
+            matcher.match(GPSTrace(points=[]))
+
+    def test_invalid_parameters_rejected(self, matching_setup):
+        network, _, _ = matching_setup
+        with pytest.raises(DatasetError):
+            HMMMapMatcher(network, gps_noise_std=0.0)
+        with pytest.raises(DatasetError):
+            HMMMapMatcher(network, transition_beta=-1.0)
+
+    def test_candidates_fall_back_to_nearest(self, matching_setup):
+        network, _, _ = matching_setup
+        matcher = HMMMapMatcher(network, candidate_radius=1e-6)
+        found = matcher.candidates(250.0, 250.0)
+        assert len(found) == 1
+
+    def test_match_traces_batch(self, matching_setup):
+        network, trips, _ = matching_setup
+        rng = np.random.default_rng(5)
+        matcher = HMMMapMatcher(network, gps_noise_std=8.0)
+        traces = [simulate_gps_trace(network, t, rng, noise_std=8.0) for t in trips[:3]]
+        matched = match_traces(matcher, traces)
+        assert 1 <= len(matched) <= 3
+        for trajectory in matched:
+            assert len(trajectory) >= 2

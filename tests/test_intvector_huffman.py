@@ -1,0 +1,156 @@
+"""Tests for fixed-width integer vectors and Huffman coding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import empirical_entropy_h0
+from repro.exceptions import ConstructionError, QueryError
+from repro.succinct import (
+    IntVector,
+    average_code_length,
+    bits_needed,
+    build_huffman_code,
+    frequencies_of,
+    prefix_sums,
+)
+
+
+class TestBitsNeeded:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9), (1023, 10)],
+    )
+    def test_values(self, value, expected):
+        assert bits_needed(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_needed(-1)
+
+
+class TestIntVector:
+    def test_basic_access(self):
+        vec = IntVector([3, 1, 4, 1, 5])
+        assert len(vec) == 5
+        assert vec[2] == 4
+        assert list(vec) == [3, 1, 4, 1, 5]
+
+    def test_width_inferred(self):
+        assert IntVector([0, 1, 7]).width == 3
+        assert IntVector([]).width == 1
+
+    def test_explicit_width(self):
+        assert IntVector([1, 2, 3], width=10).width == 10
+
+    def test_width_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            IntVector([8], width=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            IntVector([-1, 2])
+
+    def test_out_of_range_access(self):
+        vec = IntVector([1, 2])
+        with pytest.raises(QueryError):
+            vec[2]
+
+    def test_size_in_bits(self):
+        vec = IntVector([1] * 100, width=7)
+        assert vec.size_in_bits() == 100 * 7 + 64
+
+    def test_to_numpy_is_copy(self):
+        vec = IntVector([1, 2, 3])
+        arr = vec.to_numpy()
+        arr[0] = 99
+        assert vec[0] == 1
+
+
+class TestPrefixSums:
+    def test_simple(self):
+        assert prefix_sums([2, 3, 0, 1]) == [0, 2, 5, 5, 6]
+
+    def test_empty(self):
+        assert prefix_sums([]) == [0]
+
+
+class TestHuffman:
+    def test_single_symbol(self):
+        code = build_huffman_code({7: 100})
+        assert code.lengths == {7: 1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstructionError):
+            build_huffman_code({})
+        with pytest.raises(ConstructionError):
+            build_huffman_code({1: 0})
+
+    def test_two_symbols_get_one_bit_each(self):
+        code = build_huffman_code({0: 5, 1: 3})
+        assert sorted(code.lengths.values()) == [1, 1]
+
+    def test_codes_are_prefix_free(self):
+        frequencies = {0: 50, 1: 20, 2: 15, 3: 10, 4: 5}
+        code = build_huffman_code(frequencies)
+        codes = list(code.codes.values())
+        for i, first in enumerate(codes):
+            for second in codes[i + 1 :]:
+                shorter, longer = sorted((first, second), key=len)
+                assert longer[: len(shorter)] != shorter
+
+    def test_more_frequent_symbols_get_shorter_codes(self):
+        code = build_huffman_code({0: 1000, 1: 10, 2: 10, 3: 10, 4: 10})
+        assert code.lengths[0] <= min(code.lengths[s] for s in (1, 2, 3, 4))
+
+    def test_kraft_inequality_tight(self):
+        frequencies = {s: 1 + s for s in range(17)}
+        code = build_huffman_code(frequencies)
+        kraft = sum(2 ** -length for length in code.lengths.values())
+        assert math.isclose(kraft, 1.0)
+
+    def test_encoded_length_matches_lengths(self):
+        frequencies = {0: 4, 1: 2, 2: 1}
+        code = build_huffman_code(frequencies)
+        expected = sum(code.lengths[s] * c for s, c in frequencies.items())
+        assert code.encoded_length(frequencies) == expected
+
+    def test_average_length_within_entropy_plus_one(self):
+        """Huffman is optimal: H0 <= average code length < H0 + 1."""
+        sequence = [0] * 60 + [1] * 25 + [2] * 10 + [3] * 5
+        frequencies = frequencies_of(sequence)
+        code = build_huffman_code(frequencies)
+        average = average_code_length(code, frequencies)
+        entropy = empirical_entropy_h0(sequence)
+        assert entropy <= average + 1e-9
+        assert average < entropy + 1.0
+
+    def test_frequencies_of(self):
+        assert frequencies_of([1, 1, 2, 3, 3, 3]) == {1: 2, 2: 1, 3: 3}
+
+    def test_deterministic(self):
+        frequencies = {s: (s * 7) % 13 + 1 for s in range(30)}
+        first = build_huffman_code(frequencies)
+        second = build_huffman_code(frequencies)
+        assert first.codes == second.codes
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=2, max_size=300))
+def test_huffman_is_prefix_free_and_near_optimal(sequence):
+    frequencies = frequencies_of(sequence)
+    code = build_huffman_code(frequencies)
+    # Prefix-free: no code is a prefix of another.
+    codes = sorted(code.codes.values(), key=len)
+    for i, shorter in enumerate(codes):
+        for longer in codes[i + 1 :]:
+            assert longer[: len(shorter)] != shorter or shorter == longer
+    # Optimality band (only meaningful with at least two distinct symbols).
+    if len(frequencies) >= 2:
+        average = average_code_length(code, frequencies)
+        entropy = empirical_entropy_h0(sequence)
+        assert entropy - 1e-9 <= average < entropy + 1.0

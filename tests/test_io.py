@@ -1,0 +1,170 @@
+"""Tests for dataset and index persistence (:mod:`repro.io`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import CiNCT
+from repro.exceptions import ConstructionError, DatasetError
+from repro.fmindex import sample_patterns
+from repro.io import (
+    load_cinct,
+    load_dataset_csv,
+    load_dataset_jsonl,
+    save_cinct,
+    save_dataset_csv,
+    save_dataset_jsonl,
+)
+from repro.io.index_io import load_bwt_result, save_bwt_result
+from repro.trajectories import Trajectory, TrajectoryDataset
+
+
+@pytest.fixture()
+def timed_dataset():
+    trajectories = [
+        Trajectory(edges=["a", "b", "c"], timestamps=[0.0, 10.0, 25.0]),
+        Trajectory(edges=[("n1", "n2"), ("n2", "n3")], timestamps=[5.0, 9.0]),
+        Trajectory(edges=["c", "d"], timestamps=[100.0, 130.0]),
+    ]
+    return TrajectoryDataset(name="io-fixture", trajectories=trajectories)
+
+
+class TestDatasetJsonl:
+    def test_roundtrip(self, timed_dataset, tmp_path):
+        path = save_dataset_jsonl(timed_dataset, tmp_path / "data.jsonl")
+        loaded = load_dataset_jsonl(path)
+        assert len(loaded) == len(timed_dataset)
+        for original, reloaded in zip(timed_dataset, loaded):
+            assert list(original.edges) == list(reloaded.edges)
+            assert original.timestamps == pytest.approx(reloaded.timestamps)
+
+    def test_tuple_edges_stay_hashable(self, timed_dataset, tmp_path):
+        path = save_dataset_jsonl(timed_dataset, tmp_path / "data.jsonl")
+        loaded = load_dataset_jsonl(path)
+        assert loaded.trajectories[1].edges[0] == ("n1", "n2")
+        # The loaded dataset must be indexable end to end.
+        index, trajectory_string = CiNCT.from_trajectories([t.edges for t in loaded])
+        assert index.count(trajectory_string.encode_pattern([("n1", "n2"), ("n2", "n3")])) == 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset_jsonl(tmp_path / "nope.jsonl")
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"edges": ["a"]}\nnot-json\n', encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_dataset_jsonl(path)
+
+    def test_trajectory_without_edges_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"edges": []}\n', encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_dataset_jsonl(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_dataset_jsonl(path)
+
+
+class TestDatasetCsv:
+    def test_roundtrip(self, timed_dataset, tmp_path):
+        path = save_dataset_csv(timed_dataset, tmp_path / "data.csv")
+        loaded = load_dataset_csv(path)
+        assert len(loaded) == len(timed_dataset)
+        for original, reloaded in zip(timed_dataset, loaded):
+            assert list(original.edges) == list(reloaded.edges)
+            assert original.timestamps == pytest.approx(reloaded.timestamps)
+
+    def test_roundtrip_without_timestamps(self, tmp_path):
+        dataset = TrajectoryDataset(
+            name="plain",
+            trajectories=[Trajectory(edges=["x", "y"]), Trajectory(edges=["y", "z", "x"])],
+        )
+        loaded = load_dataset_csv(save_dataset_csv(dataset, tmp_path / "plain.csv"))
+        assert [t.edges for t in loaded] == [t.edges for t in dataset]
+        assert all(t.timestamps is None for t in loaded)
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_dataset_csv(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset_csv(tmp_path / "nope.csv")
+
+
+class TestBWTPersistence:
+    def test_roundtrip(self, medium_bwt, tmp_path):
+        path = save_bwt_result(medium_bwt, tmp_path / "bwt.npz")
+        loaded = load_bwt_result(path)
+        np.testing.assert_array_equal(loaded.text, medium_bwt.text)
+        np.testing.assert_array_equal(loaded.bwt, medium_bwt.bwt)
+        np.testing.assert_array_equal(loaded.suffix_array, medium_bwt.suffix_array)
+        np.testing.assert_array_equal(loaded.c_array, medium_bwt.c_array)
+
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_bwt_result(tmp_path / "missing.npz")
+
+
+class TestIndexPersistence:
+    def test_counts_survive_roundtrip(self, medium_bwt, medium_reference, tmp_path):
+        index = CiNCT(medium_bwt, block_size=31, sa_sample_rate=8)
+        save_cinct(index, medium_bwt, tmp_path / "index")
+        saved = load_cinct(tmp_path / "index")
+        rng = np.random.default_rng(11)
+        for pattern in sample_patterns(medium_bwt, 6, 20, rng):
+            assert saved.index.count(pattern) == medium_reference.count(pattern)
+
+    def test_parameters_survive_roundtrip(self, medium_bwt, tmp_path):
+        index = CiNCT(medium_bwt, block_size=15, sa_sample_rate=4)
+        save_cinct(index, medium_bwt, tmp_path / "index")
+        saved = load_cinct(tmp_path / "index")
+        assert saved.index.block_size == 15
+        assert saved.index.labeling_strategy == "bigram"
+        # locate still works because the SA sampling rate was persisted
+        assert isinstance(saved.index.locate(0), int)
+
+    def test_alphabet_roundtrip(self, medium_bwt, medium_trajectory_string, medium_cinct, tmp_path):
+        save_cinct(medium_cinct, medium_bwt, tmp_path / "index", trajectory_string=medium_trajectory_string)
+        saved = load_cinct(tmp_path / "index")
+        assert saved.alphabet is not None
+        edges = medium_trajectory_string.trajectory_edges(0)[:3]
+        pattern = saved.encode_pattern(edges)
+        assert pattern == medium_trajectory_string.encode_pattern(edges)
+
+    def test_encode_without_alphabet_raises(self, medium_bwt, medium_cinct, tmp_path):
+        save_cinct(medium_cinct, medium_bwt, tmp_path / "index")
+        saved = load_cinct(tmp_path / "index")
+        with pytest.raises(ConstructionError):
+            saved.encode_pattern(["a"])
+
+    def test_missing_metadata(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_cinct(tmp_path / "nothing-here")
+
+    def test_corrupted_metadata_version(self, medium_bwt, medium_cinct, tmp_path):
+        directory = save_cinct(medium_cinct, medium_bwt, tmp_path / "index")
+        metadata_path = directory / "index.json"
+        metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+        metadata["format_version"] = 999
+        metadata_path.write_text(json.dumps(metadata), encoding="utf-8")
+        with pytest.raises(ConstructionError):
+            load_cinct(directory)
+
+    def test_mismatched_metadata_rejected(self, medium_bwt, medium_cinct, tmp_path):
+        directory = save_cinct(medium_cinct, medium_bwt, tmp_path / "index")
+        metadata_path = directory / "index.json"
+        metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+        metadata["length"] = metadata["length"] + 1
+        metadata_path.write_text(json.dumps(metadata), encoding="utf-8")
+        with pytest.raises(ConstructionError):
+            load_cinct(directory)

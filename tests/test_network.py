@@ -1,0 +1,149 @@
+"""Tests for the road-network substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.network import (
+    RoadNetwork,
+    edge_graph_out_degrees,
+    grid_network,
+    poisson_out_degree_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_network():
+    coordinates = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (1.0, 1.0), 3: (0.0, 1.0)}
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 0)]
+    return RoadNetwork(coordinates, edges)
+
+
+class TestRoadNetworkBasics:
+    def test_counts(self, tiny_network):
+        assert tiny_network.n_nodes == 4
+        assert tiny_network.n_edges == 5
+
+    def test_duplicate_edges_ignored(self):
+        network = RoadNetwork({0: (0, 0), 1: (1, 0)}, [(0, 1), (0, 1)])
+        assert network.n_edges == 1
+
+    def test_unknown_node_in_edge_rejected(self):
+        with pytest.raises(NetworkError):
+            RoadNetwork({0: (0, 0)}, [(0, 5)])
+
+    def test_segment_lengths_euclidean(self, tiny_network):
+        assert tiny_network.segment((0, 1)).length == pytest.approx(1.0)
+        assert tiny_network.euclidean(0, 2) == pytest.approx(math.sqrt(2))
+
+    def test_out_and_in_edges(self, tiny_network):
+        assert set(tiny_network.out_edges(1)) == {(1, 2), (1, 0)}
+        assert set(tiny_network.in_edges(0)) == {(3, 0), (1, 0)}
+
+    def test_successor_edges(self, tiny_network):
+        assert set(tiny_network.successor_edges((0, 1))) == {(1, 2), (1, 0)}
+
+    def test_unknown_lookups_raise(self, tiny_network):
+        with pytest.raises(NetworkError):
+            tiny_network.segment((0, 3))
+        with pytest.raises(NetworkError):
+            tiny_network.out_edges(99)
+        with pytest.raises(NetworkError):
+            tiny_network.coordinate(99)
+
+    def test_midpoint(self, tiny_network):
+        assert tiny_network.edge_midpoint((0, 1)) == (0.5, 0.0)
+
+    def test_turn_angle_straight_vs_turn(self):
+        network = grid_network(3, 3)
+        straight = network.turn_angle(((0, 0), (0, 1)), ((0, 1), (0, 2)))
+        turn = network.turn_angle(((0, 0), (0, 1)), ((0, 1), (1, 1)))
+        assert straight == pytest.approx(0.0, abs=1e-9)
+        assert turn == pytest.approx(math.pi / 2, abs=1e-9)
+
+    def test_validate_trajectory(self, tiny_network):
+        assert tiny_network.validate_trajectory([(0, 1), (1, 2), (2, 3)])
+        assert not tiny_network.validate_trajectory([(0, 1), (2, 3)])
+
+
+class TestRouting:
+    def test_shortest_path_nodes(self, tiny_network):
+        assert tiny_network.shortest_path_nodes(0, 2) == [0, 1, 2]
+        assert tiny_network.shortest_path_nodes(0, 0) == [0]
+
+    def test_shortest_path_edges(self, tiny_network):
+        assert tiny_network.shortest_path_edges(0, 3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_unreachable_raises(self):
+        network = RoadNetwork({0: (0, 0), 1: (1, 0)}, [(0, 1)])
+        with pytest.raises(NetworkError):
+            network.shortest_path_nodes(1, 0)
+
+    def test_shortest_path_between_edges(self, tiny_network):
+        filler = tiny_network.shortest_path_between_edges((0, 1), (2, 3))
+        assert filler == [(1, 2)]
+        assert tiny_network.shortest_path_between_edges((0, 1), (1, 2)) == []
+
+    def test_shortest_path_length(self, tiny_network):
+        assert tiny_network.shortest_path_length(0, 2) == pytest.approx(2.0)
+
+    def test_grid_paths_are_manhattan(self):
+        network = grid_network(5, 5, spacing=1.0)
+        length = network.shortest_path_length((0, 0), (3, 4))
+        assert length == pytest.approx(7.0)
+
+    def test_all_pairs_shortest_lengths(self, tiny_network):
+        table = tiny_network.all_pairs_shortest_lengths()
+        assert table[0][2] == pytest.approx(2.0)
+        assert table[0][0] == 0.0
+        assert 0 not in table[2] or table[2][0] == pytest.approx(2.0)
+
+
+class TestGenerators:
+    def test_grid_dimensions(self):
+        network = grid_network(4, 6)
+        assert network.n_nodes == 24
+        # horizontal: 4*5 pairs, vertical: 3*6 pairs, both directions
+        assert network.n_edges == 2 * (4 * 5 + 3 * 6)
+
+    def test_grid_one_way(self):
+        one_way = grid_network(3, 3, bidirectional=False)
+        two_way = grid_network(3, 3, bidirectional=True)
+        assert two_way.n_edges == 2 * one_way.n_edges
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(NetworkError):
+            grid_network(1, 5)
+
+    def test_grid_edge_graph_degree_is_road_like(self):
+        degrees = edge_graph_out_degrees(grid_network(8, 8))
+        assert 2.0 <= float(np.mean(degrees)) <= 4.0
+
+    def test_poisson_graph_degree(self):
+        rng = np.random.default_rng(0)
+        network = poisson_out_degree_graph(300, 4.0, rng)
+        degrees = [len(network.out_edges(node)) for node in network.nodes()]
+        assert 3.0 <= float(np.mean(degrees)) <= 5.0
+        assert min(degrees) >= 1  # no dead ends by default
+
+    def test_poisson_graph_no_self_loops(self):
+        rng = np.random.default_rng(1)
+        network = poisson_out_degree_graph(100, 3.0, rng)
+        for tail, head in network.edges():
+            assert tail != head
+
+    def test_poisson_graph_parameter_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(NetworkError):
+            poisson_out_degree_graph(1, 4.0, rng)
+        with pytest.raises(NetworkError):
+            poisson_out_degree_graph(10, 0.0, rng)
+
+    def test_poisson_graph_deterministic_given_seed(self):
+        first = poisson_out_degree_graph(50, 3.0, np.random.default_rng(9))
+        second = poisson_out_degree_graph(50, 3.0, np.random.default_rng(9))
+        assert sorted(first.edges()) == sorted(second.edges())

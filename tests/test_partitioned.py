@@ -1,0 +1,151 @@
+"""Tests for the partitioned (growing-data) CiNCT index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CiNCT, PartitionedCiNCT
+from repro.exceptions import ConstructionError, QueryError
+
+
+BATCH_1 = [["a", "b", "c"], ["b", "c", "d"], ["a", "b", "c", "d"]]
+BATCH_2 = [["c", "d", "e"], ["a", "b"], ["e", "a", "b", "c"]]
+BATCH_3 = [["d", "e", "a"], ["b", "c", "d", "e"]]
+
+
+def monolithic_count(batches, path):
+    """Count path occurrences with a single CiNCT over all batches (oracle)."""
+    trajectories = [t for batch in batches for t in batch]
+    index, trajectory_string = CiNCT.from_trajectories(trajectories)
+    return index.count(trajectory_string.encode_pattern(path))
+
+
+class TestGrowth:
+    def test_single_batch_matches_monolithic(self):
+        partitioned = PartitionedCiNCT(block_size=15)
+        partitioned.add_batch(BATCH_1)
+        for path in (["a", "b"], ["b", "c"], ["c", "d"], ["a", "b", "c", "d"]):
+            assert partitioned.count(path) == monolithic_count([BATCH_1], path)
+
+    def test_multiple_batches_aggregate_counts(self):
+        partitioned = PartitionedCiNCT(block_size=15)
+        partitioned.add_batch(BATCH_1)
+        partitioned.add_batch(BATCH_2)
+        partitioned.add_batch(BATCH_3)
+        assert partitioned.n_partitions == 3
+        assert partitioned.n_trajectories == len(BATCH_1) + len(BATCH_2) + len(BATCH_3)
+        for path in (["a", "b"], ["b", "c"], ["c", "d", "e"], ["e", "a"], ["a", "b", "c"]):
+            assert partitioned.count(path) == monolithic_count([BATCH_1, BATCH_2, BATCH_3], path)
+
+    def test_alphabet_grows_across_batches(self):
+        partitioned = PartitionedCiNCT(block_size=15)
+        partitioned.add_batch(BATCH_1)
+        sigma_before = partitioned.alphabet.sigma
+        partitioned.add_batch(BATCH_2)  # introduces "e"
+        assert partitioned.alphabet.sigma == sigma_before + 1
+
+    def test_unknown_segment_returns_zero(self):
+        partitioned = PartitionedCiNCT(block_size=15)
+        partitioned.add_batch(BATCH_1)
+        assert partitioned.count(["z", "q"]) == 0
+        assert not partitioned.contains(["z"])
+
+    def test_counts_by_partition(self):
+        partitioned = PartitionedCiNCT(block_size=15)
+        partitioned.add_batch(BATCH_1)
+        partitioned.add_batch(BATCH_2)
+        per_partition = partitioned.counts_by_partition(["a", "b"])
+        assert len(per_partition) == 2
+        assert sum(per_partition) == partitioned.count(["a", "b"])
+        assert partitioned.matching_partitions(["a", "b"]) == [0, 1]
+
+    def test_rejects_empty_batch(self):
+        partitioned = PartitionedCiNCT()
+        with pytest.raises(ConstructionError):
+            partitioned.add_batch([])
+
+    def test_rejects_empty_trajectory(self):
+        partitioned = PartitionedCiNCT()
+        with pytest.raises(ConstructionError):
+            partitioned.add_batch([["a", "b"], []])
+
+    def test_query_on_empty_index_raises(self):
+        partitioned = PartitionedCiNCT()
+        with pytest.raises(QueryError):
+            partitioned.count(["a"])
+
+    def test_empty_path_raises(self):
+        partitioned = PartitionedCiNCT()
+        partitioned.add_batch(BATCH_1)
+        with pytest.raises(QueryError):
+            partitioned.count([])
+
+
+class TestConsolidation:
+    def test_consolidate_preserves_counts(self):
+        partitioned = PartitionedCiNCT(block_size=15)
+        partitioned.add_batch(BATCH_1)
+        partitioned.add_batch(BATCH_2)
+        before = {tuple(p): partitioned.count(p) for p in (["a", "b"], ["b", "c"], ["c", "d", "e"])}
+        partitioned.consolidate()
+        assert partitioned.n_partitions == 1
+        for path, count in before.items():
+            assert partitioned.count(list(path)) == count
+
+    def test_automatic_consolidation(self):
+        partitioned = PartitionedCiNCT(block_size=15, max_partitions=2)
+        partitioned.add_batch(BATCH_1)
+        partitioned.add_batch(BATCH_2)
+        assert partitioned.n_partitions == 2
+        partitioned.add_batch(BATCH_3)  # exceeds max_partitions -> consolidation
+        assert partitioned.n_partitions == 1
+        for path in (["a", "b"], ["b", "c", "d", "e"]):
+            assert partitioned.count(path) == monolithic_count([BATCH_1, BATCH_2, BATCH_3], path)
+
+    def test_consolidate_empty_raises(self):
+        partitioned = PartitionedCiNCT()
+        with pytest.raises(ConstructionError):
+            partitioned.consolidate()
+
+    def test_invalid_max_partitions(self):
+        with pytest.raises(ConstructionError):
+            PartitionedCiNCT(max_partitions=0)
+
+
+class TestSizeAccounting:
+    def test_sizes_are_positive_and_additive(self):
+        partitioned = PartitionedCiNCT(block_size=15)
+        partitioned.add_batch(BATCH_1)
+        partitioned.add_batch(BATCH_2)
+        partition_sizes = [p.size_in_bits() for p in partitioned.partitions()]
+        assert all(size > 0 for size in partition_sizes)
+        assert partitioned.size_in_bits() == sum(partition_sizes)
+        assert partitioned.bits_per_symbol() > 0
+
+    def test_bits_per_symbol_requires_data(self):
+        partitioned = PartitionedCiNCT()
+        with pytest.raises(QueryError):
+            partitioned.bits_per_symbol()
+
+
+class TestRandomisedEquivalence:
+    def test_random_batches_match_monolithic(self):
+        rng = np.random.default_rng(7)
+        edges = [f"e{i}" for i in range(12)]
+        batches = []
+        for _ in range(4):
+            batch = []
+            for _ in range(5):
+                length = int(rng.integers(2, 8))
+                start = int(rng.integers(0, len(edges)))
+                batch.append([edges[(start + k) % len(edges)] for k in range(length)])
+            batches.append(batch)
+        partitioned = PartitionedCiNCT(block_size=15)
+        for batch in batches:
+            partitioned.add_batch(batch)
+        for _ in range(20):
+            length = int(rng.integers(1, 5))
+            start = int(rng.integers(0, len(edges)))
+            path = [edges[(start + k) % len(edges)] for k in range(length)]
+            assert partitioned.count(path) == monolithic_count(batches, path)

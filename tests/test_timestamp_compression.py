@@ -1,0 +1,136 @@
+"""Tests for the timestamp compression companions (Section VII composition)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConstructionError, QueryError
+from repro.queries import (
+    BoundedErrorTimestampCodec,
+    CompressedTimestampStore,
+    DeltaTimestampCodec,
+)
+from repro.trajectories import Trajectory
+
+
+def make_trajectory(times, edges=None):
+    edges = edges or [f"e{i}" for i in range(len(times))]
+    return Trajectory(edges=edges, timestamps=list(times))
+
+
+class TestDeltaCodec:
+    def test_lossless_on_integral_seconds(self):
+        codec = DeltaTimestampCodec(resolution=1.0)
+        times = [0.0, 5.0, 12.0, 12.0, 40.0]
+        encoded = codec.encode(times)
+        np.testing.assert_allclose(encoded.decode(), times)
+
+    def test_single_timestamp(self):
+        codec = DeltaTimestampCodec()
+        encoded = codec.encode([42.0])
+        assert encoded.n_samples == 1
+        np.testing.assert_allclose(encoded.decode(), [42.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConstructionError):
+            DeltaTimestampCodec().encode([])
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ConstructionError):
+            DeltaTimestampCodec().encode([10.0, 5.0])
+
+    def test_rejects_nonpositive_resolution(self):
+        with pytest.raises(ConstructionError):
+            DeltaTimestampCodec(resolution=0.0)
+
+    def test_encode_trajectory_requires_timestamps(self):
+        codec = DeltaTimestampCodec()
+        with pytest.raises(ConstructionError):
+            codec.encode_trajectory(Trajectory(edges=["a", "b"]))
+
+    def test_size_smaller_than_raw_doubles(self):
+        codec = DeltaTimestampCodec(resolution=1.0)
+        times = list(np.cumsum(np.random.default_rng(0).integers(1, 60, size=500)).astype(float))
+        encoded = codec.encode(times)
+        raw_bits = 64 * len(times)
+        assert encoded.size_in_bits() < raw_bits
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3600), min_size=1, max_size=60),
+        st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded_error(self, deltas, resolution):
+        times = np.cumsum([0] + deltas).astype(float)
+        codec = BoundedErrorTimestampCodec(resolution=resolution)
+        encoded = codec.encode(times)
+        decoded = encoded.decode()
+        assert decoded.shape == times.shape
+        # Every reconstructed delta is within half a resolution step.
+        original_deltas = np.diff(times)
+        decoded_deltas = np.diff(decoded)
+        assert np.all(np.abs(decoded_deltas - original_deltas) <= resolution / 2 + 1e-9)
+        # The start time is exact.
+        assert decoded[0] == pytest.approx(times[0])
+
+
+class TestBoundedErrorCodec:
+    def test_coarser_resolution_is_smaller(self):
+        rng = np.random.default_rng(1)
+        times = np.cumsum(rng.integers(1, 90, size=300)).astype(float)
+        fine = DeltaTimestampCodec(resolution=1.0).encode(times)
+        coarse = BoundedErrorTimestampCodec(resolution=30.0).encode(times)
+        assert coarse.size_in_bits() < fine.size_in_bits()
+
+    def test_max_error_reported(self):
+        codec = BoundedErrorTimestampCodec(resolution=10.0)
+        assert codec.max_error() == 5.0
+
+
+class TestCompressedTimestampStore:
+    @pytest.fixture()
+    def trajectories(self):
+        rng = np.random.default_rng(2)
+        out = []
+        for _ in range(10):
+            n = int(rng.integers(2, 30))
+            times = np.cumsum(rng.integers(0, 120, size=n)).astype(float)
+            out.append(make_trajectory(times))
+        return out
+
+    def test_lossless_store_reconstructs_exactly(self, trajectories):
+        store = CompressedTimestampStore(trajectories)
+        for trajectory_id, trajectory in enumerate(trajectories):
+            np.testing.assert_allclose(store.timestamps(trajectory_id), trajectory.timestamps)
+        stats = store.statistics()
+        assert stats.max_absolute_error == pytest.approx(0.0)
+        assert stats.n_trajectories == len(trajectories)
+
+    def test_lossy_store_trades_error_for_size(self, trajectories):
+        lossless = CompressedTimestampStore(trajectories)
+        lossy = CompressedTimestampStore(trajectories, codec=BoundedErrorTimestampCodec(60.0))
+        assert lossy.size_in_bits() < lossless.size_in_bits()
+        assert lossy.statistics().max_absolute_error > 0.0
+
+    def test_timestamp_lookup(self, trajectories):
+        store = CompressedTimestampStore(trajectories)
+        assert store.timestamp(0, 0) == pytest.approx(trajectories[0].timestamps[0])
+        assert store.timestamp(3, 1) == pytest.approx(trajectories[3].timestamps[1])
+
+    def test_out_of_range_lookups(self, trajectories):
+        store = CompressedTimestampStore(trajectories)
+        with pytest.raises(QueryError):
+            store.timestamp(99, 0)
+        with pytest.raises(QueryError):
+            store.timestamp(0, 999)
+
+    def test_requires_trajectories(self):
+        with pytest.raises(ConstructionError):
+            CompressedTimestampStore([])
+
+    def test_bits_per_timestamp(self, trajectories):
+        stats = CompressedTimestampStore(trajectories).statistics()
+        assert stats.bits_per_timestamp > 0

@@ -1,0 +1,220 @@
+"""Tests for the trajectory data model and synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.network import grid_network
+from repro.trajectories import (
+    Trajectory,
+    TrajectoryDataset,
+    inject_gaps,
+    interpolate_gaps,
+    random_walk_symbols,
+    shortest_path_trips,
+    sparse_state_walks,
+    straight_biased_walks,
+    symbol_trajectories,
+)
+
+
+class TestTrajectoryModel:
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            Trajectory(edges=[])
+
+    def test_timestamp_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            Trajectory(edges=[(0, 1), (1, 2)], timestamps=[0.0])
+
+    def test_time_interval(self):
+        trajectory = Trajectory(edges=[(0, 1), (1, 2)], timestamps=[5.0, 9.0])
+        assert trajectory.time_interval() == (5.0, 9.0)
+        assert Trajectory(edges=[(0, 1)]).time_interval() is None
+
+    def test_iteration_and_length(self):
+        trajectory = Trajectory(edges=[(0, 1), (1, 2)])
+        assert len(trajectory) == 2
+        assert list(trajectory) == [(0, 1), (1, 2)]
+
+    def test_dataset_assigns_ids(self, medium_dataset):
+        ids = [t.trajectory_id for t in medium_dataset]
+        assert ids == list(range(len(medium_dataset)))
+
+    def test_dataset_statistics(self, medium_dataset):
+        assert medium_dataset.total_edges == sum(len(t) for t in medium_dataset)
+        assert medium_dataset.distinct_edges() <= medium_dataset.network.n_edges
+
+    def test_dataset_requires_trajectories(self):
+        with pytest.raises(DatasetError):
+            TrajectoryDataset(name="empty", trajectories=[])
+
+    def test_dataset_subset(self, medium_dataset):
+        subset = medium_dataset.subset(5)
+        assert len(subset) == 5
+        with pytest.raises(DatasetError):
+            medium_dataset.subset(0)
+
+    def test_symbol_trajectories_roundtrip(self, medium_dataset):
+        symbols = symbol_trajectories(medium_dataset)
+        alphabet = medium_dataset.alphabet
+        assert alphabet.decode_path(symbols[0]) == medium_dataset.trajectories[0].edges
+
+    def test_to_trajectory_string_length(self, medium_dataset):
+        ts = medium_dataset.to_trajectory_string()
+        assert ts.length == medium_dataset.total_edges + len(medium_dataset) + 1
+
+
+class TestStraightBiasedWalks:
+    def test_connected_and_within_length_bounds(self, small_network):
+        rng = np.random.default_rng(0)
+        walks = straight_biased_walks(small_network, 20, 5, 12, rng)
+        assert len(walks) == 20
+        for walk in walks:
+            assert 1 <= len(walk) <= 12
+            assert walk.is_connected(small_network)
+
+    def test_timestamps_monotone(self, small_network):
+        rng = np.random.default_rng(1)
+        walks = straight_biased_walks(small_network, 5, 5, 10, rng)
+        for walk in walks:
+            diffs = np.diff(walk.timestamps)
+            assert np.all(diffs >= 0)
+
+    def test_straight_bias_reduces_turns(self, small_network):
+        def turn_fraction(bias):
+            rng = np.random.default_rng(3)
+            walks = straight_biased_walks(small_network, 30, 10, 20, rng, straight_bias=bias)
+            turns = total = 0
+            for walk in walks:
+                for first, second in zip(walk.edges, walk.edges[1:]):
+                    total += 1
+                    if small_network.turn_angle(first, second) > 0.1:
+                        turns += 1
+            return turns / total
+
+        assert turn_fraction(5.0) < turn_fraction(0.0)
+
+    def test_parameter_validation(self, small_network):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            straight_biased_walks(small_network, 0, 3, 5, rng)
+        with pytest.raises(DatasetError):
+            straight_biased_walks(small_network, 3, 6, 5, rng)
+
+
+class TestShortestPathTrips:
+    def test_trips_are_connected_shortest_paths(self, small_network):
+        rng = np.random.default_rng(2)
+        trips = shortest_path_trips(small_network, 10, rng, min_hops=4)
+        assert len(trips) == 10
+        for trip in trips:
+            assert len(trip) >= 4
+            assert trip.is_connected(small_network)
+            source = small_network.segment(trip.edges[0]).tail
+            target = small_network.segment(trip.edges[-1]).head
+            optimal = small_network.shortest_path_length(source, target)
+            travelled = sum(small_network.segment(e).length for e in trip.edges)
+            assert travelled == pytest.approx(optimal)
+
+    def test_unsatisfiable_request_raises(self):
+        tiny = grid_network(2, 2)
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            shortest_path_trips(tiny, 5, rng, min_hops=50)
+
+
+class TestGapInjectionAndRepair:
+    def test_inject_gaps_disconnects(self, small_network):
+        rng = np.random.default_rng(4)
+        walks = straight_biased_walks(small_network, 15, 8, 15, rng)
+        dataset = TrajectoryDataset(name="clean", trajectories=walks, network=small_network)
+        gapped = inject_gaps(walks, small_network, gap_probability=0.4, rng=rng)
+        gapped_dataset = TrajectoryDataset(name="gapped", trajectories=gapped, network=small_network)
+        assert gapped_dataset.connected_fraction() < dataset.connected_fraction()
+
+    def test_inject_zero_probability_is_identity(self, small_network):
+        rng = np.random.default_rng(5)
+        walks = straight_biased_walks(small_network, 5, 5, 10, rng)
+        unchanged = inject_gaps(walks, small_network, gap_probability=0.0, rng=rng)
+        for original, copy in zip(walks, unchanged):
+            assert original.edges == copy.edges
+
+    def test_inject_invalid_probability(self, small_network):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            inject_gaps([], small_network, gap_probability=1.5, rng=rng)
+
+    def test_interpolation_restores_connectivity(self, small_network):
+        rng = np.random.default_rng(6)
+        walks = straight_biased_walks(small_network, 15, 8, 15, rng)
+        gapped = inject_gaps(walks, small_network, gap_probability=0.3, rng=rng)
+        repaired = interpolate_gaps(gapped, small_network)
+        dataset = TrajectoryDataset(name="repaired", trajectories=repaired, network=small_network)
+        assert dataset.connected_fraction() == pytest.approx(1.0)
+
+    def test_interpolation_preserves_original_edges(self, small_network):
+        rng = np.random.default_rng(7)
+        walks = straight_biased_walks(small_network, 5, 6, 10, rng)
+        gapped = inject_gaps(walks, small_network, gap_probability=0.3, rng=rng)
+        repaired = interpolate_gaps(gapped, small_network)
+        for original, fixed in zip(gapped, repaired):
+            # every originally reported segment survives, in order
+            iterator = iter(fixed.edges)
+            assert all(edge in iterator for edge in original.edges)
+
+    def test_interpolation_keeps_timestamps_monotone(self, small_network):
+        rng = np.random.default_rng(8)
+        walks = straight_biased_walks(small_network, 8, 6, 12, rng)
+        gapped = inject_gaps(walks, small_network, gap_probability=0.3, rng=rng)
+        repaired = interpolate_gaps(gapped, small_network)
+        for trajectory in repaired:
+            assert trajectory.timestamps is not None
+            assert np.all(np.diff(trajectory.timestamps) >= -1e-9)
+
+
+class TestSymbolGenerators:
+    def test_random_walk_symbols_shape(self):
+        rng = np.random.default_rng(9)
+        walks = random_walk_symbols(sigma=100, average_out_degree=4.0, total_symbols=2000, rng=rng, walk_length=50)
+        total = sum(len(w) for w in walks)
+        assert total >= 2000
+        for walk in walks:
+            assert len(walk) == 50
+            assert all(2 <= symbol < 102 for symbol in walk)
+
+    def test_random_walk_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            random_walk_symbols(sigma=1, average_out_degree=4.0, total_symbols=100, rng=rng)
+        with pytest.raises(DatasetError):
+            random_walk_symbols(sigma=10, average_out_degree=0, total_symbols=100, rng=rng)
+        with pytest.raises(DatasetError):
+            random_walk_symbols(sigma=10, average_out_degree=2, total_symbols=10, rng=rng, walk_length=50)
+
+    def test_random_walk_out_degree_controls_density(self):
+        from repro.core import ETGraph
+        from repro.strings import trajectory_string_from_symbols
+
+        def average_degree(d):
+            rng = np.random.default_rng(11)
+            walks = random_walk_symbols(sigma=200, average_out_degree=d, total_symbols=6000, rng=rng)
+            graph = ETGraph(trajectory_string_from_symbols(walks))
+            return graph.average_out_degree()
+
+        assert average_degree(8.0) > average_degree(2.0)
+
+    def test_sparse_state_walks_are_sparse(self):
+        from repro.core import ETGraph
+        from repro.strings import trajectory_string_from_symbols
+
+        rng = np.random.default_rng(12)
+        walks = sparse_state_walks(n_states=300, n_walks=200, walk_length=10, rng=rng)
+        graph = ETGraph(trajectory_string_from_symbols(walks))
+        assert graph.average_out_degree() < 2.5
+
+    def test_sparse_state_walks_validation(self):
+        with pytest.raises(DatasetError):
+            sparse_state_walks(n_states=2, n_walks=5, walk_length=5, rng=np.random.default_rng(0))

@@ -1,0 +1,145 @@
+"""Tests for the alphabet and trajectory-string construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AlphabetError, ConstructionError
+from repro.strings import (
+    END_SYMBOL,
+    FIRST_EDGE_SYMBOL,
+    SEP_SYMBOL,
+    Alphabet,
+    build_trajectory_string,
+    trajectory_string_from_symbols,
+)
+
+
+class TestAlphabet:
+    def test_special_symbols_reserved(self):
+        assert END_SYMBOL == 0
+        assert SEP_SYMBOL == 1
+        assert FIRST_EDGE_SYMBOL == 2
+
+    def test_encode_decode_roundtrip(self):
+        alphabet = Alphabet(["e1", "e2", "e3"])
+        for edge in ("e1", "e2", "e3"):
+            assert alphabet.decode(alphabet.encode(edge)) == edge
+
+    def test_insertion_order_determines_symbols(self):
+        alphabet = Alphabet(["x", "y"])
+        assert alphabet.encode("x") == FIRST_EDGE_SYMBOL
+        assert alphabet.encode("y") == FIRST_EDGE_SYMBOL + 1
+
+    def test_duplicates_ignored(self):
+        alphabet = Alphabet(["a", "a", "b"])
+        assert alphabet.n_edges == 2
+
+    def test_sigma_includes_special_symbols(self):
+        assert Alphabet(["a", "b"]).sigma == 4
+        assert len(Alphabet(["a"])) == 3
+
+    def test_unknown_edge_rejected(self):
+        alphabet = Alphabet(["a"])
+        with pytest.raises(AlphabetError):
+            alphabet.encode("zzz")
+
+    def test_unknown_symbol_rejected(self):
+        alphabet = Alphabet(["a"])
+        with pytest.raises(AlphabetError):
+            alphabet.decode(0)
+        with pytest.raises(AlphabetError):
+            alphabet.decode(99)
+
+    def test_contains(self):
+        alphabet = Alphabet(["a"])
+        assert "a" in alphabet
+        assert "b" not in alphabet
+
+    def test_from_trajectories(self):
+        alphabet = Alphabet.from_trajectories([["a", "b"], ["b", "c"]])
+        assert alphabet.n_edges == 3
+
+    def test_encode_decode_path(self):
+        alphabet = Alphabet(["a", "b", "c"])
+        symbols = alphabet.encode_path(["c", "a"])
+        assert alphabet.decode_path(symbols) == ["c", "a"]
+
+    def test_is_edge_symbol(self):
+        alphabet = Alphabet(["a"])
+        assert not alphabet.is_edge_symbol(END_SYMBOL)
+        assert not alphabet.is_edge_symbol(SEP_SYMBOL)
+        assert alphabet.is_edge_symbol(FIRST_EDGE_SYMBOL)
+        assert not alphabet.is_edge_symbol(FIRST_EDGE_SYMBOL + 1)
+
+    def test_tuple_edge_ids(self):
+        """Edge IDs used in practice are (tail, head) tuples."""
+        alphabet = Alphabet([(0, 1), (1, 2)])
+        assert alphabet.decode(alphabet.encode((1, 2))) == (1, 2)
+
+
+class TestBuildTrajectoryString:
+    def test_structure(self):
+        ts = build_trajectory_string([["a", "b"], ["b", "c", "d"]])
+        # rev(ab) $ rev(bcd) $ # -> 2 + 1 + 3 + 1 + 1 symbols
+        assert ts.length == 8
+        assert ts.text[-1] == END_SYMBOL
+        assert int(np.count_nonzero(ts.text == SEP_SYMBOL)) == 2
+
+    def test_reversal(self):
+        ts = build_trajectory_string([["a", "b", "c"]])
+        decoded = ts.alphabet.decode_path(int(s) for s in ts.text[:3])
+        assert decoded == ["c", "b", "a"]
+
+    def test_trajectory_accessors(self):
+        ts = build_trajectory_string([["a", "b"], ["c"]])
+        assert ts.trajectory_edges(0) == ["a", "b"]
+        assert ts.trajectory_edges(1) == ["c"]
+        assert ts.n_trajectories == 2
+        with pytest.raises(ConstructionError):
+            ts.trajectory_symbols(2)
+
+    def test_offsets_point_at_reversed_starts(self):
+        ts = build_trajectory_string([["a", "b", "c"], ["d", "e"]])
+        assert ts.trajectory_offsets == [0, 4]
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ConstructionError):
+            build_trajectory_string([])
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(ConstructionError):
+            build_trajectory_string([["a"], []])
+
+    def test_shared_alphabet(self):
+        alphabet = Alphabet(["x"])
+        ts = build_trajectory_string([["x", "y"]], alphabet=alphabet)
+        assert "y" in alphabet
+        assert ts.sigma == alphabet.sigma
+
+    def test_encode_pattern(self):
+        ts = build_trajectory_string([["a", "b", "c"]])
+        pattern = ts.encode_pattern(["b", "c"])
+        assert len(pattern) == 2
+        assert all(symbol >= FIRST_EDGE_SYMBOL for symbol in pattern)
+
+
+class TestTrajectoryStringFromSymbols:
+    def test_basic(self):
+        text = trajectory_string_from_symbols([[2, 3], [4]])
+        assert list(text) == [3, 2, 1, 4, 1, 0]
+
+    def test_rejects_reserved_symbols(self):
+        with pytest.raises(ConstructionError):
+            trajectory_string_from_symbols([[1, 2]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConstructionError):
+            trajectory_string_from_symbols([])
+        with pytest.raises(ConstructionError):
+            trajectory_string_from_symbols([[2], []])
+
+    def test_rejects_symbol_beyond_sigma(self):
+        with pytest.raises(ConstructionError):
+            trajectory_string_from_symbols([[2, 9]], sigma=5)
