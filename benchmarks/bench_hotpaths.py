@@ -1,0 +1,320 @@
+"""Hot-path microbenchmarks: vectorized succinct/wavelet/FM paths vs legacy.
+
+This file pins the speedups delivered by the vectorization pass over the
+succinct, wavelet and FM-index layers.  It re-implements, verbatim, the
+*pre-optimization* scalar paths (per-symbol Python routing during wavelet
+construction, per-block Python enumerative RRR encoding, tuple-keyed node
+walks, uncached block decodes and ``bin(int(x)).count("1")`` popcounts on
+``np.uint64`` scalars) and times them against the shipped implementations on
+the same data, in the configuration CiNCT actually uses (RRR bitmaps,
+``b = 63``):
+
+* **Wavelet construction** — legacy symbol-at-a-time routing + per-block
+  Python RRR encoding vs the level-by-level numpy stable-partition build with
+  bulk vectorized block encoding (target >= 5x).
+* **Batched count workload** — the pre-PR scalar ``LabeledSearchFM`` loop on
+  CiNCT vs the :meth:`CiNCT.count_many` batch API (target >= 3x), with batch
+  and scalar results checked bit-identical first.
+
+Results are written to ``benchmarks/BENCH_hotpaths.json`` through
+:func:`repro.bench.write_bench_baseline` so later PRs can diff against this
+baseline.  Dataset size follows ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_PATTERNS``
+like the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import BENCH_SCALE, N_PATTERNS, get_bwt, get_bwt_of_randwalk
+from repro.bench import format_table, sample_query_workload, write_bench_baseline
+from repro.core import CiNCT
+from repro.succinct import build_huffman_code, decode_block, encode_block
+from repro.wavelet import HuffmanWaveletTree, rrr_bitvector_factory
+
+#: Dataset for the count workload (its BWT is cached by ``common``).  The
+#: road-network analogue is the regime CiNCT targets: small out-degrees mean
+#: few distinct RML labels, which is where batched backward search groups
+#: best.
+DATASET = "Singapore"
+
+#: The count workload uses the paper-sized workload (500 queries) at full
+#: scale — batching amortizes per-query overhead, so that is the
+#: representative regime, not a handful — and shrinks with REPRO_BENCH_SCALE
+#: so smoke runs stay fast.
+COUNT_PATTERNS = max(int(500 * min(BENCH_SCALE, 1.0)), N_PATTERNS, 10)
+
+#: Construction is measured on a RandWalk analogue (the Fig. 12/13 machinery):
+#: it is larger and higher-entropy than the named datasets, which is exactly
+#: where per-symbol routing used to hurt.  Scaled by REPRO_BENCH_SCALE.
+CONSTRUCTION_SIGMA = max(64, int(2048 * BENCH_SCALE))
+CONSTRUCTION_OUT_DEGREE = 8.0
+CONSTRUCTION_LENGTH_FACTOR = 64
+
+RRR_BLOCK_SIZE = 63
+
+
+class _LegacyRRRBitVector:
+    """Verbatim pre-optimization RRR bitmap: Python block encode, uncached rank."""
+
+    def __init__(self, bits, block_size=RRR_BLOCK_SIZE, sample_rate=32):
+        arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+        arr = (arr != 0).astype(np.uint8)
+        self._n = int(arr.size)
+        self._b = block_size
+        self._sample_rate = sample_rate
+        n_blocks = (self._n + block_size - 1) // block_size if self._n else 0
+        padded = np.zeros(n_blocks * block_size, dtype=np.uint8)
+        padded[: self._n] = arr
+        blocks = padded.reshape(n_blocks, block_size) if n_blocks else padded.reshape(0, block_size)
+        classes = np.zeros(n_blocks, dtype=np.uint8)
+        offsets = np.zeros(n_blocks, dtype=np.uint64)
+        for index in range(n_blocks):
+            cls, off = encode_block(tuple(int(x) for x in blocks[index]), block_size)
+            classes[index] = cls
+            offsets[index] = off
+        self._classes = classes
+        self._offsets = offsets
+        self._rank_samples = np.zeros(n_blocks // sample_rate + 1, dtype=np.int64)
+        if n_blocks:
+            cum = np.concatenate(([0], np.cumsum(classes.astype(np.int64))))
+            for s in range(self._rank_samples.size):
+                block_index = min(s * sample_rate, n_blocks)
+                self._rank_samples[s] = cum[block_index]
+
+    def _decode(self, block_index):
+        return decode_block(int(self._classes[block_index]), int(self._offsets[block_index]), self._b)
+
+    def rank1(self, i: int) -> int:
+        if i == 0:
+            return 0
+        block_index, within = divmod(i, self._b)
+        sample_index = block_index // self._sample_rate
+        result = int(self._rank_samples[sample_index])
+        first_block = sample_index * self._sample_rate
+        if block_index > first_block:
+            result += int(self._classes[first_block:block_index].sum())
+        if within:
+            block_bits = self._decode(block_index)
+            result += sum(block_bits[:within])
+        return result
+
+    def rank0(self, i: int) -> int:
+        return i - self.rank1(i)
+
+
+class _LegacyWaveletTree:
+    """Verbatim pre-optimization wavelet tree: per-symbol routing, dict walk."""
+
+    def __init__(self, sequence, codes, bitvector_cls=_LegacyRRRBitVector):
+        seq = np.asarray(sequence, dtype=np.int64)
+        self._n = int(seq.size)
+        self._codes = {int(s): tuple(c) for s, c in codes.items()}
+        node_sequences = {(): [int(x) for x in seq]}
+        bit_lists = {}
+        max_len = max(len(code) for code in self._codes.values())
+        prefixes_by_level = [[()]]
+        for level in range(max_len):
+            next_sequences = {}
+            level_prefixes = []
+            for prefix in prefixes_by_level[level]:
+                elements = node_sequences.get(prefix)
+                if not elements:
+                    continue
+                bits = []
+                left = []
+                right = []
+                all_leaf = True
+                for symbol in elements:
+                    code = self._codes[symbol]
+                    if len(code) <= level:
+                        raise ValueError("codes are not prefix-free")
+                    bit = code[level]
+                    bits.append(bit)
+                    if len(code) > level + 1:
+                        all_leaf = False
+                    (right if bit else left).append(symbol)
+                bit_lists[prefix] = bits
+                child_left = prefix + (0,)
+                child_right = prefix + (1,)
+                if left and any(len(self._codes[s]) > level + 1 for s in set(left)):
+                    next_sequences[child_left] = left
+                    level_prefixes.append(child_left)
+                if right and any(len(self._codes[s]) > level + 1 for s in set(right)):
+                    next_sequences[child_right] = right
+                    level_prefixes.append(child_right)
+            node_sequences = next_sequences
+            prefixes_by_level.append(level_prefixes)
+            if not level_prefixes:
+                break
+        self._bitvectors = {
+            prefix: bitvector_cls(bits) for prefix, bits in bit_lists.items()
+        }
+
+    def __len__(self) -> int:
+        return self._n
+
+    def rank(self, symbol: int, i: int) -> int:
+        code = self._codes.get(int(symbol))
+        if code is None:
+            return 0
+        position = i
+        prefix = ()
+        for bit in code:
+            bitvector = self._bitvectors.get(prefix)
+            if bitvector is None:
+                return 0
+            position = bitvector.rank1(position) if bit else bitvector.rank0(position)
+            if position == 0:
+                return 0
+            prefix = prefix + (bit,)
+        return position
+
+
+def _huffman_codes(sequence):
+    values, counts = np.unique(sequence, return_counts=True)
+    frequencies = {int(v): int(c) for v, c in zip(values, counts)}
+    return build_huffman_code(frequencies).codes
+
+
+def _best_of(fn, repeats: int):
+    """Best-of-N wall-clock time: the standard microbenchmark estimator.
+
+    Returns ``(best_seconds, last_result)``; the minimum over repeats filters
+    out scheduler and cache noise that a single cold run is exposed to.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _legacy_cinct(index: CiNCT) -> CiNCT:
+    """A CiNCT clone whose wavelet tree is the pre-PR scalar implementation."""
+    clone = copy.copy(index)
+    clone._wavelet_tree = _LegacyWaveletTree(
+        index.labelled_bwt, index.wavelet_tree.codes, bitvector_cls=_LegacyRRRBitVector
+    )
+    return clone
+
+
+def test_hotpaths_baseline(report):
+    construction_bwt = get_bwt_of_randwalk(
+        CONSTRUCTION_SIGMA, CONSTRUCTION_OUT_DEGREE, CONSTRUCTION_LENGTH_FACTOR
+    )
+    codes = _huffman_codes(construction_bwt.bwt)
+    sequence = construction_bwt.bwt
+
+    # ---------------------------------------------------------------- #
+    # 1. Wavelet-tree construction (RRR, b = 63, as in CiNCT):
+    #    legacy per-symbol routing + Python block encode vs numpy.
+    # ---------------------------------------------------------------- #
+    legacy_build_seconds, legacy_tree = _best_of(
+        lambda: _LegacyWaveletTree(sequence, codes, bitvector_cls=_LegacyRRRBitVector),
+        repeats=2,
+    )
+    new_build_seconds, new_tree = _best_of(
+        lambda: HuffmanWaveletTree(
+            sequence, bitvector_factory=rrr_bitvector_factory(RRR_BLOCK_SIZE)
+        ),
+        repeats=3,
+    )
+    construction_speedup = legacy_build_seconds / max(new_build_seconds, 1e-12)
+
+    # The rebuilt tree must answer exactly like the legacy one.
+    probe_positions = range(0, len(sequence) + 1, max(len(sequence) // 64, 1))
+    probe_symbols = [int(s) for s in np.unique(sequence)[:8]]
+    construction_checks = all(
+        legacy_tree.rank(symbol, position) == new_tree.rank(symbol, position)
+        for symbol in probe_symbols
+        for position in probe_positions
+    )
+    assert construction_checks
+
+    # ---------------------------------------------------------------- #
+    # 2. Count workload on CiNCT: pre-PR scalar LabeledSearchFM loop vs
+    #    the count_many batch API.
+    # ---------------------------------------------------------------- #
+    bwt = get_bwt(DATASET)
+    pattern_length = 8
+    patterns = sample_query_workload(bwt, pattern_length, COUNT_PATTERNS, seed=0)
+    index = CiNCT(bwt, block_size=RRR_BLOCK_SIZE)
+    legacy_index = _legacy_cinct(index)
+
+    legacy_count_seconds, legacy_counts = _best_of(
+        lambda: [legacy_index.count(pattern) for pattern in patterns], repeats=2
+    )
+    batched_count_seconds, batched_counts = _best_of(
+        lambda: index.count_many(patterns), repeats=3
+    )
+    scalar_count_seconds, scalar_counts = _best_of(
+        lambda: [index.count(pattern) for pattern in patterns], repeats=2
+    )
+
+    assert batched_counts == legacy_counts == scalar_counts
+    count_speedup = legacy_count_seconds / max(batched_count_seconds, 1e-12)
+
+    payload = {
+        "count_dataset": DATASET,
+        "construction_dataset": {
+            "kind": "randwalk",
+            "sigma": CONSTRUCTION_SIGMA,
+            "out_degree": CONSTRUCTION_OUT_DEGREE,
+            "n": int(len(sequence)),
+        },
+        "rrr_block_size": RRR_BLOCK_SIZE,
+        "n_patterns": int(len(patterns)),
+        "pattern_length": pattern_length,
+        "wavelet_construction": {
+            "legacy_seconds": legacy_build_seconds,
+            "vectorized_seconds": new_build_seconds,
+            "speedup": construction_speedup,
+        },
+        "count_workload": {
+            "legacy_scalar_seconds": legacy_count_seconds,
+            "vectorized_scalar_seconds": scalar_count_seconds,
+            "batched_seconds": batched_count_seconds,
+            "speedup_batch_vs_legacy": count_speedup,
+            "speedup_batch_vs_vectorized_scalar": scalar_count_seconds
+            / max(batched_count_seconds, 1e-12),
+        },
+        "results_bit_identical": bool(construction_checks),
+    }
+    path = write_bench_baseline("hotpaths", payload, directory=Path(__file__).parent)
+
+    report.add(
+        "Hot paths — wavelet construction and batched count (vs pre-PR scalar)",
+        format_table(
+            [
+                {
+                    "stage": "HWT+RRR construction",
+                    "legacy (s)": round(legacy_build_seconds, 4),
+                    "now (s)": round(new_build_seconds, 4),
+                    "speedup": round(construction_speedup, 1),
+                },
+                {
+                    "stage": f"CiNCT count x{len(patterns)} (batched)",
+                    "legacy (s)": round(legacy_count_seconds, 4),
+                    "now (s)": round(batched_count_seconds, 4),
+                    "speedup": round(count_speedup, 1),
+                },
+            ]
+        ),
+    )
+    assert path.exists()
+    # The acceptance thresholds of the optimization pass.  They only hold at
+    # full benchmark scale: below it the fixed per-call overheads dominate
+    # both sides and the ratio is meaningless, so smoke runs (CI sets a tiny
+    # REPRO_BENCH_SCALE) check plumbing and bit-identical results only.
+    if BENCH_SCALE >= 1.0:
+        assert construction_speedup >= 5.0, (
+            f"construction speedup only {construction_speedup:.1f}x"
+        )
+        assert count_speedup >= 3.0, f"batched count speedup only {count_speedup:.1f}x"

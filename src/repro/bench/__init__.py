@@ -9,11 +9,14 @@ from .harness import (
     build_index,
     bwt_of_bundle,
     format_table,
+    load_bench_baseline,
+    measure_batch_count_time,
     measure_extraction_time,
     measure_search_time,
     run_size_time_experiment,
     sample_query_workload,
     summarise_winner,
+    write_bench_baseline,
 )
 
 __all__ = [
@@ -26,8 +29,11 @@ __all__ = [
     "build_all_indexes",
     "sample_query_workload",
     "measure_search_time",
+    "measure_batch_count_time",
     "measure_extraction_time",
     "run_size_time_experiment",
     "format_table",
     "summarise_winner",
+    "write_bench_baseline",
+    "load_bench_baseline",
 ]

@@ -8,9 +8,12 @@ whose rows/series mirror the paper's tables and figures.
 
 from __future__ import annotations
 
+import json
+import platform
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -139,6 +142,66 @@ def measure_search_time(index: IndexLike, patterns: Sequence[Sequence[int]]) -> 
         mean_seconds=elapsed / len(patterns),
         n_queries=len(patterns),
     )
+
+
+def measure_batch_count_time(index: IndexLike, patterns: Sequence[Sequence[int]]) -> QueryTiming:
+    """Average per-query latency of a *batched* count workload.
+
+    Uses :meth:`count_many` when the index provides it (all in-repo variants
+    do) and falls back to a scalar loop otherwise, so the measurement works on
+    any :class:`FMIndexBase`-shaped object.
+    """
+    if not patterns:
+        raise ValueError("the workload must contain at least one pattern")
+    batched = getattr(index, "count_many", None)
+    started = time.perf_counter()
+    if batched is not None:
+        batched(patterns)
+    else:
+        for pattern in patterns:
+            index.count(pattern)
+    elapsed = time.perf_counter() - started
+    return QueryTiming(
+        name=getattr(index, "name", type(index).__name__),
+        mean_seconds=elapsed / len(patterns),
+        n_queries=len(patterns),
+    )
+
+
+def write_bench_baseline(
+    name: str,
+    payload: Mapping[str, object],
+    directory: str | Path = ".",
+) -> Path:
+    """Persist a benchmark baseline as ``BENCH_<name>.json``.
+
+    The baseline files let a PR prove a speedup against the previous state of
+    the code and let future PRs detect regressions: re-run the benchmark,
+    reload the stored baseline with :func:`load_bench_baseline` and compare.
+    Environment metadata is recorded so cross-machine numbers are not
+    mistaken for regressions.
+    """
+    path = Path(directory) / f"BENCH_{name}.json"
+    document = {
+        "name": name,
+        "schema_version": 1,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "results": dict(payload),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_bench_baseline(name: str, directory: str | Path = ".") -> dict[str, object] | None:
+    """Load a previously written ``BENCH_<name>.json`` baseline, if present."""
+    path = Path(directory) / f"BENCH_{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
 
 
 def measure_extraction_time(index: IndexLike, length: int, start_row: int = 0) -> float:

@@ -28,7 +28,7 @@ from typing import Hashable, Literal, Sequence
 import numpy as np
 
 from ..exceptions import ConstructionError, QueryError
-from ..fmindex.base import FMIndexBase
+from ..fmindex.base import FMIndexBase, batched_backward_search, iter_key_groups
 from ..strings.bwt import BWTResult, burrows_wheeler_transform
 from ..strings.trajectory_string import TrajectoryString, build_trajectory_string
 from ..succinct import IntVector, bits_needed
@@ -257,6 +257,56 @@ class CiNCT:
                 return None
         return sp, ep
 
+    def suffix_range_many(
+        self, patterns: Sequence[Sequence[int]]
+    ) -> list[tuple[int, int] | None]:
+        """Batched Algorithm 3 over a whole workload of query paths.
+
+        All patterns advance through ``LabeledSearchFM`` simultaneously; at
+        every step the still-active patterns are grouped by their RML label
+        and each group's suffix-range frontier is answered with one vectorized
+        wavelet-tree :meth:`~repro.wavelet.tree.WaveletTree.rank_many` call.
+        Results are bit-identical to calling :meth:`suffix_range` per pattern.
+        """
+        pats = [self._validated_pattern(p) for p in patterns]
+        c = self._c_array
+
+        def advance(step, active, matrix, sp, ep):
+            # Group the active patterns by their current (context, w) bigram:
+            # every group shares one RML label and one PseudoRank base, so the
+            # label resolution and correction lookups happen once per group.
+            keys = matrix[active, step - 1] * np.int64(self._sigma) + matrix[active, step]
+            label_entries: dict[int, list[tuple[int, np.ndarray]]] = {}
+            for key, members in iter_key_groups(active, keys):
+                context, w = divmod(key, self._sigma)
+                if not self._rml.has_label(w, context):
+                    continue
+                label = self._rml.label(w, context)
+                base = int(c[w]) - self._corrections.get(context, w)
+                label_entries.setdefault(label, []).append((base, members))
+            if not label_entries:
+                return np.zeros(0, dtype=np.int64)
+            # One vectorized wavelet rank per distinct label: with RML's tiny
+            # effective alphabet this is a handful of calls per step no matter
+            # how many patterns are in flight.
+            surviving: list[np.ndarray] = []
+            for label, entries in label_entries.items():
+                members = np.concatenate([group for _, group in entries])
+                bases = np.repeat(
+                    np.fromiter(
+                        (base for base, _ in entries), dtype=np.int64, count=len(entries)
+                    ),
+                    [group.size for _, group in entries],
+                )
+                frontier = np.concatenate([sp[members], ep[members]])
+                ranks = self._wavelet_tree.rank_many(label, frontier)
+                sp[members] = bases + ranks[: members.size]
+                ep[members] = bases + ranks[members.size :]
+                surviving.append(members)
+            return np.sort(np.concatenate(surviving))
+
+        return batched_backward_search(pats, c, advance)
+
     def count(self, pattern: Sequence[int]) -> int:
         """Number of occurrences of the query path in the trajectory string."""
         found = self.suffix_range(pattern)
@@ -264,6 +314,13 @@ class CiNCT:
             return 0
         sp, ep = found
         return ep - sp
+
+    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+        """Batched :meth:`count` over a whole workload of query paths."""
+        return [
+            0 if found is None else found[1] - found[0]
+            for found in self.suffix_range_many(patterns)
+        ]
 
     def contains(self, pattern: Sequence[int]) -> bool:
         """True when the query path occurs at least once."""
@@ -291,6 +348,55 @@ class CiNCT:
             context = target
         return out
 
+    def extract_many(self, rows: Sequence[int], length: int) -> list[list[int]]:
+        """Batched Algorithm 4: extract sub-paths from many BWT rows at once.
+
+        Each LF step batches the wavelet-tree accesses and groups the
+        PseudoRank calls by label, so a workload of extractions pays one
+        vectorized rank per distinct label per step.  Results are
+        bit-identical to calling :meth:`extract` per row.
+        """
+        rows_arr = np.asarray(list(rows), dtype=np.int64)
+        if rows_arr.size and (int(rows_arr.min()) < 0 or int(rows_arr.max()) >= self._n):
+            raise QueryError(f"BWT positions out of range [0, {self._n})")
+        if length < 0:
+            raise QueryError(f"extraction length must be non-negative, got {length}")
+        m = int(rows_arr.size)
+        out = np.zeros((m, length), dtype=np.int64)
+        if m == 0 or length == 0:
+            return [row.tolist() for row in out]
+        contexts = np.searchsorted(self._c_array, rows_arr, side="right") - 1
+        current = rows_arr.copy()
+        for k in range(1, length + 1):
+            current, contexts = self._lf_step_many(current, contexts, out[:, length - k])
+        return [row.tolist() for row in out]
+
+    def _lf_step_many(
+        self, rows: np.ndarray, contexts: np.ndarray, targets_out: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One batched LF step: decode every row's label and PseudoRank it."""
+        labels = self._wavelet_tree.access_many(rows)
+        decode = self._rml.decode
+        targets = np.asarray(
+            [decode(int(label), int(context)) for label, context in zip(labels, contexts)],
+            dtype=np.int64,
+        )
+        if targets_out is not None:
+            targets_out[:] = targets
+        ranks = np.empty(rows.size, dtype=np.int64)
+        for label in np.unique(labels).tolist():
+            mask = labels == label
+            ranks[mask] = self._wavelet_tree.rank_many(int(label), rows[mask])
+        get_correction = self._corrections.get
+        corrections = np.asarray(
+            [
+                get_correction(int(context), int(target))
+                for context, target in zip(contexts, targets)
+            ],
+            dtype=np.int64,
+        )
+        return self._c_array[targets] + ranks - corrections, targets
+
     def extract_full_text(self) -> list[int]:
         """Recover the entire trajectory string (``extract(0, n)`` per Section VI-F)."""
         return self.extract(0, self._n)
@@ -316,6 +422,43 @@ class CiNCT:
             steps += 1
         sample_index = int(self._sa_marked_prefix[row])
         return (int(self._sa_samples[sample_index]) + steps) % self._n
+
+    def locate_many(self, rows: Sequence[int]) -> list[int]:
+        """Batched :meth:`locate`: walk all rows to their sampled ancestors.
+
+        All rows LF-step together; rows that reach a marked position drop out
+        of the frontier while the rest continue, so a suffix range's worth of
+        locates shares every wavelet access and PseudoRank batch.
+        """
+        if self._sa_marked is None or self._sa_samples is None:
+            raise QueryError("locate requires the index to be built with sa_sample_rate")
+        rows_arr = np.asarray(list(rows), dtype=np.int64)
+        if rows_arr.size and (int(rows_arr.min()) < 0 or int(rows_arr.max()) >= self._n):
+            raise QueryError(f"BWT positions out of range [0, {self._n})")
+        m = int(rows_arr.size)
+        out = np.zeros(m, dtype=np.int64)
+        if m == 0:
+            return []
+        current = rows_arr.copy()
+        contexts = np.searchsorted(self._c_array, rows_arr, side="right") - 1
+        steps = np.zeros(m, dtype=np.int64)
+        pending = np.arange(m)
+        while pending.size:
+            marked = np.asarray(self._sa_marked[current[pending]], dtype=bool)
+            done = pending[marked]
+            if done.size:
+                sample_index = self._sa_marked_prefix[current[done]]
+                out[done] = (self._sa_samples[sample_index] + steps[done]) % self._n
+            pending = pending[~marked]
+            if pending.size == 0:
+                break
+            next_rows, next_contexts = self._lf_step_many(
+                current[pending], contexts[pending]
+            )
+            current[pending] = next_rows
+            contexts[pending] = next_contexts
+            steps[pending] += 1
+        return out.tolist()
 
     # ------------------------------------------------------------------ #
     # size accounting

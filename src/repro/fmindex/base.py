@@ -11,6 +11,14 @@ CiNCT itself) exposes the same query surface:
 * :meth:`FMIndexBase.size_in_bits` — exact size accounting used by the
   benchmark harness.
 
+In addition, every variant inherits a *batch* query surface —
+:meth:`FMIndexBase.suffix_range_many`, :meth:`FMIndexBase.count_many` and
+:meth:`FMIndexBase.extract_many` — that runs backward search for a whole
+workload at once.  At every step the still-active patterns are grouped by
+their current symbol and all their frontier positions are answered with one
+:meth:`rank_bwt_many` call, which subclasses back with vectorized wavelet
+ranks; the results are bit-identical to the scalar loop.
+
 The baselines implement :meth:`rank_bwt` / :meth:`access_bwt` on top of a
 wavelet structure over the *original* BWT; CiNCT overrides the search and
 extraction algorithms because it only stores the *labelled* BWT.
@@ -19,13 +27,67 @@ extraction algorithms because it only stores the *labelled* BWT.
 from __future__ import annotations
 
 import abc
-from bisect import bisect_right
 from typing import Sequence
 
 import numpy as np
 
 from ..exceptions import QueryError
 from ..strings.bwt import BWTResult
+
+
+def iter_key_groups(members: np.ndarray, keys: np.ndarray):
+    """Yield ``(key, members_subset)`` for every distinct key, order-stable.
+
+    The grouping idiom shared by the batched searchers: one stable argsort,
+    then run boundaries from the sorted keys.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_members = members[order]
+    sorted_keys = keys[order]
+    boundaries = np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_keys)) + 1, [sorted_keys.size])
+    )
+    for g in range(boundaries.size - 1):
+        yield int(sorted_keys[boundaries[g]]), sorted_members[boundaries[g] : boundaries[g + 1]]
+
+
+def batched_backward_search(
+    pats: list[list[int]],
+    c_array: np.ndarray,
+    advance,
+) -> list[tuple[int, int] | None]:
+    """Shared driver for running backward search over a whole workload.
+
+    Handles the scaffolding common to Algorithm 1 and Algorithm 3: the padded
+    pattern matrix, the initial ``C[]`` ranges, harvesting patterns as they
+    complete, and pruning empty ranges.  ``advance(step, active, matrix, sp,
+    ep)`` performs one backward-search step for the still-active pattern
+    indices — updating ``sp``/``ep`` in place — and returns the indices that
+    may continue (before the empty-range filter).
+    """
+    m = len(pats)
+    results: list[tuple[int, int] | None] = [None] * m
+    if m == 0:
+        return results
+    lengths = np.fromiter((len(p) for p in pats), dtype=np.int64, count=m)
+    max_len = int(lengths.max())
+    matrix = np.zeros((m, max_len), dtype=np.int64)
+    for i, pattern in enumerate(pats):
+        matrix[i, : len(pattern)] = pattern
+    sp = c_array[matrix[:, 0]].copy()
+    ep = c_array[matrix[:, 0] + 1].copy()
+    active = np.flatnonzero(sp < ep)
+    for step in range(1, max_len + 1):
+        if active.size == 0:
+            break
+        for i in active[lengths[active] == step].tolist():
+            results[i] = (int(sp[i]), int(ep[i]))
+        active = active[lengths[active] > step]
+        if active.size == 0:
+            break
+        active = advance(step, active, matrix, sp, ep)
+        active = active[sp[active] < ep[active]]
+    return results
 
 
 class FMIndexBase(abc.ABC):
@@ -43,7 +105,10 @@ class FMIndexBase(abc.ABC):
         self._bwt_result = bwt_result
         self._n = bwt_result.length
         self._sigma = bwt_result.sigma
-        self._c_array = bwt_result.c_array
+        # The C[] search array is normalised to a numpy int64 array once, so
+        # per-call queries (symbol_at_row in particular) never rebuild a list
+        # or re-check the container type.
+        self._c_array = np.asarray(bwt_result.c_array, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # primitives supplied by subclasses
@@ -59,6 +124,21 @@ class FMIndexBase(abc.ABC):
     @abc.abstractmethod
     def size_in_bits(self) -> int:
         """Total index size in bits (used for the bits-per-symbol figures)."""
+
+    def rank_bwt_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Batched :meth:`rank_bwt` over an array of positions.
+
+        Subclasses backed by wavelet structures override this with genuinely
+        vectorized per-level rank calls; the default is a scalar loop so every
+        variant supports the batch API.
+        """
+        return np.asarray(
+            [self.rank_bwt(symbol, int(p)) for p in positions], dtype=np.int64
+        )
+
+    def access_bwt_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Batched :meth:`access_bwt` over an array of BWT rows."""
+        return np.asarray([self.access_bwt(int(j)) for j in positions], dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # shared queries
@@ -115,6 +195,31 @@ class FMIndexBase(abc.ABC):
                 return None
         return sp, ep
 
+    def suffix_range_many(
+        self, patterns: Sequence[Sequence[int]]
+    ) -> list[tuple[int, int] | None]:
+        """Batched :meth:`suffix_range` over a whole pattern workload.
+
+        Runs Algorithm 1 for all patterns simultaneously: at step ``k`` the
+        still-active patterns are grouped by their ``k``-th symbol and each
+        group's frontier (both ``sp`` and ``ep`` for every member) is answered
+        with a single :meth:`rank_bwt_many` call.  Results are bit-identical
+        to calling :meth:`suffix_range` per pattern.
+        """
+        pats = [self._validated_pattern(p) for p in patterns]
+        c = self._c_array
+
+        def advance(step, active, matrix, sp, ep):
+            for w, members in iter_key_groups(active, matrix[active, step]):
+                frontier = np.concatenate([sp[members], ep[members]])
+                ranks = self.rank_bwt_many(w, frontier)
+                base = int(c[w])
+                sp[members] = base + ranks[: members.size]
+                ep[members] = base + ranks[members.size :]
+            return active
+
+        return batched_backward_search(pats, c, advance)
+
     def count(self, pattern: Sequence[int]) -> int:
         """Number of occurrences of ``pattern`` in the trajectory string."""
         found = self.suffix_range(pattern)
@@ -122,6 +227,13 @@ class FMIndexBase(abc.ABC):
             return 0
         sp, ep = found
         return ep - sp
+
+    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+        """Batched :meth:`count` over a whole pattern workload."""
+        return [
+            0 if found is None else found[1] - found[0]
+            for found in self.suffix_range_many(patterns)
+        ]
 
     def contains(self, pattern: Sequence[int]) -> bool:
         """True when the pattern occurs at least once."""
@@ -147,18 +259,45 @@ class FMIndexBase(abc.ABC):
             row = int(self._c_array[symbol]) + self.rank_bwt(symbol, row)
         return out
 
+    def extract_many(self, rows: Sequence[int], length: int) -> list[list[int]]:
+        """Batched :meth:`extract`: LF-walk all start rows simultaneously.
+
+        Each step batches the BWT accesses and groups the rank calls by the
+        decoded symbol, so wavelet-backed variants pay one vectorized rank per
+        distinct symbol per step instead of one scalar rank per row.
+        """
+        rows_arr = np.asarray(list(rows), dtype=np.int64)
+        if rows_arr.size and (int(rows_arr.min()) < 0 or int(rows_arr.max()) >= self._n):
+            raise QueryError(f"BWT positions out of range [0, {self._n})")
+        if length < 0:
+            raise QueryError(f"extraction length must be non-negative, got {length}")
+        m = int(rows_arr.size)
+        out = np.zeros((m, length), dtype=np.int64)
+        if m == 0 or length == 0:
+            return [row.tolist() for row in out]
+        current = rows_arr.copy()
+        for k in range(1, length + 1):
+            symbols = self.access_bwt_many(current)
+            out[:, length - k] = symbols
+            successor = np.empty(m, dtype=np.int64)
+            for w in np.unique(symbols).tolist():
+                mask = symbols == w
+                successor[mask] = int(self._c_array[w]) + self.rank_bwt_many(
+                    int(w), current[mask]
+                )
+            current = successor
+        return [row.tolist() for row in out]
+
     def symbol_at_row(self, j: int) -> int:
         """Return the first symbol of the suffix at BWT row ``j``.
 
-        This is the binary search over ``C[]`` used at Line 1 of Algorithm 4.
+        This is the binary search over ``C[]`` used at Line 1 of Algorithm 4;
+        the search array is prepared once in ``__init__``.
         """
         if not 0 <= j < self._n:
             raise QueryError(f"BWT position {j} out of range [0, {self._n})")
-        c = self._c_array
         # Find the largest w with C[w] <= j.
-        return int(bisect_right(list(c), j) - 1) if not isinstance(c, np.ndarray) else int(
-            np.searchsorted(c, j, side="right") - 1
-        )
+        return int(np.searchsorted(self._c_array, j, side="right") - 1)
 
     # ------------------------------------------------------------------ #
     # helpers

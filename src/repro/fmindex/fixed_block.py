@@ -18,6 +18,8 @@ charges the full dense table so the benchmark ablation exposes the overhead.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..strings.bwt import BWTResult
@@ -85,10 +87,42 @@ class FixedBlockFMIndex(FMIndexBase):
             return base
         return base + tree.rank(symbol, min(offset, len(tree)))
 
+    def rank_bwt_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        symbol = int(symbol)
+        pos = np.asarray(positions, dtype=np.int64)
+        out = np.zeros(pos.size, dtype=np.int64)
+        if pos.size == 0 or not self._block_trees:
+            return out
+        block_index = np.minimum(pos // self.block_length, self._n_blocks - 1)
+        offsets = pos - block_index * self.block_length
+        for block in np.unique(block_index).tolist():
+            mask = block_index == block
+            base = self._boundary_counts[block].get(symbol, 0)
+            values = np.full(int(mask.sum()), base, dtype=np.int64)
+            tree = self._block_trees[block]
+            if symbol in tree.codes:
+                clamped = np.minimum(offsets[mask], len(tree))
+                inside = clamped > 0
+                if inside.any():
+                    values[inside] += tree.rank_many(symbol, clamped[inside])
+            out[mask] = values
+        return out
+
     def access_bwt(self, j: int) -> int:
         block_index = j // self.block_length
         offset = j - block_index * self.block_length
         return self._block_trees[block_index].access(offset)
+
+    def access_bwt_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        pos = np.asarray(positions, dtype=np.int64)
+        out = np.zeros(pos.size, dtype=np.int64)
+        block_index = pos // self.block_length
+        for block in np.unique(block_index).tolist():
+            mask = block_index == block
+            out[mask] = self._block_trees[block].access_many(
+                pos[mask] - block * self.block_length
+            )
+        return out
 
     # ------------------------------------------------------------------ #
     # size accounting

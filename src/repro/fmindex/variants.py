@@ -53,8 +53,14 @@ class UncompressedFMIndex(FMIndexBase):
     def rank_bwt(self, symbol: int, i: int) -> int:
         return self._wm.rank(symbol, i)
 
+    def rank_bwt_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        return self._wm.rank_many(symbol, positions)
+
     def access_bwt(self, j: int) -> int:
         return self._wm.access(j)
+
+    def access_bwt_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        return self._wm.access_many(positions)
 
     def size_in_bits(self) -> int:
         c_bits = IntVector(self._c_array).size_in_bits()
@@ -78,8 +84,14 @@ class ICBWaveletMatrixFMIndex(FMIndexBase):
     def rank_bwt(self, symbol: int, i: int) -> int:
         return self._wm.rank(symbol, i)
 
+    def rank_bwt_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        return self._wm.rank_many(symbol, positions)
+
     def access_bwt(self, j: int) -> int:
         return self._wm.access(j)
+
+    def access_bwt_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        return self._wm.access_many(positions)
 
     def size_in_bits(self) -> int:
         c_bits = IntVector(self._c_array).size_in_bits()
@@ -108,8 +120,14 @@ class ICBHuffmanFMIndex(FMIndexBase):
     def rank_bwt(self, symbol: int, i: int) -> int:
         return self._wt.rank(symbol, i)
 
+    def rank_bwt_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        return self._wt.rank_many(symbol, positions)
+
     def access_bwt(self, j: int) -> int:
         return self._wt.access(j)
+
+    def access_bwt_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        return self._wt.access_many(positions)
 
     def size_in_bits(self) -> int:
         c_bits = IntVector(self._c_array).size_in_bits()
@@ -146,8 +164,19 @@ class GMRFMIndex(FMIndexBase):
             return 0
         return int(np.searchsorted(self._positions[start:end], i, side="left"))
 
+    def rank_bwt_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        pos = np.asarray(positions, dtype=np.int64)
+        start = int(self._offsets[symbol])
+        end = int(self._offsets[symbol + 1])
+        if start == end:
+            return np.zeros(pos.size, dtype=np.int64)
+        return np.searchsorted(self._positions[start:end], pos, side="left").astype(np.int64)
+
     def access_bwt(self, j: int) -> int:
         return int(self._bwt[j])
+
+    def access_bwt_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        return self._bwt[np.asarray(positions, dtype=np.int64)].astype(np.int64)
 
     def size_in_bits(self) -> int:
         n = self._n
@@ -221,6 +250,17 @@ class AlphabetPartitionedFMIndex(FMIndexBase):
             return class_rank
         return sub.rank(int(self._index_in_class[symbol]), class_rank)
 
+    def rank_bwt_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        pos = np.asarray(positions, dtype=np.int64)
+        cls = int(self._class_of[symbol])
+        if cls < 0:
+            return np.zeros(pos.size, dtype=np.int64)
+        class_rank = self._class_wm.rank_many(cls, pos)
+        sub = self._sub_wms[cls]
+        if sub is None:
+            return class_rank
+        return sub.rank_many(int(self._index_in_class[symbol]), class_rank)
+
     def access_bwt(self, j: int) -> int:
         cls = self._class_wm.access(j)
         position_in_class = self._class_wm.rank(cls, j)
@@ -229,6 +269,20 @@ class AlphabetPartitionedFMIndex(FMIndexBase):
             return int(self._class_members[cls][0])
         index = sub.access(position_in_class)
         return int(self._class_members[cls][index])
+
+    def access_bwt_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        pos = np.asarray(positions, dtype=np.int64)
+        classes = self._class_wm.access_many(pos)
+        out = np.zeros(pos.size, dtype=np.int64)
+        for cls in np.unique(classes).tolist():
+            mask = classes == cls
+            in_class = self._class_wm.rank_many(int(cls), pos[mask])
+            sub = self._sub_wms[int(cls)]
+            if sub is None:
+                out[mask] = int(self._class_members[int(cls)][0])
+            else:
+                out[mask] = self._class_members[int(cls)][sub.access_many(in_class)]
+        return out
 
     def size_in_bits(self) -> int:
         bits = self._class_wm.size_in_bits()

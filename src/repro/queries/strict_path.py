@@ -87,6 +87,15 @@ class StrictPathIndex:
         pattern = self._encode(path)
         return self._index.count(pattern)
 
+    def count_paths(self, paths: Sequence[Sequence[EdgeId]]) -> list[int]:
+        """Batched :meth:`count_path`: one backward-search pass for all paths.
+
+        The whole workload runs through :meth:`CiNCT.count_many`, which
+        advances every path simultaneously with vectorized wavelet ranks.
+        """
+        patterns = [self._encode(path) for path in paths]
+        return self._index.count_many(patterns)
+
     def query(
         self,
         path: Sequence[EdgeId],
@@ -114,8 +123,10 @@ class StrictPathIndex:
             return []
         sp, ep = found
         matches: list[StrictPathMatch] = []
-        for row in range(sp, ep):
-            text_position = self._index.locate(row)
+        # One batched locate for the whole suffix range: every occurrence
+        # LF-walks to its sampled ancestor in lockstep.
+        text_positions = self._index.locate_many(range(sp, ep))
+        for text_position in text_positions:
             match = self._match_from_text_position(text_position, len(pattern))
             if match is None:
                 continue

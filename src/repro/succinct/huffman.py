@@ -22,7 +22,7 @@ from typing import Mapping, Sequence
 from ..exceptions import ConstructionError
 
 
-@dataclass
+@dataclass(slots=True)
 class HuffmanNode:
     """A node of a Huffman tree.
 

@@ -17,7 +17,13 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConstructionError, QueryError
-from .factories import BitVectorFactory, BitVectorLike, plain_bitvector_factory
+from .factories import (
+    BitVectorFactory,
+    BitVectorLike,
+    access_many,
+    plain_bitvector_factory,
+    rank1_many,
+)
 
 
 class WaveletMatrix:
@@ -103,6 +109,37 @@ class WaveletMatrix:
                 return 0
         return end - start
 
+    def rank_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rank` of one symbol over many positions.
+
+        Walks the levels once; each level performs a single batched
+        ``rank1_many`` over the interleaved start/end frontier instead of two
+        scalar ranks per query.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) > self._n:
+            raise QueryError(f"rank positions out of range [0, {self._n}]")
+        if not 0 <= symbol < self._sigma:
+            return np.zeros(pos.size, dtype=np.int64)
+        start = np.zeros(pos.size, dtype=np.int64)
+        end = pos.copy()
+        for level in range(self._levels):
+            shift = self._levels - 1 - level
+            bit = (symbol >> shift) & 1
+            bitvector = self._bitvectors[level]
+            frontier = np.concatenate([start, end])
+            ones = rank1_many(bitvector, frontier)
+            if bit == 0:
+                start = frontier[: pos.size] - ones[: pos.size]
+                end = frontier[pos.size :] - ones[pos.size :]
+            else:
+                zeros = self._zeros[level]
+                start = zeros + ones[: pos.size]
+                end = zeros + ones[pos.size :]
+        return np.maximum(end - start, 0)
+
     def access(self, i: int) -> int:
         """Return ``sequence[i]``."""
         if not 0 <= i < self._n:
@@ -118,6 +155,23 @@ class WaveletMatrix:
             else:
                 position = self._zeros[level] + bitvector.rank1(position)
         return symbol
+
+    def access_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`access` over an array of positions."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) >= self._n:
+            raise QueryError(f"access positions out of range [0, {self._n})")
+        symbols = np.zeros(pos.size, dtype=np.int64)
+        current = pos.copy()
+        for level in range(self._levels):
+            bitvector = self._bitvectors[level]
+            bits = access_many(bitvector, current)
+            ones = rank1_many(bitvector, current)
+            symbols = (symbols << 1) | bits
+            current = np.where(bits == 1, self._zeros[level] + ones, current - ones)
+        return symbols
 
     # ------------------------------------------------------------------ #
     # size accounting

@@ -1,4 +1,4 @@
-"""Pointer-based wavelet tree over an arbitrary prefix-free code.
+"""Flat-array wavelet tree over an arbitrary prefix-free code.
 
 The same machinery implements both the Huffman-shaped wavelet tree (HWT) used
 by CiNCT / ICB-Huff and a balanced wavelet tree (fixed-width codes): the tree
@@ -7,34 +7,36 @@ stores one bit vector (plain or RRR, see :mod:`repro.wavelet.factories`)
 holding, for every sequence element routed through that node, the next bit of
 its code.
 
+Construction routes the *whole sequence* level by level with numpy stable
+partitions (one ``argsort`` of ``node * 2 + bit`` keys per level) instead of
+shuffling Python lists symbol by symbol, and the tree topology is resolved at
+build time into flat arrays: a global list of node bit vectors, per-node child
+pointers, and a per-symbol array of the node ids along its code path.  Rank
+and access therefore never touch a tuple-keyed dict on the hot path.
+
 ``rank(symbol, i)`` walks the code of ``symbol`` from the root, performing one
 bit-vector rank per level — exactly the access pattern whose cost the paper
 analyses (Theorem 1: O(1 + H0) expected levels for a Huffman shape).
+:meth:`WaveletTree.rank_many` performs the same walk once for a whole batch of
+positions, turning the per-level work into vectorized ``rank1_many`` calls.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..exceptions import AlphabetError, ConstructionError, QueryError
-from ..succinct import build_huffman_code, frequencies_of
-from .factories import BitVectorFactory, BitVectorLike, plain_bitvector_factory
-
-
-@dataclass
-class _Node:
-    """Internal wavelet-tree node: a bit vector plus child links."""
-
-    bitvector: BitVectorLike | None = None
-    children: dict[int, "_Node"] = field(default_factory=dict)
-    symbol: int | None = None  # set on leaves
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.symbol is not None
+from ..succinct import build_huffman_code
+from .factories import (
+    BitVectorFactory,
+    BitVectorLike,
+    access_many,
+    build_many,
+    plain_bitvector_factory,
+    rank1_many,
+)
 
 
 class WaveletTree:
@@ -56,6 +58,7 @@ class WaveletTree:
         sequence: Sequence[int] | np.ndarray,
         codes: Mapping[int, tuple[int, ...]],
         bitvector_factory: BitVectorFactory | None = None,
+        frequencies: Mapping[int, int] | None = None,
     ):
         seq = np.asarray(sequence, dtype=np.int64)
         if seq.size == 0:
@@ -64,59 +67,190 @@ class WaveletTree:
         self._n = int(seq.size)
         self._codes: dict[int, tuple[int, ...]] = {int(s): tuple(c) for s, c in codes.items()}
 
-        present = set(int(s) for s in np.unique(seq))
-        missing = present - set(self._codes)
+        # ``frequencies`` lets subclasses that already counted the symbols
+        # (to derive the code) skip a second O(n log n) pass over ``seq``.
+        if frequencies is None:
+            values, counts = np.unique(seq, return_counts=True)
+            frequencies = {int(v): int(c) for v, c in zip(values, counts)}
+        else:
+            values = np.asarray(sorted(frequencies), dtype=np.int64)
+        present = [int(v) for v in values]
+        missing = set(present) - set(self._codes)
         if missing:
             raise ConstructionError(f"codes missing for symbols: {sorted(missing)[:5]}...")
+        self._frequencies = dict(frequencies)
 
-        # Route every element through the tree level by level, materialising
-        # per-node bit lists, then freeze them into bit vectors.
-        root_bits: dict[tuple[int, ...], list[int]] = {(): []}
-        node_sequences: dict[tuple[int, ...], list[int]] = {(): [int(x) for x in seq]}
-        bit_lists: dict[tuple[int, ...], list[int]] = {}
-        max_len = max(len(code) for code in self._codes.values())
-        del root_bits
+        # A code that is a proper prefix of another present symbol's code
+        # would strand elements mid-tree (the condition the per-element
+        # router used to trip over one symbol at a time).
+        present_codes = sorted(self._codes[s] for s in present)
+        for shorter, longer in zip(present_codes, present_codes[1:]):
+            if len(shorter) < len(longer) and longer[: len(shorter)] == shorter:
+                raise ConstructionError("codes are not prefix-free")
 
-        prefixes_by_level: list[list[tuple[int, ...]]] = [[()]]
-        for level in range(max_len):
-            next_sequences: dict[tuple[int, ...], list[int]] = {}
-            level_prefixes: list[tuple[int, ...]] = []
-            for prefix in prefixes_by_level[level]:
-                elements = node_sequences.get(prefix)
-                if not elements:
-                    continue
-                bits: list[int] = []
-                left: list[int] = []
-                right: list[int] = []
-                all_leaf = True
-                for symbol in elements:
-                    code = self._codes[symbol]
-                    if len(code) <= level:
-                        # This can only happen for non-prefix-free codes.
-                        raise ConstructionError("codes are not prefix-free")
-                    bit = code[level]
-                    bits.append(bit)
-                    if len(code) > level + 1:
-                        all_leaf = False
-                    (right if bit else left).append(symbol)
-                bit_lists[prefix] = bits
-                child_left = prefix + (0,)
-                child_right = prefix + (1,)
-                if left and any(len(self._codes[s]) > level + 1 for s in set(left)):
-                    next_sequences[child_left] = left
-                    level_prefixes.append(child_left)
-                if right and any(len(self._codes[s]) > level + 1 for s in set(right)):
-                    next_sequences[child_right] = right
-                    level_prefixes.append(child_right)
-            node_sequences = next_sequences
-            prefixes_by_level.append(level_prefixes)
-            if not level_prefixes:
+        self._build_topology(present)
+        self._build_bitvectors(seq, values, factory)
+        self._build_paths()
+        self._code_to_symbol = {code: symbol for symbol, code in self._codes.items()}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build_topology(self, present: list[int]) -> None:
+        """Enumerate internal nodes level by level and freeze child pointers.
+
+        A node exists for every proper prefix of a *present* symbol's code.
+        The prefixes are collected in an integer trie (no tuple keys), then
+        renumbered breadth-first so nodes are ordered globally level by level
+        and, within a level, by (parent, bit) — exactly the order the stable
+        partition of the routing pass produces.
+        """
+        codes = self._codes
+        child0: list[int] = [-1]
+        child1: list[int] = [-1]
+        for symbol in present:
+            code = codes[symbol]
+            node = 0
+            for depth in range(len(code) - 1):
+                if code[depth]:
+                    nxt = child1[node]
+                    if nxt < 0:
+                        nxt = len(child1)
+                        child1[node] = nxt
+                        child0.append(-1)
+                        child1.append(-1)
+                else:
+                    nxt = child0[node]
+                    if nxt < 0:
+                        nxt = len(child0)
+                        child0[node] = nxt
+                        child0.append(-1)
+                        child1.append(-1)
+                node = nxt
+        total = len(child0)
+
+        new_id = [-1] * total
+        new_id[0] = 0
+        assigned = 1
+        level_sizes: list[int] = []
+        frontier = [0]
+        while frontier:
+            level_sizes.append(len(frontier))
+            next_frontier: list[int] = []
+            for node in frontier:
+                for child in (child0[node], child1[node]):
+                    if child >= 0:
+                        new_id[child] = assigned
+                        assigned += 1
+                        next_frontier.append(child)
+            frontier = next_frontier
+
+        self._levels = len(level_sizes)
+        self._level_sizes = level_sizes
+        level_offsets = [0]
+        for size in level_sizes:
+            level_offsets.append(level_offsets[-1] + size)
+        self._level_offsets = level_offsets
+        self._num_nodes = total
+
+        # Child pointers in renumbered ids, kept both as numpy (for the
+        # vectorized routing below) and as plain lists (for the per-symbol
+        # path walks, where numpy scalar indexing would dominate).
+        child_rows: list[list[int]] = [[-1, -1] for _ in range(max(total, 1))]
+        for old in range(total):
+            renumbered = new_id[old]
+            left, right = child0[old], child1[old]
+            if left >= 0:
+                child_rows[renumbered][0] = new_id[left]
+            if right >= 0:
+                child_rows[renumbered][1] = new_id[right]
+        self._child_rows = child_rows
+        self._child = np.asarray(child_rows, dtype=np.int64)
+
+        # child_local_maps[level][parent_local * 2 + bit] -> local id at
+        # level + 1, or -1 when the (parent, bit) side holds no internal node.
+        self._child_local_maps: list[np.ndarray] = []
+        for level in range(self._levels - 1):
+            lo = level_offsets[level]
+            hi = level_offsets[level + 1]
+            flat = self._child[lo:hi].reshape(-1)
+            self._child_local_maps.append(np.where(flat >= 0, flat - hi, -1))
+
+    def _build_bitvectors(
+        self, seq: np.ndarray, values: np.ndarray, factory: BitVectorFactory
+    ) -> None:
+        """Route the whole sequence level by level with stable partitions."""
+        m = int(values.size)
+        seq_ids = np.searchsorted(values, seq)
+        code_len = np.zeros(m, dtype=np.int64)
+        bit_at = np.zeros((self._levels, m), dtype=np.int64)
+        for local, symbol in enumerate(values.tolist()):
+            code = self._codes[int(symbol)]
+            code_len[local] = len(code)
+            for depth, bit in enumerate(code):
+                bit_at[depth, local] = bit
+
+        self._node_bvs: list[BitVectorLike] = []
+        cur_ids = seq_ids
+        cur_nodes = np.zeros(seq.size, dtype=np.int64)
+        for level in range(self._levels):
+            bits = bit_at[level][cur_ids]
+            starts = np.searchsorted(cur_nodes, np.arange(self._level_sizes[level] + 1))
+            self._node_bvs.extend(build_many(factory, bits, starts))
+            if level + 1 >= self._levels:
                 break
+            # Stable partition of every node into (zeros, ones) in O(n): each
+            # element's destination is its node's base plus its stable rank on
+            # its side, all computed from cumulative counts — no sort needed.
+            inclusive_ones = np.cumsum(bits)
+            exclusive_ones = inclusive_ones - bits
+            node_base = starts[cur_nodes]
+            ones_before = exclusive_ones - exclusive_ones[starts[:-1]][cur_nodes]
+            zeros_before = np.arange(bits.size) - node_base - ones_before
+            ones_in_node = np.add.reduceat(bits, starts[:-1]) if bits.size else bits
+            zeros_in_node = np.diff(starts) - ones_in_node
+            destination = node_base + np.where(
+                bits == 0, zeros_before, zeros_in_node[cur_nodes] + ones_before
+            )
+            children = self._child_local_maps[level][cur_nodes * 2 + bits]
+            survive = code_len[cur_ids] > level + 1
+            next_ids = np.empty_like(cur_ids)
+            next_nodes = np.empty_like(cur_nodes)
+            next_survive = np.empty_like(survive)
+            next_ids[destination] = cur_ids
+            next_nodes[destination] = children
+            next_survive[destination] = survive
+            cur_ids = next_ids[next_survive]
+            cur_nodes = next_nodes[next_survive]
 
-        self._bitvectors: dict[tuple[int, ...], BitVectorLike] = {
-            prefix: factory(bits) for prefix, bits in bit_lists.items()
-        }
-        self._frequencies = frequencies_of(int(x) for x in seq)
+    def _build_paths(self) -> None:
+        """Resolve per-symbol code paths and leaf pointers from the trie."""
+        paths: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        child = self._child_rows
+        leaf_parents: list[int] = []
+        leaf_bits: list[int] = []
+        leaf_symbols: list[int] = []
+        for symbol, code in self._codes.items():
+            node = 0
+            node_ids: list[int] = []
+            for depth in range(len(code)):
+                node_ids.append(node)
+                if node < 0:
+                    break
+                if depth < len(code) - 1:
+                    node = child[node][code[depth]]
+            complete = len(node_ids) == len(code)
+            paths[symbol] = (tuple(node_ids), code if complete else code[: len(node_ids)])
+            if code and complete and node_ids[-1] >= 0:
+                leaf_parents.append(node_ids[-1])
+                leaf_bits.append(code[-1])
+                leaf_symbols.append(symbol)
+        self._paths = paths
+        self._leaf_symbol = np.zeros((max(self._num_nodes, 1), 2), dtype=np.int64)
+        self._has_leaf = np.zeros((max(self._num_nodes, 1), 2), dtype=bool)
+        if leaf_parents:
+            self._leaf_symbol[leaf_parents, leaf_bits] = leaf_symbols
+            self._has_leaf[leaf_parents, leaf_bits] = True
 
     # ------------------------------------------------------------------ #
     # queries
@@ -140,56 +274,105 @@ class WaveletTree:
         """Number of occurrences of ``symbol`` in ``sequence[0:i]`` (exclusive)."""
         if not 0 <= i <= self._n:
             raise QueryError(f"rank position {i} out of range [0, {self._n}]")
-        code = self._codes.get(int(symbol))
-        if code is None:
+        path = self._paths.get(int(symbol))
+        if path is None:
             return 0
+        node_ids, bits = path
         position = i
-        prefix: tuple[int, ...] = ()
-        for bit in code:
-            bitvector = self._bitvectors.get(prefix)
-            if bitvector is None:
+        node_bvs = self._node_bvs
+        for node_id, bit in zip(node_ids, bits):
+            if node_id < 0:
                 return 0
+            bitvector = node_bvs[node_id]
             position = bitvector.rank1(position) if bit else bitvector.rank0(position)
             if position == 0:
                 return 0
-            prefix = prefix + (bit,)
         return position
+
+    def rank_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rank` of one symbol over many positions.
+
+        Walks the symbol's code path once, replacing the per-position bit
+        vector ranks with one ``rank1_many`` per level.  Positions that hit an
+        empty sub-range simply stay at zero (``rank(·, 0) == 0``).
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) > self._n:
+            raise QueryError(f"rank positions out of range [0, {self._n}]")
+        path = self._paths.get(int(symbol))
+        if path is None:
+            return np.zeros(pos.size, dtype=np.int64)
+        node_ids, bits = path
+        current = pos
+        for node_id, bit in zip(node_ids, bits):
+            if node_id < 0:
+                return np.zeros(pos.size, dtype=np.int64)
+            bitvector = self._node_bvs[node_id]
+            ones = rank1_many(bitvector, current)
+            current = ones if bit else current - ones
+        return current
 
     def access(self, i: int) -> int:
         """Return ``sequence[i]``."""
         if not 0 <= i < self._n:
             raise QueryError(f"access position {i} out of range [0, {self._n})")
-        prefix: tuple[int, ...] = ()
+        node = 0
         position = i
         while True:
-            bitvector = self._bitvectors.get(prefix)
-            if bitvector is None:
-                # We've walked past the last stored level: the accumulated
-                # prefix is a complete code.
-                break
+            bitvector = self._node_bvs[node]
             bit = bitvector.access(position)
             position = bitvector.rank1(position) if bit else bitvector.rank0(position)
-            prefix = prefix + (bit,)
-            if self._prefix_is_complete_code(prefix):
-                break
-        return self._symbol_of_code(prefix)
+            if self._has_leaf[node, bit]:
+                return int(self._leaf_symbol[node, bit])
+            child = int(self._child[node, bit])
+            if child < 0:
+                raise QueryError(f"bit path at node {node} does not correspond to a symbol")
+            node = child
 
-    def _prefix_is_complete_code(self, prefix: tuple[int, ...]) -> bool:
-        return prefix in self._code_to_symbol
+    def access_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`access` over an array of positions.
 
-    def _symbol_of_code(self, code: tuple[int, ...]) -> int:
-        try:
-            return self._code_to_symbol[code]
-        except KeyError:
-            raise QueryError(f"bit path {code} does not correspond to a symbol") from None
-
-    @property
-    def _code_to_symbol(self) -> dict[tuple[int, ...], int]:
-        cached = getattr(self, "_code_to_symbol_cache", None)
-        if cached is None:
-            cached = {code: symbol for symbol, code in self._codes.items()}
-            self._code_to_symbol_cache = cached
-        return cached
+        Positions sharing a node are grouped at every level so the underlying
+        bit vectors see batched ``access_many`` / ``rank1_many`` calls.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) >= self._n:
+            raise QueryError(f"access positions out of range [0, {self._n})")
+        out = np.zeros(pos.size, dtype=np.int64)
+        current = pos.copy()
+        nodes = np.zeros(pos.size, dtype=np.int64)
+        pending = np.arange(pos.size)
+        while pending.size:
+            pending_nodes = nodes[pending]
+            next_pending: list[np.ndarray] = []
+            for node in np.unique(pending_nodes).tolist():
+                members = pending[pending_nodes == node]
+                bitvector = self._node_bvs[node]
+                bits = access_many(bitvector, current[members])
+                ones = rank1_many(bitvector, current[members])
+                current[members] = np.where(bits == 1, ones, current[members] - ones)
+                for bit in (0, 1):
+                    side = members[bits == bit]
+                    if side.size == 0:
+                        continue
+                    if self._has_leaf[node, bit]:
+                        out[side] = self._leaf_symbol[node, bit]
+                    else:
+                        child = int(self._child[node, bit])
+                        if child < 0:
+                            raise QueryError(
+                                f"bit path at node {node} does not correspond to a symbol"
+                            )
+                        nodes[side] = child
+                        next_pending.append(side)
+            pending = (
+                np.concatenate(next_pending) if next_pending else np.zeros(0, dtype=np.int64)
+            )
+        return out
 
     # ------------------------------------------------------------------ #
     # size accounting
@@ -202,8 +385,8 @@ class WaveletTree:
         pointers; leaves are charged one symbol entry of ``ceil(lg sigma)``
         bits via the code table.
         """
-        bits = sum(bv.size_in_bits() for bv in self._bitvectors.values())
-        bits += len(self._bitvectors) * 2 * 64
+        bits = sum(bv.size_in_bits() for bv in self._node_bvs)
+        bits += len(self._node_bvs) * 2 * 64
         sigma = max(self._codes) + 1 if self._codes else 1
         symbol_bits = max(int(sigma - 1).bit_length(), 1)
         bits += len(self._codes) * symbol_bits
@@ -211,7 +394,7 @@ class WaveletTree:
 
     def node_count(self) -> int:
         """Number of internal (bit-vector-bearing) nodes."""
-        return len(self._bitvectors)
+        return len(self._node_bvs)
 
     def average_depth(self) -> float:
         """Average code length weighted by symbol frequency."""
@@ -250,9 +433,12 @@ class HuffmanWaveletTree(WaveletTree):
         seq = np.asarray(sequence, dtype=np.int64)
         if seq.size == 0:
             raise ConstructionError("cannot build an HWT over an empty sequence")
-        frequencies = frequencies_of(int(x) for x in seq)
+        values, counts = np.unique(seq, return_counts=True)
+        frequencies = {int(v): int(c) for v, c in zip(values, counts)}
         code = build_huffman_code(frequencies)
-        super().__init__(seq, code.codes, bitvector_factory=bitvector_factory)
+        super().__init__(
+            seq, code.codes, bitvector_factory=bitvector_factory, frequencies=frequencies
+        )
 
 
 class BalancedWaveletTree(WaveletTree):
@@ -266,5 +452,9 @@ class BalancedWaveletTree(WaveletTree):
         seq = np.asarray(sequence, dtype=np.int64)
         if seq.size == 0:
             raise ConstructionError("cannot build a wavelet tree over an empty sequence")
-        codes = fixed_width_codes([int(x) for x in seq])
-        super().__init__(seq, codes, bitvector_factory=bitvector_factory)
+        values, counts = np.unique(seq, return_counts=True)
+        frequencies = {int(v): int(c) for v, c in zip(values, counts)}
+        codes = fixed_width_codes(values.tolist())
+        super().__init__(
+            seq, codes, bitvector_factory=bitvector_factory, frequencies=frequencies
+        )
