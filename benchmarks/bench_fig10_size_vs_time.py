@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from common import FIG10_VARIANTS, get_bundle, get_index, get_patterns, paper_datasets
+from common import FIG10_VARIANTS, get_index, get_patterns, paper_datasets
 from repro.bench import ExperimentRecord, format_table, measure_search_time
 
 

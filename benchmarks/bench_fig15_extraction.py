@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from common import get_index, paper_datasets
+from common import get_index
 from repro.bench import format_table, measure_extraction_time
 
 METHODS = ("CiNCT", "UFMI", "FM-GMR", "ICB-Huff", "ICB-WM")

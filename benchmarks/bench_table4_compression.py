@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from common import get_bundle, get_bwt, get_index, paper_datasets
+from common import get_bundle, get_index, paper_datasets
 from repro.analysis import compression_ratio, raw_size_bits
 from repro.bench import format_table
 from repro.compressors import (

@@ -1,13 +1,16 @@
-"""Growing data and on-disk persistence.
+"""Growing data and universal on-disk persistence through the engine facade.
 
 CiNCT is a static index; the paper (Section III-A) handles growing data by
 indexing new batches separately and periodically reconstructing.  This example
-shows that workflow end to end together with the persistence layer:
+shows that workflow end to end on the :class:`repro.engine.TrajectoryEngine`
+facade:
 
-1. stream three daily batches of trips into a :class:`PartitionedCiNCT`,
-2. query across the partitions, then consolidate into a single index,
-3. persist the consolidated index with :func:`repro.save_cinct` and reload it
-   with :func:`repro.load_cinct`,
+1. stream three daily batches of trips into an engine running the
+   ``partitioned-cinct`` backend (one immutable CiNCT partition per batch),
+2. query across the partitions with raw edge paths,
+3. persist the grown engine with :meth:`TrajectoryEngine.save` and reload it
+   with :meth:`TrajectoryEngine.load` — the same two calls persist *any*
+   registered backend,
 4. export the accumulated trips as JSON Lines and read them back.
 
 Run with:  python examples/growing_fleet_and_persistence.py
@@ -21,17 +24,13 @@ from pathlib import Path
 import numpy as np
 
 from repro import (
-    CiNCT,
-    PartitionedCiNCT,
     Trajectory,
     TrajectoryDataset,
     grid_network,
-    load_cinct,
     load_dataset_jsonl,
-    save_cinct,
     save_dataset_jsonl,
 )
-from repro.strings import burrows_wheeler_transform
+from repro.engine import EngineConfig, TrajectoryEngine
 from repro.trajectories import straight_biased_walks
 
 
@@ -53,7 +52,10 @@ def main() -> None:
     probe_path = batches[0][0][:3]
 
     # ---- growing index ---------------------------------------------------- #
-    growing = PartitionedCiNCT(block_size=31, max_partitions=5)
+    # An empty partitioned engine grows one partition per arriving batch.
+    growing = TrajectoryEngine.build(
+        [], EngineConfig(backend="partitioned-cinct", block_size=31, max_partitions=5)
+    )
     for day, batch in enumerate(batches):
         growing.add_batch(batch)
         print(
@@ -69,21 +71,25 @@ def main() -> None:
           f"probe path count = {growing.count(probe_path)} (unchanged: {growing.count(probe_path) == before})")
     print()
 
-    # ---- persistence ------------------------------------------------------ #
-    all_trips = [trip for batch in batches for trip in batch]
-    index, trajectory_string = CiNCT.from_trajectories(all_trips, block_size=31)
-    bwt_result = burrows_wheeler_transform(trajectory_string.text, sigma=trajectory_string.sigma)
-
     with tempfile.TemporaryDirectory() as tmp:
-        index_dir = Path(tmp) / "fleet-index"
-        save_cinct(index, bwt_result, index_dir, trajectory_string=trajectory_string)
-        on_disk = sum(f.stat().st_size for f in index_dir.iterdir())
-        print(f"saved index to {index_dir} ({on_disk / 1024:.1f} KiB on disk)")
+        # ---- universal persistence ---------------------------------------- #
+        # save()/load() work for every backend; here the partitioned fleet...
+        fleet_dir = Path(tmp) / "fleet-partitioned"
+        growing.save(fleet_dir)
+        on_disk = sum(f.stat().st_size for f in fleet_dir.iterdir())
+        print(f"saved partitioned engine to {fleet_dir} ({on_disk / 1024:.1f} KiB on disk)")
+        reloaded = TrajectoryEngine.load(fleet_dir)
+        print(f"reloaded engine answers the probe query: {reloaded.count(probe_path)} "
+              f"(live engine says {growing.count(probe_path)})")
 
-        reloaded = load_cinct(index_dir)
-        pattern = reloaded.encode_pattern(probe_path)
-        print(f"reloaded index answers the probe query: {reloaded.index.count(pattern)} "
-              f"(fresh index says {index.count(trajectory_string.encode_pattern(probe_path))})")
+        # ...and the exact same two calls persist a monolithic CiNCT engine.
+        all_trips = [trip for batch in batches for trip in batch]
+        monolith = TrajectoryEngine.build(all_trips, EngineConfig(backend="cinct", block_size=31))
+        cinct_dir = Path(tmp) / "fleet-cinct"
+        monolith.save(cinct_dir)
+        print(f"monolithic CiNCT round-trip: "
+              f"{TrajectoryEngine.load(cinct_dir).count(probe_path)} matches")
+        print()
 
         # ---- dataset export / import -------------------------------------- #
         dataset = TrajectoryDataset(

@@ -1,20 +1,27 @@
-"""Quickstart: build a CiNCT index over a handful of trajectories and query it.
+"""Quickstart: one engine API over every index backend.
 
-This walks through the paper's running example (Fig. 1a): four
-network-constrained trajectories over six road segments A-F.  It shows the
-three core operations of the index:
+This walks through the paper's running example (Fig. 1a) — four
+network-constrained trajectories over six road segments A-F — using the
+:class:`repro.engine.TrajectoryEngine` facade:
 
-* counting / locating a path with a suffix-range query (Algorithm 3),
-* checking paths that never occur,
-* extracting a sub-path from an arbitrary position of the compressed
-  representation (Algorithm 4).
+* build an index from raw edge sequences (no manual pattern encoding),
+* count / locate paths, including paths that never occur,
+* extract a sub-path from the compressed representation (Algorithm 4),
+* run the same queries against every registered backend via the registry.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import CiNCT
+from repro.engine import (
+    CountQuery,
+    EngineConfig,
+    ExtractQuery,
+    LocateQuery,
+    TrajectoryEngine,
+    available_backends,
+)
 
 # The four example NCTs of Fig. 1a, each a list of road-segment IDs in travel
 # order.  Segment IDs can be any hashable values (strings here; the realistic
@@ -29,42 +36,49 @@ TRAJECTORIES = [
 
 def main() -> None:
     # One call builds the whole pipeline: trajectory string -> BWT -> ET-graph
-    # -> RML labelling -> PseudoRank correction terms -> compressed wavelet tree.
-    index, trajectory_string = CiNCT.from_trajectories(TRAJECTORIES, block_size=15)
+    # -> RML labelling -> PseudoRank correction terms -> compressed wavelet
+    # tree.  The engine owns the alphabet, so queries are raw edge sequences.
+    engine = TrajectoryEngine.build(
+        TRAJECTORIES, EngineConfig(backend="cinct", block_size=15, sa_sample_rate=4)
+    )
 
-    print("Indexed", trajectory_string.n_trajectories, "trajectories,",
-          trajectory_string.length, "symbols,",
-          f"{index.bits_per_symbol():.1f} bits/symbol (tiny data => overhead-dominated)")
+    print("Indexed", engine.n_trajectories, "trajectories,",
+          engine.length, "symbols,",
+          f"{engine.bits_per_symbol():.1f} bits/symbol (tiny data => overhead-dominated)")
     print()
 
     # --- Pattern matching (suffix-range queries) -------------------------- #
     for path in (["A", "B"], ["B", "C"], ["A", "B", "E", "F"], ["B", "A"]):
-        pattern = trajectory_string.encode_pattern(path)
-        suffix_range = index.suffix_range(pattern)
-        print(f"path {'->'.join(path):<12} count={index.count(pattern)}  suffix range={suffix_range}")
+        matches = engine.locate(path)
+        print(f"path {'->'.join(path):<12} count={engine.count(path)}  "
+              f"trajectories={sorted({m.trajectory_id for m in matches})}")
     print()
 
     # --- Sub-path extraction ---------------------------------------------- #
     # Row 0 of the BWT corresponds to the rotation starting with '#', i.e. the
     # end of the trajectory string; extracting 4 symbols from it recovers the
     # last stored trajectory fragments (see Section IV-C of the paper).
-    extracted = index.extract(0, 4)
-    special = {0: "#", 1: "$"}
-    decoded = [
-        trajectory_string.alphabet.decode(symbol) if symbol >= 2 else special[symbol]
-        for symbol in extracted
-    ]
-    print("extract(0, 4) recovers the symbols", decoded)
-
-    # The entire trajectory string can be reconstructed from the index alone.
-    full = index.extract_full_text()
-    print("full extraction length:", len(full), "== |T|:", index.length)
-
-    # --- A peek inside ----------------------------------------------------- #
+    print("extract(0, 4) recovers the symbols", engine.extract(0, 4))
     print()
-    print("ET-graph edges:", index.et_graph.n_edges,
-          "| max out-degree:", index.et_graph.max_out_degree(),
-          "| labelled-BWT alphabet size:", index.rml.max_label)
+
+    # --- Batched, typed queries ------------------------------------------- #
+    # run_many routes a mixed workload through the vectorized batch paths.
+    results = engine.run_many(
+        [CountQuery(["A", "B"]), LocateQuery(["B", "C"]), ExtractQuery(row=0, length=4)]
+    )
+    for result in results:
+        print(type(result).__name__, "->", result)
+    print()
+
+    # --- The same API over every registered backend ------------------------ #
+    probe = ["A", "B"]
+    for name in available_backends():
+        backend_engine = TrajectoryEngine.build(
+            TRAJECTORIES, EngineConfig(backend=name, block_size=15, sa_sample_rate=4)
+        )
+        print(f"{backend_engine.spec.display_name:<11} count({'->'.join(probe)}) = "
+              f"{backend_engine.count(probe)}  "
+              f"[{backend_engine.size_in_bits()} bits]")
 
 
 if __name__ == "__main__":

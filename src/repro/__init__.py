@@ -6,19 +6,36 @@ This package reimplements, in pure Python, the system described in
     "CiNCT: Compression and retrieval for massive vehicular trajectories via
     relative movement labeling", ICDE 2018.
 
-The public API is re-exported here; see README.md for a quickstart and
-DESIGN.md for the full system inventory.
+The public API is re-exported here; the repository's top-level ``README.md``
+has a quickstart and the full backend inventory.
 
-Typical usage::
+The recommended entry point is the engine facade, which speaks raw edge
+sequences and works identically for every registered index backend::
+
+    from repro.engine import TrajectoryEngine, EngineConfig
+
+    trajectories = [["e1", "e2", "e3"], ["e2", "e3", "e4"]]
+    engine = TrajectoryEngine.build(trajectories, EngineConfig(backend="cinct"))
+    engine.count(["e2", "e3"])  # -> 2
+    engine.save("my-index")     # reload with TrajectoryEngine.load("my-index")
+
+The per-structure entry points (:meth:`CiNCT.from_trajectories`,
+:func:`build_baseline`, :class:`StrictPathIndex`, ...) remain available for
+code that needs a specific structure directly::
 
     from repro import CiNCT
 
-    trajectories = [["e1", "e2", "e3"], ["e2", "e3", "e4"]]
     index, trajectory_string = CiNCT.from_trajectories(trajectories)
     pattern = trajectory_string.encode_pattern(["e2", "e3"])
     index.count(pattern)        # -> 2
 """
 
+from .engine import (
+    EngineConfig,
+    TrajectoryEngine,
+    available_backends,
+    register_backend,
+)
 from .core import (
     CiNCT,
     ConstructionBreakdown,
@@ -57,9 +74,11 @@ from .io import (
     load_cinct,
     load_dataset_csv,
     load_dataset_jsonl,
+    load_index,
     save_cinct,
     save_dataset_csv,
     save_dataset_jsonl,
+    save_index,
 )
 from .network import RoadNetwork, grid_network, poisson_out_degree_graph
 from .queries import (
@@ -84,6 +103,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # engine facade
+    "TrajectoryEngine",
+    "EngineConfig",
+    "available_backends",
+    "register_backend",
     # core
     "CiNCT",
     "ConstructionBreakdown",
@@ -116,6 +140,8 @@ __all__ = [
     "build_baseline",
     "available_baselines",
     # persistence
+    "save_index",
+    "load_index",
     "save_cinct",
     "load_cinct",
     "save_dataset_jsonl",

@@ -228,8 +228,7 @@ def run_size_time_experiment(
     size; parameter-free variants are built once.
     """
     bwt_result = bwt_of_bundle(bundle)
-    patterns = sample_query_workload(bundle_bwt := bwt_result, pattern_length, n_patterns, seed)
-    del bundle_bwt
+    patterns = sample_query_workload(bwt_result, pattern_length, n_patterns, seed)
     records: list[ExperimentRecord] = []
     for name in variants:
         uses_block = name.lower() in {"cinct", "icb-wm", "icb-huff", "fm-ap-hyb"}

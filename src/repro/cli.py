@@ -1,18 +1,20 @@
 """Command-line interface for the CiNCT reproduction.
 
-The CLI wraps the most common workflows so the library is usable without
-writing Python:
+The CLI sits on the :class:`~repro.engine.TrajectoryEngine` facade, so every
+sub-command works with every registered index backend (``--backend``):
 
 ``repro-cinct stats``
     Print Table-III-style statistics for a named dataset analogue.
 ``repro-cinct build``
-    Build a CiNCT index from a JSONL/CSV trajectory file (or a named
-    analogue) and persist it to a directory.
+    Build an index from a JSONL/CSV trajectory file (or a named analogue)
+    with any registered backend and persist it to a directory.
 ``repro-cinct query``
-    Load a persisted index and run a path (suffix-range) query.
+    Load a persisted index and run a path query (optionally a strict-path
+    query with ``--t-start``/``--t-end``).
 ``repro-cinct compare``
-    Build every FM-index variant on a dataset analogue and print the
-    size/time comparison of Fig. 10 for that dataset.
+    Build every requested backend on a dataset analogue and print the
+    size/time comparison of Fig. 10, including ``size_in_bits`` and
+    bits/symbol per backend straight from the registry.
 
 Every sub-command prints plain text to stdout; exit status 0 means success.
 """
@@ -23,17 +25,15 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Sequence
+from typing import Hashable, Sequence
 
 from .analysis.stats import dataset_statistics
-from .bench.harness import build_index, bwt_of_bundle, format_table, sample_query_workload
-from .core.cinct import CiNCT
+from .bench.harness import format_table
 from .datasets.registry import load_dataset, paper_dataset_names
-from .exceptions import ReproError
+from .engine import EngineConfig, TrajectoryEngine, available_backends, backend_spec, sample_paths
+from .exceptions import AlphabetError, ReproError
 from .io.dataset_io import load_dataset_csv, load_dataset_jsonl
-from .io.index_io import load_cinct, save_cinct
-
-_DEFAULT_VARIANTS = ("CiNCT", "UFMI", "ICB-WM", "ICB-Huff", "FM-GMR", "FM-AP-HYB")
+from .io.index_io import load_cinct, load_index
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -47,8 +47,23 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="seed for analogue generation")
 
 
-def _load_trajectories(args: argparse.Namespace) -> tuple[str, list[list[object]]]:
-    """Resolve ``--dataset``/``--input`` into (name, symbol-free trajectories)."""
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="cinct",
+        help=f"index backend (one of: {', '.join(available_backends())})",
+    )
+    parser.add_argument("--block-size", type=int, default=63, help="RRR block size b")
+    parser.add_argument(
+        "--sa-sample-rate",
+        type=int,
+        default=None,
+        help="suffix-array sampling rate (enables locate / strict-path queries)",
+    )
+
+
+def _load_trajectories(args: argparse.Namespace):
+    """Resolve ``--dataset``/``--input`` into (name, trajectory collection)."""
     if args.input is not None:
         path = Path(args.input)
         if path.suffix.lower() in {".jsonl", ".json"}:
@@ -57,11 +72,19 @@ def _load_trajectories(args: argparse.Namespace) -> tuple[str, list[list[object]
             dataset = load_dataset_csv(path)
         else:
             raise ReproError(f"unsupported input format: {path.suffix} (use .jsonl or .csv)")
-        return dataset.name, [list(t.edges) for t in dataset]
+        return dataset.name, dataset
     if args.dataset is None:
         raise ReproError("either --dataset or --input is required")
     bundle = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     return bundle.name, [list(t) for t in bundle.symbol_trajectories]
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    return EngineConfig(
+        backend=backend_spec(args.backend).name,
+        block_size=args.block_size,
+        sa_sample_rate=args.sa_sample_rate,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -76,42 +99,73 @@ def _command_stats(args: argparse.Namespace) -> int:
 
 def _command_build(args: argparse.Namespace) -> int:
     name, trajectories = _load_trajectories(args)
+    config = _engine_config(args)
     started = time.perf_counter()
-    index, trajectory_string = CiNCT.from_trajectories(
-        trajectories,
-        block_size=args.block_size,
-        sa_sample_rate=args.sa_sample_rate,
-    )
+    engine = TrajectoryEngine.build(trajectories, config)
     elapsed = time.perf_counter() - started
-    bwt_result = None
-    # from_trajectories builds the BWT internally; rebuild the artefacts once
-    # more for persistence (still linear apart from the suffix sort).
-    from .strings.bwt import burrows_wheeler_transform
-
-    bwt_result = burrows_wheeler_transform(trajectory_string.text, sigma=trajectory_string.sigma)
-    save_cinct(index, bwt_result, args.output, trajectory_string=trajectory_string)
+    engine.save(args.output)
     print(f"dataset           : {name}")
-    print(f"trajectories      : {trajectory_string.n_trajectories}")
-    print(f"string length |T| : {index.length}")
-    print(f"alphabet sigma    : {index.sigma}")
-    print(f"index size        : {index.size_in_bits()} bits "
-          f"({index.bits_per_symbol():.2f} bits/symbol)")
+    print(f"backend           : {engine.spec.display_name} ({engine.backend_name})")
+    print(f"trajectories      : {engine.n_trajectories}")
+    print(f"string length |T| : {engine.length}")
+    print(f"alphabet sigma    : {engine.sigma}")
+    print(f"index size        : {engine.size_in_bits()} bits "
+          f"({engine.bits_per_symbol():.2f} bits/symbol)")
     print(f"construction time : {elapsed:.2f} s")
     print(f"saved to          : {args.output}")
     return 0
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    saved = load_cinct(args.index)
     path = [_parse_edge(token) for token in args.path]
+    if (args.t_start is None) != (args.t_end is None):
+        raise ReproError("provide both --t-start and --t-end, or neither")
+    index_dir = Path(args.index)
+    if not (index_dir / "engine.json").exists() and (index_dir / "index.json").exists():
+        # A directory written by the legacy save_cinct format.
+        return _query_legacy(args, path)
+    engine = load_index(index_dir)
+    started = time.perf_counter()
+    try:
+        if args.t_start is not None:
+            matches = engine.strict_path(path, args.t_start, args.t_end)
+            count = len(matches)
+        else:
+            matches = None
+            count = engine.count(path)
+    except AlphabetError:
+        print("path: not found (unknown road segment)")
+        return 0
+    elapsed = (time.perf_counter() - started) * 1e6
+    print(f"backend   : {engine.spec.display_name}")
+    print(f"path      : {' -> '.join(str(p) for p in path)}")
+    print(f"matches   : {count}")
+    print(f"query time: {elapsed:.1f} us")
+    if matches is not None:
+        for match in matches[:10]:
+            window = ""
+            if match.start_time is not None and match.end_time is not None:
+                window = f"  time [{match.start_time:.1f}, {match.end_time:.1f}]"
+            print(
+                f"  trajectory {match.trajectory_id} "
+                f"edges [{match.start_edge_index}, {match.end_edge_index}]{window}"
+            )
+    return 0
+
+
+def _query_legacy(args: argparse.Namespace, path: list[Hashable]) -> int:
+    """Query a directory written by the legacy ``save_cinct`` format."""
+    saved = load_cinct(args.index)
+    if args.t_start is not None:
+        raise ReproError("legacy CiNCT directories do not support strict-path queries")
     if saved.alphabet is not None:
         try:
             pattern = saved.alphabet.encode_path(path)
-        except ReproError:
+        except AlphabetError:
             print("path: not found (unknown road segment)")
             return 0
     else:
-        pattern = [int(token) for token in args.path]
+        pattern = [int(token) for token in path]
     started = time.perf_counter()
     count = saved.index.count(pattern)
     elapsed = (time.perf_counter() - started) * 1e6
@@ -123,28 +177,32 @@ def _command_query(args: argparse.Namespace) -> int:
 
 def _command_compare(args: argparse.Namespace) -> int:
     bundle = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    bwt_result = bwt_of_bundle(bundle)
-    patterns = sample_query_workload(bwt_result, args.pattern_length, args.n_patterns, seed=0)
+    trajectories = [list(t) for t in bundle.symbol_trajectories]
+    paths = sample_paths(trajectories, args.pattern_length, args.n_patterns, seed=0)
     rows = []
-    for variant in args.variants:
-        built = build_index(variant, bwt_result, block_size=args.block_size)
+    for name in args.variants:
+        spec = backend_spec(name)
+        config = EngineConfig(backend=spec.name, block_size=args.block_size)
         started = time.perf_counter()
-        for pattern in patterns:
-            built.index.suffix_range(pattern)
-        mean_us = (time.perf_counter() - started) / max(len(patterns), 1) * 1e6
+        engine = TrajectoryEngine.build(trajectories, config)
+        build_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        engine.count_many(paths)
+        mean_us = (time.perf_counter() - started) / max(len(paths), 1) * 1e6
         rows.append(
             {
-                "method": variant,
-                "bits/symbol": round(built.bits_per_symbol(), 2),
+                "method": spec.display_name,
+                "size (bits)": engine.size_in_bits(),
+                "bits/symbol": round(engine.bits_per_symbol(), 2),
                 "search (us)": round(mean_us, 1),
-                "build (s)": round(built.build_seconds, 2),
+                "build (s)": round(build_seconds, 2),
             }
         )
     print(format_table(rows, title=f"{bundle.name} — size vs search time"))
     return 0
 
 
-def _parse_edge(token: str) -> object:
+def _parse_edge(token: str) -> Hashable:
     """Interpret a CLI path token as an int when possible, else a string."""
     try:
         return int(token)
@@ -169,19 +227,20 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=None)
     stats.set_defaults(handler=_command_stats)
 
-    build = subparsers.add_parser("build", help="build and persist a CiNCT index")
+    build = subparsers.add_parser("build", help="build and persist an index (any backend)")
     _add_dataset_arguments(build)
+    _add_backend_arguments(build)
     build.add_argument("--output", type=Path, required=True, help="directory for the saved index")
-    build.add_argument("--block-size", type=int, default=63, help="RRR block size b")
-    build.add_argument("--sa-sample-rate", type=int, default=None, help="suffix-array sampling rate")
     build.set_defaults(handler=_command_build)
 
     query = subparsers.add_parser("query", help="run a path query against a saved index")
     query.add_argument("--index", type=Path, required=True, help="directory of the saved index")
+    query.add_argument("--t-start", type=float, default=None, help="strict-path window start")
+    query.add_argument("--t-end", type=float, default=None, help="strict-path window end")
     query.add_argument("path", nargs="+", help="road segments of the query path, in travel order")
     query.set_defaults(handler=_command_query)
 
-    compare = subparsers.add_parser("compare", help="compare index variants on a dataset analogue")
+    compare = subparsers.add_parser("compare", help="compare index backends on a dataset analogue")
     compare.add_argument("--dataset", choices=paper_dataset_names(), required=True)
     compare.add_argument("--scale", type=float, default=0.2)
     compare.add_argument("--seed", type=int, default=None)
@@ -189,10 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--pattern-length", type=int, default=10)
     compare.add_argument("--n-patterns", type=int, default=20)
     compare.add_argument(
+        "--backends",
         "--variants",
+        dest="variants",
         nargs="+",
-        default=list(_DEFAULT_VARIANTS),
-        choices=list(_DEFAULT_VARIANTS),
+        default=list(available_backends()),
+        metavar="BACKEND",
+        help="registry keys or display names (default: every registered backend)",
     )
     compare.set_defaults(handler=_command_compare)
     return parser

@@ -28,7 +28,12 @@ from typing import Hashable, Literal, Sequence
 import numpy as np
 
 from ..exceptions import ConstructionError, QueryError
-from ..fmindex.base import FMIndexBase, batched_backward_search, iter_key_groups
+from ..fmindex.base import (
+    FMIndexBase,
+    batched_backward_search,
+    iter_key_groups,
+    validate_pattern,
+)
 from ..strings.bwt import BWTResult, burrows_wheeler_transform
 from ..strings.trajectory_string import TrajectoryString, build_trajectory_string
 from ..succinct import IntVector, bits_needed
@@ -495,13 +500,7 @@ class CiNCT:
         return int(np.searchsorted(self._c_array, j, side="right") - 1)
 
     def _validated_pattern(self, pattern: Sequence[int]) -> list[int]:
-        symbols = [int(s) for s in pattern]
-        if not symbols:
-            raise QueryError("the query pattern must contain at least one symbol")
-        for symbol in symbols:
-            if not 0 <= symbol < self._sigma:
-                raise QueryError(f"pattern symbol {symbol} outside alphabet [0, {self._sigma})")
-        return symbols
+        return validate_pattern(pattern, self._sigma)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

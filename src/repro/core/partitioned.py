@@ -21,23 +21,31 @@ rather than raw ``(sp, ep)`` pairs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Hashable, Iterator, Sequence
 
-from ..exceptions import ConstructionError, QueryError
+from ..exceptions import EMPTY_INDEX_MESSAGE, EMPTY_PATH_MESSAGE, ConstructionError, QueryError
 from ..strings.alphabet import Alphabet
+from ..strings.bwt import BWTResult, burrows_wheeler_transform
 from ..strings.trajectory_string import TrajectoryString, build_trajectory_string
 from .cinct import CiNCT
 
 
 @dataclass
 class Partition:
-    """One immutable CiNCT partition and the data it indexes."""
+    """One immutable CiNCT partition and the data it indexes.
+
+    The BWT artefacts are retained so the persistence layer can store them
+    and reload the partition in linear time, never re-sorting suffixes (the
+    same contract as the single-index backends).
+    """
 
     index: CiNCT
     trajectory_string: TrajectoryString
     n_trajectories: int
     first_trajectory_id: int
+    bwt_result: BWTResult | None = None
 
     def size_in_bits(self) -> int:
         """Index size of this partition."""
@@ -99,18 +107,7 @@ class PartitionedCiNCT:
 
         first_id = self.n_trajectories
         trajectory_string = build_trajectory_string(batch, alphabet=self._alphabet)
-        index = CiNCT.from_text(
-            trajectory_string.text,
-            sigma=self._alphabet.sigma,
-            block_size=self.block_size,
-            **self._cinct_kwargs,  # type: ignore[arg-type]
-        )
-        partition = Partition(
-            index=index,
-            trajectory_string=trajectory_string,
-            n_trajectories=len(batch),
-            first_trajectory_id=first_id,
-        )
+        partition = self._build_partition(trajectory_string, len(batch), first_id)
         self._partitions.append(partition)
         self._all_trajectories.extend(batch)
 
@@ -118,25 +115,68 @@ class PartitionedCiNCT:
             self.consolidate()
         return self._partitions[-1]
 
+    @classmethod
+    def from_parts(
+        cls,
+        alphabet: Alphabet,
+        partitions: Sequence[Partition],
+        block_size: int = 63,
+        max_partitions: int | None = None,
+        **cinct_kwargs: object,
+    ) -> "PartitionedCiNCT":
+        """Reassemble a partitioned index from already-built partitions.
+
+        This is the restore path used by the universal persistence layer: the
+        partitions arrive rebuilt from their stored BWT artefacts, and the
+        accumulated trajectory list is recovered by decoding each partition's
+        trajectory string, so :meth:`consolidate` keeps working after a reload.
+        """
+        index = cls(block_size=block_size, max_partitions=max_partitions, **cinct_kwargs)
+        index._alphabet = alphabet
+        for partition in partitions:
+            if partition.first_trajectory_id != index.n_trajectories:
+                raise ConstructionError(
+                    "partitions must be supplied in trajectory order "
+                    f"(expected first id {index.n_trajectories}, "
+                    f"got {partition.first_trajectory_id})"
+                )
+            index._partitions.append(partition)
+            index._all_trajectories.extend(
+                partition.trajectory_string.trajectory_edges(k)
+                for k in range(partition.n_trajectories)
+            )
+        return index
+
     def consolidate(self) -> Partition:
         """Rebuild a single partition over all accumulated trajectories."""
         if not self._all_trajectories:
             raise ConstructionError("nothing to consolidate: no trajectories were added")
         trajectory_string = build_trajectory_string(self._all_trajectories, alphabet=self._alphabet)
-        index = CiNCT.from_text(
-            trajectory_string.text,
-            sigma=self._alphabet.sigma,
+        partition = self._build_partition(trajectory_string, len(self._all_trajectories), 0)
+        self._partitions = [partition]
+        return partition
+
+    def _build_partition(
+        self, trajectory_string: TrajectoryString, n_trajectories: int, first_id: int
+    ) -> Partition:
+        started = time.perf_counter()
+        bwt_result = burrows_wheeler_transform(
+            trajectory_string.text, sigma=self._alphabet.sigma
+        )
+        bwt_seconds = time.perf_counter() - started
+        index = CiNCT(
+            bwt_result,
             block_size=self.block_size,
             **self._cinct_kwargs,  # type: ignore[arg-type]
         )
-        partition = Partition(
+        index.construction.bwt_seconds = bwt_seconds
+        return Partition(
             index=index,
             trajectory_string=trajectory_string,
-            n_trajectories=len(self._all_trajectories),
-            first_trajectory_id=0,
+            n_trajectories=n_trajectories,
+            first_trajectory_id=first_id,
+            bwt_result=bwt_result,
         )
-        self._partitions = [partition]
-        return partition
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -194,29 +234,67 @@ class PartitionedCiNCT:
         """Indices of the partitions in which the path occurs."""
         return [index for index, (_, count) in enumerate(self._per_partition_counts(path)) if count]
 
+    def count_encoded(self, pattern: Sequence[int]) -> int:
+        """Total occurrences of an already-encoded symbol pattern.
+
+        The symbol-level twin of :meth:`count`, used by the engine facade
+        (which performs its own path encoding and error normalisation).
+        """
+        return sum(self.counts_encoded_by_partition(pattern))
+
+    def counts_encoded_by_partition(self, pattern: Sequence[int]) -> list[int]:
+        """Occurrences of an encoded pattern in each partition (oldest first)."""
+        if not self._partitions:
+            raise QueryError(EMPTY_INDEX_MESSAGE)
+        symbols = [int(s) for s in pattern]
+        largest = max(symbols, default=-1)
+        counts: list[int] = []
+        for partition in self._partitions:
+            # Symbols introduced by later batches are outside this partition's
+            # alphabet, so the path cannot occur in it.
+            if largest >= partition.index.sigma:
+                counts.append(0)
+            else:
+                counts.append(partition.index.count(symbols))
+        return counts
+
+    def count_encoded_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+        """Batched :meth:`count_encoded` over a workload of encoded patterns.
+
+        Each partition answers the subset of patterns inside its alphabet with
+        one vectorized :meth:`CiNCT.count_many` pass; totals are accumulated
+        per pattern, bit-identical to the scalar loop.
+        """
+        if not self._partitions:
+            raise QueryError(EMPTY_INDEX_MESSAGE)
+        pats = [[int(s) for s in pattern] for pattern in patterns]
+        totals = [0] * len(pats)
+        for partition in self._partitions:
+            sigma = partition.index.sigma
+            inside = [i for i, pattern in enumerate(pats) if max(pattern, default=-1) < sigma]
+            if not inside:
+                continue
+            for i, count in zip(inside, partition.index.count_many([pats[i] for i in inside])):
+                totals[i] += count
+        return totals
+
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
     def _per_partition_counts(self, path: Sequence[Hashable]) -> list[tuple[Partition, int]]:
         if not self._partitions:
-            raise QueryError("the partitioned index is empty; add a batch first")
+            raise QueryError(EMPTY_INDEX_MESSAGE)
         edges = list(path)
         if not edges:
-            raise QueryError("the query path must contain at least one segment")
+            raise QueryError(EMPTY_PATH_MESSAGE)
         if any(edge not in self._alphabet for edge in edges):
             # A segment never observed in any batch cannot match anywhere.
+            # (The engine facade is stricter and raises AlphabetError; this
+            # lenient behaviour is kept for the original entry point.)
             return [(partition, 0) for partition in self._partitions]
         pattern = self._alphabet.encode_path(edges)
-        largest = max(pattern)
-        counts: list[tuple[Partition, int]] = []
-        for partition in self._partitions:
-            # Symbols introduced by later batches are outside this partition's
-            # alphabet, so the path cannot occur in it.
-            if largest >= partition.index.sigma:
-                counts.append((partition, 0))
-            else:
-                counts.append((partition, partition.index.count(pattern)))
-        return counts
+        counts = self.counts_encoded_by_partition(pattern)
+        return list(zip(self._partitions, counts))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -7,9 +7,10 @@ network — the underlying :class:`~repro.trajectories.model.TrajectoryDataset`
 so that network-dependent baselines (PRESS) can run.
 
 The ``scale`` parameter multiplies the number of trajectories, so tests run on
-small instances while the benchmark harness uses larger ones.  DESIGN.md
-documents how each analogue preserves the property of the original dataset
-that matters to CiNCT (ET-graph sparsity, gap density, go-straight bias).
+small instances while the benchmark harness uses larger ones.  Each builder's
+docstring documents how its analogue preserves the property of the original
+dataset that matters to CiNCT (ET-graph sparsity, gap density, go-straight
+bias).
 """
 
 from __future__ import annotations
@@ -23,7 +24,6 @@ from ..mapmatching import HMMMapMatcher, match_traces
 from ..network import grid_network
 from ..strings.trajectory_string import TrajectoryString, trajectory_string_from_symbols
 from ..trajectories import (
-    Trajectory,
     TrajectoryDataset,
     inject_gaps,
     interpolate_gaps,

@@ -1,0 +1,68 @@
+"""Unified engine facade: one config/registry/query API over every backend.
+
+* :class:`TrajectoryEngine` — build/persist/reload/query any registered index
+  backend with raw edge sequences (see :mod:`repro.engine.engine`);
+* :class:`EngineConfig` — the single construction-parameter surface;
+* the backend registry (:func:`available_backends`, :func:`register_backend`,
+  :class:`BackendSpec`) unifying CiNCT, the partitioned CiNCT, every Table-II
+  FM-index baseline and the linear-scan baseline;
+* the typed query layer (:class:`CountQuery` ... :class:`StrictPathResult`)
+  with the batch-first :meth:`TrajectoryEngine.run_many` entry point.
+"""
+
+# Importing .backends populates the registry as a side effect.
+from .backends import (
+    CiNCTBackend,
+    EngineBackend,
+    FMBaselineBackend,
+    LinearScanBackend,
+    PartitionedBackend,
+)
+from .config import EngineConfig
+from .engine import TrajectoryEngine, sample_paths
+from .queries import (
+    ContainsQuery,
+    ContainsResult,
+    CountQuery,
+    CountResult,
+    EngineQuery,
+    EngineResult,
+    ExtractQuery,
+    ExtractResult,
+    LocateQuery,
+    LocateResult,
+    StrictPathQuery,
+    StrictPathResult,
+)
+from .registry import BackendSpec, available_backends, backend_spec, backend_specs, register_backend
+
+__all__ = [
+    "TrajectoryEngine",
+    "EngineConfig",
+    "sample_paths",
+    # registry
+    "BackendSpec",
+    "register_backend",
+    "backend_spec",
+    "backend_specs",
+    "available_backends",
+    # backends
+    "EngineBackend",
+    "CiNCTBackend",
+    "PartitionedBackend",
+    "FMBaselineBackend",
+    "LinearScanBackend",
+    # queries
+    "EngineQuery",
+    "EngineResult",
+    "CountQuery",
+    "CountResult",
+    "ContainsQuery",
+    "ContainsResult",
+    "LocateQuery",
+    "LocateResult",
+    "ExtractQuery",
+    "ExtractResult",
+    "StrictPathQuery",
+    "StrictPathResult",
+]

@@ -1,0 +1,663 @@
+"""Backend adapters: one protocol over every index implementation.
+
+Each adapter wraps one of the repository's index structures — CiNCT, the
+partitioned CiNCT, the Table-II FM-index baselines, the linear-scan baseline —
+behind the uniform :class:`EngineBackend` surface the
+:class:`~repro.engine.TrajectoryEngine` facade drives:
+
+* symbol-level ``count`` / ``contains`` / ``count_many`` (the facade encodes
+  raw edge paths before calling in);
+* ``locate_matches`` resolving every occurrence to travel-order coordinates
+  via the shared :func:`~repro.queries.strict_path.resolve_text_position`;
+* Algorithm-4 ``extract`` where a suffix structure exists;
+* ``save_state`` / ``load`` hooks dispatched by the universal persistence
+  layer in :mod:`repro.io.index_io`.
+
+Importing this module populates the backend registry.
+"""
+
+from __future__ import annotations
+
+import abc
+from functools import partial
+from pathlib import Path
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..core.cinct import CiNCT
+from ..core.partitioned import Partition, PartitionedCiNCT
+from ..exceptions import EMPTY_INDEX_MESSAGE, ConstructionError, DatasetError, QueryError
+from ..fmindex.base import FMIndexBase
+from ..fmindex.linear_scan import LinearScanIndex
+from ..fmindex.variants import available_baselines, build_baseline
+from ..queries.strict_path import resolve_text_position
+from ..strings.alphabet import Alphabet
+from ..strings.bwt import BWTResult, burrows_wheeler_transform
+from ..strings.trajectory_string import TrajectoryString, build_trajectory_string
+from .config import EngineConfig
+from .registry import BackendSpec, register_backend
+
+#: ``(trajectory_id, start_edge_index, end_edge_index)`` in travel order.
+RawMatch = tuple[int, int, int]
+
+
+class EngineBackend(abc.ABC):
+    """Uniform adapter surface every registered backend implements.
+
+    Capability flags live on the :class:`~repro.engine.registry.BackendSpec`
+    (the single source of truth the facade and tests consult); adapters
+    enforce them by raising :class:`~repro.exceptions.QueryError` from the
+    default implementations below.
+    """
+
+    spec_name: str = ""
+
+    # ------------------------------------------------------------------ #
+    # identity and bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def alphabet(self) -> Alphabet:
+        """Alphabet mapping raw edge IDs to the symbols this backend indexes."""
+
+    @property
+    @abc.abstractmethod
+    def length(self) -> int:
+        """Total indexed trajectory-string length (including separators)."""
+
+    @property
+    @abc.abstractmethod
+    def n_trajectories(self) -> int:
+        """Number of indexed trajectories."""
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size."""
+        return self.alphabet.sigma
+
+    @abc.abstractmethod
+    def size_in_bits(self) -> int:
+        """Total index size in bits."""
+
+    # ------------------------------------------------------------------ #
+    # queries (symbol level; the facade encodes and validates paths)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def count(self, pattern: Sequence[int]) -> int:
+        """Occurrences of an encoded pattern."""
+
+    @abc.abstractmethod
+    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+        """Batched :meth:`count` (vectorized where the backend supports it)."""
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        """True when the encoded pattern occurs at least once."""
+        return self.count(pattern) > 0
+
+    def locate_matches(self, pattern: Sequence[int]) -> list[RawMatch]:
+        """Resolve every occurrence to travel-order trajectory coordinates."""
+        raise QueryError(
+            f"locate is not supported by the {self.spec_name!r} backend"
+        )
+
+    def extract(self, row: int, length: int) -> list[int]:
+        """Algorithm-4 extraction by BWT row (symbol output)."""
+        raise QueryError(
+            f"extract is not supported by the {self.spec_name!r} backend"
+        )
+
+    def extract_many(self, rows: Sequence[int], length: int) -> list[list[int]]:
+        """Batched :meth:`extract`."""
+        raise QueryError(
+            f"extract is not supported by the {self.spec_name!r} backend"
+        )
+
+    def add_batch(self, trajectories: Sequence[Sequence[Hashable]]) -> None:
+        """Index newly arrived trajectories (growth-capable backends only)."""
+        raise ConstructionError(
+            f"the {self.spec_name!r} backend is immutable once built; "
+            "use the 'partitioned-cinct' backend for growing collections"
+        )
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of independent partitions (1 for monolithic backends)."""
+        return 1
+
+    def consolidate(self) -> None:
+        """Merge all partitions into one (growth-capable backends only)."""
+        raise ConstructionError(
+            f"the {self.spec_name!r} backend is monolithic and cannot be "
+            "consolidated; use the 'partitioned-cinct' backend for growing "
+            "collections"
+        )
+
+    # ------------------------------------------------------------------ #
+    # persistence hooks (dispatched through the registry)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def save_state(self, directory: Path) -> dict[str, object]:
+        """Write backend arrays under ``directory``; return JSON-safe metadata."""
+
+
+# --------------------------------------------------------------------------- #
+# single-trajectory-string backends
+# --------------------------------------------------------------------------- #
+class _SingleStringBackend(EngineBackend):
+    """Shared plumbing for backends indexing one concatenated string."""
+
+    def __init__(self, trajectory_string: TrajectoryString):
+        self._trajectory_string = trajectory_string
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._trajectory_string.alphabet
+
+    @property
+    def trajectory_string(self) -> TrajectoryString:
+        """The indexed trajectory string (alphabet, offsets, lengths)."""
+        return self._trajectory_string
+
+    @property
+    def length(self) -> int:
+        return self._trajectory_string.length
+
+    @property
+    def n_trajectories(self) -> int:
+        return self._trajectory_string.n_trajectories
+
+    def _occurrence_positions(self, pattern: Sequence[int]) -> list[int]:
+        """Start positions (in the stored text) of the reversed pattern."""
+        raise QueryError(
+            f"locate is not supported by the {self.spec_name!r} backend"
+        )
+
+    def locate_matches(self, pattern: Sequence[int]) -> list[RawMatch]:
+        matches: list[RawMatch] = []
+        for position in self._occurrence_positions(pattern):
+            resolved = resolve_text_position(
+                self._trajectory_string, int(position), len(pattern)
+            )
+            if resolved is not None:
+                matches.append(resolved)
+        matches.sort()
+        return matches
+
+    def _string_meta(self) -> dict[str, object]:
+        return {
+            "trajectory_lengths": [int(v) for v in self._trajectory_string.trajectory_lengths],
+            "trajectory_offsets": [int(v) for v in self._trajectory_string.trajectory_offsets],
+        }
+
+    @staticmethod
+    def _string_from_meta(
+        text: np.ndarray, alphabet: Alphabet, meta: dict[str, object]
+    ) -> TrajectoryString:
+        return TrajectoryString(
+            text=np.asarray(text, dtype=np.int64),
+            alphabet=alphabet,
+            trajectory_lengths=[int(v) for v in meta["trajectory_lengths"]],  # type: ignore[union-attr]
+            trajectory_offsets=[int(v) for v in meta["trajectory_offsets"]],  # type: ignore[union-attr]
+        )
+
+
+class _BWTBackend(_SingleStringBackend):
+    """Shared plumbing for BWT-based backends (CiNCT and the FM baselines)."""
+
+    def __init__(
+        self,
+        trajectory_string: TrajectoryString,
+        bwt_result: BWTResult,
+        index: CiNCT | FMIndexBase,
+    ):
+        super().__init__(trajectory_string)
+        self._bwt_result = bwt_result
+        self._index = index
+
+    @property
+    def index(self) -> CiNCT | FMIndexBase:
+        """The wrapped index structure."""
+        return self._index
+
+    @property
+    def bwt_result(self) -> BWTResult:
+        """The BWT artefacts the index was built from (kept for persistence)."""
+        return self._bwt_result
+
+    def count(self, pattern: Sequence[int]) -> int:
+        return self._index.count(pattern)
+
+    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+        return self._index.count_many(patterns)
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        return self._index.contains(pattern)
+
+    def extract(self, row: int, length: int) -> list[int]:
+        return self._index.extract(row, length)
+
+    def extract_many(self, rows: Sequence[int], length: int) -> list[list[int]]:
+        return self._index.extract_many(rows, length)
+
+    def size_in_bits(self) -> int:
+        return self._index.size_in_bits()
+
+    def save_state(self, directory: Path) -> dict[str, object]:
+        from ..io.index_io import save_bwt_result
+
+        save_bwt_result(self._bwt_result, directory / "bwt.npz")
+        return self._string_meta()
+
+    @staticmethod
+    def _build_artefacts(
+        trajectories: Sequence[Sequence[Hashable]],
+    ) -> tuple[TrajectoryString, BWTResult]:
+        trajectory_string = build_trajectory_string(trajectories)
+        bwt_result = burrows_wheeler_transform(
+            trajectory_string.text, sigma=trajectory_string.sigma
+        )
+        return trajectory_string, bwt_result
+
+    @staticmethod
+    def _load_artefacts(
+        directory: Path, meta: dict[str, object], alphabet: Alphabet
+    ) -> tuple[TrajectoryString, BWTResult]:
+        from ..io.index_io import load_bwt_result
+
+        bwt_result = load_bwt_result(directory / "bwt.npz")
+        trajectory_string = _SingleStringBackend._string_from_meta(
+            bwt_result.text, alphabet, meta
+        )
+        return trajectory_string, bwt_result
+
+
+class CiNCTBackend(_BWTBackend):
+    """The paper's compressed index (RML + PseudoRank over an HWT)."""
+
+    spec_name = "cinct"
+
+    def __init__(
+        self, trajectory_string: TrajectoryString, bwt_result: BWTResult, index: CiNCT
+    ):
+        super().__init__(trajectory_string, bwt_result, index)
+
+    @classmethod
+    def build(
+        cls, trajectories: Sequence[Sequence[Hashable]], config: EngineConfig
+    ) -> "CiNCTBackend":
+        """Construct the backend from raw trajectories."""
+        trajectory_string, bwt_result = cls._build_artefacts(trajectories)
+        return cls(trajectory_string, bwt_result, cls._make_index(bwt_result, config))
+
+    @classmethod
+    def load(
+        cls,
+        directory: Path,
+        meta: dict[str, object],
+        config: EngineConfig,
+        alphabet: Alphabet,
+    ) -> "CiNCTBackend":
+        """Rebuild the backend from persisted state (no suffix re-sorting)."""
+        trajectory_string, bwt_result = cls._load_artefacts(directory, meta, alphabet)
+        return cls(trajectory_string, bwt_result, cls._make_index(bwt_result, config))
+
+    @staticmethod
+    def _make_index(bwt_result: BWTResult, config: EngineConfig) -> CiNCT:
+        return CiNCT(
+            bwt_result,
+            block_size=config.block_size,
+            labeling_strategy=config.labeling_strategy,  # type: ignore[arg-type]
+            sa_sample_rate=config.sa_sample_rate,
+        )
+
+    def _occurrence_positions(self, pattern: Sequence[int]) -> list[int]:
+        index = self._index
+        assert isinstance(index, CiNCT)
+        found = index.suffix_range(pattern)
+        if found is None:
+            return []
+        sp, ep = found
+        if index._sa_samples is not None:
+            # compressed locate: batched LF-walk to the sampled rows
+            return index.locate_many(range(sp, ep))
+        # Unsampled index: fall back to the retained suffix array, which the
+        # engine keeps for persistence anyway.
+        return [int(v) for v in self._bwt_result.suffix_array[sp:ep]]
+
+
+class FMBaselineBackend(_BWTBackend):
+    """Any Table-II FM-index baseline (UFMI, ICB-WM, ICB-Huff, FM-GMR, FM-AP-HYB)."""
+
+    def __init__(
+        self,
+        trajectory_string: TrajectoryString,
+        bwt_result: BWTResult,
+        index: FMIndexBase,
+        variant: str,
+    ):
+        super().__init__(trajectory_string, bwt_result, index)
+        self.spec_name = variant.lower()
+        self.variant = variant
+
+    @classmethod
+    def build(
+        cls,
+        trajectories: Sequence[Sequence[Hashable]],
+        config: EngineConfig,
+        variant: str = "UFMI",
+    ) -> "FMBaselineBackend":
+        """Construct the named baseline from raw trajectories."""
+        trajectory_string, bwt_result = cls._build_artefacts(trajectories)
+        index = build_baseline(variant, bwt_result, block_size=config.block_size)
+        return cls(trajectory_string, bwt_result, index, variant)
+
+    @classmethod
+    def load(
+        cls,
+        directory: Path,
+        meta: dict[str, object],
+        config: EngineConfig,
+        alphabet: Alphabet,
+        variant: str = "UFMI",
+    ) -> "FMBaselineBackend":
+        """Rebuild the named baseline from persisted state."""
+        trajectory_string, bwt_result = cls._load_artefacts(directory, meta, alphabet)
+        index = build_baseline(variant, bwt_result, block_size=config.block_size)
+        return cls(trajectory_string, bwt_result, index, variant)
+
+    def _occurrence_positions(self, pattern: Sequence[int]) -> list[int]:
+        found = self._index.suffix_range(pattern)
+        if found is None:
+            return []
+        sp, ep = found
+        return [int(v) for v in self._bwt_result.suffix_array[sp:ep]]
+
+
+class LinearScanBackend(_SingleStringBackend):
+    """Boyer–Moore–Horspool scanning of the uncompressed trajectory string."""
+
+    spec_name = "linear-scan"
+
+    def __init__(self, trajectory_string: TrajectoryString):
+        super().__init__(trajectory_string)
+        self._index = LinearScanIndex(
+            trajectory_string.text, sigma=trajectory_string.sigma
+        )
+
+    @classmethod
+    def build(
+        cls, trajectories: Sequence[Sequence[Hashable]], config: EngineConfig
+    ) -> "LinearScanBackend":
+        """Construct the scanner from raw trajectories (no BWT needed)."""
+        return cls(build_trajectory_string(trajectories))
+
+    @classmethod
+    def load(
+        cls,
+        directory: Path,
+        meta: dict[str, object],
+        config: EngineConfig,
+        alphabet: Alphabet,
+    ) -> "LinearScanBackend":
+        """Rebuild the scanner from the persisted raw text."""
+        path = directory / "text.npz"
+        if not path.exists():
+            raise DatasetError(f"linear-scan text archive not found: {path}")
+        with np.load(path) as archive:
+            text = archive["text"].astype(np.int64)
+        return cls(cls._string_from_meta(text, alphabet, meta))
+
+    @property
+    def index(self) -> LinearScanIndex:
+        """The wrapped scanner."""
+        return self._index
+
+    def count(self, pattern: Sequence[int]) -> int:
+        return self._index.count(pattern)
+
+    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+        return self._index.count_many(patterns)
+
+    def contains(self, pattern: Sequence[int]) -> bool:
+        return self._index.contains(pattern)
+
+    def size_in_bits(self) -> int:
+        return self._index.size_in_bits()
+
+    def _occurrence_positions(self, pattern: Sequence[int]) -> list[int]:
+        return self._index.occurrences(pattern)
+
+    def save_state(self, directory: Path) -> dict[str, object]:
+        np.savez_compressed(directory / "text.npz", text=self._trajectory_string.text)
+        return self._string_meta()
+
+
+# --------------------------------------------------------------------------- #
+# partitioned backend
+# --------------------------------------------------------------------------- #
+class PartitionedBackend(EngineBackend):
+    """Growing collection of CiNCT partitions over a shared alphabet."""
+
+    spec_name = "partitioned-cinct"
+
+    def __init__(self, partitioned: PartitionedCiNCT):
+        self._partitioned = partitioned
+
+    @classmethod
+    def build(
+        cls, trajectories: Sequence[Sequence[Hashable]], config: EngineConfig
+    ) -> "PartitionedBackend":
+        """Construct the backend; an empty trajectory list starts an empty fleet."""
+        partitioned = PartitionedCiNCT(
+            block_size=config.block_size,
+            max_partitions=config.max_partitions,
+            **cls._cinct_kwargs(config),
+        )
+        trajectories = list(trajectories)
+        if trajectories:
+            partitioned.add_batch(trajectories)
+        return cls(partitioned)
+
+    @classmethod
+    def load(
+        cls,
+        directory: Path,
+        meta: dict[str, object],
+        config: EngineConfig,
+        alphabet: Alphabet,
+    ) -> "PartitionedBackend":
+        """Rebuild every partition from its persisted BWT artefacts.
+
+        Like the single-index backends, the succinct structures come back in
+        linear time from the stored arrays — the suffix sort is never re-run.
+        """
+        from ..io.index_io import load_bwt_result
+
+        partitions: list[Partition] = []
+        for entry in meta.get("partitions", []):  # type: ignore[union-attr]
+            archive_path = directory / str(entry["archive"])
+            if not archive_path.exists():
+                raise DatasetError(f"partition archive not found: {archive_path}")
+            bwt_result = load_bwt_result(archive_path)
+            trajectory_string = TrajectoryString(
+                text=bwt_result.text,
+                alphabet=alphabet,
+                trajectory_lengths=[int(v) for v in entry["trajectory_lengths"]],
+                trajectory_offsets=[int(v) for v in entry["trajectory_offsets"]],
+            )
+            index = CiNCT(
+                bwt_result,
+                block_size=config.block_size,
+                **cls._cinct_kwargs(config),
+            )
+            partitions.append(
+                Partition(
+                    index=index,
+                    trajectory_string=trajectory_string,
+                    n_trajectories=int(entry["n_trajectories"]),
+                    first_trajectory_id=int(entry["first_trajectory_id"]),
+                    bwt_result=bwt_result,
+                )
+            )
+        partitioned = PartitionedCiNCT.from_parts(
+            alphabet,
+            partitions,
+            block_size=config.block_size,
+            max_partitions=config.max_partitions,
+            **cls._cinct_kwargs(config),
+        )
+        return cls(partitioned)
+
+    @staticmethod
+    def _cinct_kwargs(config: EngineConfig) -> dict[str, object]:
+        kwargs: dict[str, object] = {"labeling_strategy": config.labeling_strategy}
+        if config.sa_sample_rate is not None:
+            kwargs["sa_sample_rate"] = config.sa_sample_rate
+        return kwargs
+
+    @property
+    def partitioned(self) -> PartitionedCiNCT:
+        """The wrapped partitioned index."""
+        return self._partitioned
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._partitioned.alphabet
+
+    @property
+    def length(self) -> int:
+        return self._partitioned.total_symbols()
+
+    @property
+    def n_trajectories(self) -> int:
+        return self._partitioned.n_trajectories
+
+    def size_in_bits(self) -> int:
+        return self._partitioned.size_in_bits()
+
+    def count(self, pattern: Sequence[int]) -> int:
+        return self._partitioned.count_encoded(pattern)
+
+    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+        return self._partitioned.count_encoded_many(patterns)
+
+    def locate_matches(self, pattern: Sequence[int]) -> list[RawMatch]:
+        if self._partitioned.n_partitions == 0:
+            raise QueryError(EMPTY_INDEX_MESSAGE)
+        pattern = [int(s) for s in pattern]
+        largest = max(pattern, default=-1)
+        matches: list[RawMatch] = []
+        for partition in self._partitioned.partitions():
+            index = partition.index
+            if largest >= index.sigma:
+                continue
+            found = index.suffix_range(pattern)
+            if found is None:
+                continue
+            sp, ep = found
+            for position in index.locate_many(range(sp, ep)):
+                resolved = resolve_text_position(
+                    partition.trajectory_string, int(position), len(pattern)
+                )
+                if resolved is None:
+                    continue
+                local_index, start, end = resolved
+                matches.append((partition.first_trajectory_id + local_index, start, end))
+        matches.sort()
+        return matches
+
+    def add_batch(self, trajectories: Sequence[Sequence[Hashable]]) -> None:
+        self._partitioned.add_batch(trajectories)
+
+    @property
+    def n_partitions(self) -> int:
+        return self._partitioned.n_partitions
+
+    def consolidate(self) -> None:
+        self._partitioned.consolidate()
+
+    def save_state(self, directory: Path) -> dict[str, object]:
+        from ..io.index_io import save_bwt_result
+
+        entries: list[dict[str, object]] = []
+        for k, partition in enumerate(self._partitioned.partitions()):
+            archive = f"partition_{k}.npz"
+            bwt_result = partition.bwt_result
+            if bwt_result is None:
+                # Partitions assembled outside add_batch/consolidate may lack
+                # retained artefacts; recompute once so the reload stays linear.
+                bwt_result = burrows_wheeler_transform(
+                    partition.trajectory_string.text, sigma=partition.index.sigma
+                )
+            save_bwt_result(bwt_result, directory / archive)
+            entries.append(
+                {
+                    "archive": archive,
+                    "n_trajectories": int(partition.n_trajectories),
+                    "first_trajectory_id": int(partition.first_trajectory_id),
+                    "trajectory_lengths": [
+                        int(v) for v in partition.trajectory_string.trajectory_lengths
+                    ],
+                    "trajectory_offsets": [
+                        int(v) for v in partition.trajectory_string.trajectory_offsets
+                    ],
+                }
+            )
+        return {"partitions": entries}
+
+
+# --------------------------------------------------------------------------- #
+# registry population
+# --------------------------------------------------------------------------- #
+register_backend(
+    BackendSpec(
+        name="cinct",
+        display_name="CiNCT",
+        factory=CiNCTBackend.build,
+        loader=CiNCTBackend.load,
+        description="RML-labelled BWT in a Huffman wavelet tree over RRR (the paper)",
+    )
+)
+register_backend(
+    BackendSpec(
+        name="partitioned-cinct",
+        display_name="CiNCT-Part",
+        factory=PartitionedBackend.build,
+        loader=PartitionedBackend.load,
+        description="immutable CiNCT partitions over a shared alphabet (growing fleets)",
+        aliases=("partitioned",),
+        supports_extract=False,
+        supports_growth=True,
+    )
+)
+
+_BASELINE_DESCRIPTIONS = {
+    "UFMI": "wavelet matrix over the BWT with plain bitmaps",
+    "ICB-WM": "wavelet matrix over the BWT with RRR bitmaps",
+    "ICB-Huff": "Huffman wavelet tree over the BWT with RRR bitmaps",
+    "FM-GMR": "per-symbol position lists (largest but fast)",
+    "FM-AP-HYB": "alphabet-partitioned nested wavelet matrices",
+}
+for _variant in available_baselines():
+    register_backend(
+        BackendSpec(
+            name=_variant.lower(),
+            display_name=_variant,
+            factory=partial(FMBaselineBackend.build, variant=_variant),
+            loader=partial(FMBaselineBackend.load, variant=_variant),
+            description=_BASELINE_DESCRIPTIONS.get(_variant, ""),
+        )
+    )
+
+register_backend(
+    BackendSpec(
+        name="linear-scan",
+        display_name="LinearScan",
+        factory=LinearScanBackend.build,
+        loader=LinearScanBackend.load,
+        description="Boyer–Moore–Horspool over the raw 32-bit string (no index)",
+        aliases=("linearscan", "scan"),
+        supports_extract=False,
+    )
+)

@@ -1,0 +1,82 @@
+"""Engine configuration.
+
+:class:`EngineConfig` is the single knob surface of the
+:class:`~repro.engine.engine.TrajectoryEngine` facade: it names the backend
+(a key of the :mod:`~repro.engine.registry`) and carries every tuning
+parameter a backend may consume.  Backends ignore knobs that do not apply to
+them (``sa_sample_rate`` means nothing to a linear scan, ``max_partitions``
+only matters to the partitioned backend), so one config type serves the whole
+registry and round-trips through the persistence layer unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+from ..exceptions import ConstructionError
+
+DEFAULT_BACKEND = "cinct"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Construction parameters for a :class:`~repro.engine.TrajectoryEngine`.
+
+    Parameters
+    ----------
+    backend:
+        Registry key of the index backend (see
+        :func:`~repro.engine.registry.available_backends`).  Matching is
+        case-insensitive and accepts the display aliases (``"CiNCT"``,
+        ``"UFMI"``, ...).
+    block_size:
+        RRR block size ``b`` for the compressed backends.
+    sa_sample_rate:
+        Suffix-array sampling rate; required by the CiNCT-family backends for
+        locate and strict-path queries.  ``None`` disables sampling (matching
+        the paper's size accounting).
+    max_partitions:
+        Partitioning knob: when set, the partitioned backend consolidates
+        automatically once the partition count exceeds this bound.
+    temporal_index:
+        When true (default) and every trajectory carries timestamps, the
+        engine builds a :class:`~repro.queries.temporal.TemporalIndex`
+        companion used to pre-filter strict-path queries.
+    labeling_strategy:
+        RML labelling strategy forwarded to CiNCT-family backends
+        (``"bigram"``, ``"unigram"`` or ``"random"``).
+    """
+
+    backend: str = DEFAULT_BACKEND
+    block_size: int = 63
+    sa_sample_rate: int | None = None
+    max_partitions: int | None = None
+    temporal_index: bool = True
+    labeling_strategy: str = "bigram"
+
+    def __post_init__(self) -> None:
+        if not self.backend or not str(self.backend).strip():
+            raise ConstructionError("the backend name must be a non-empty string")
+        if self.block_size < 1:
+            raise ConstructionError(f"block_size must be positive, got {self.block_size}")
+        if self.sa_sample_rate is not None and self.sa_sample_rate < 1:
+            raise ConstructionError(
+                f"sa_sample_rate must be a positive integer when given, got {self.sa_sample_rate}"
+            )
+        if self.max_partitions is not None and self.max_partitions < 1:
+            raise ConstructionError(
+                f"max_partitions must be at least 1 when given, got {self.max_partitions}"
+            )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe representation, used by the persistence layer."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "EngineConfig":
+        """Rebuild a config from :meth:`as_dict` output (unknown keys rejected)."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConstructionError(f"unknown EngineConfig fields: {sorted(unknown)}")
+        return cls(**data)  # type: ignore[arg-type]

@@ -1,0 +1,478 @@
+"""The :class:`TrajectoryEngine` facade.
+
+One import — ``from repro.engine import TrajectoryEngine, EngineConfig`` — is
+enough to build, persist, reload and query *any* registered index backend
+with raw edge sequences::
+
+    engine = TrajectoryEngine.build(
+        [["e1", "e2", "e3"], ["e2", "e3", "e4"]],
+        EngineConfig(backend="cinct", sa_sample_rate=8),
+    )
+    engine.count(["e2", "e3"])            # -> 2
+    engine.save("my-index")
+    TrajectoryEngine.load("my-index").count(["e2", "e3"])  # -> 2
+
+The facade owns everything that used to force callers through per-backend
+entry points: pattern encoding against the backend's alphabet, the canonical
+:class:`~repro.exceptions.QueryError` / :class:`~repro.exceptions.AlphabetError`
+behaviour, temporal filtering for strict-path queries, and the batch-first
+:meth:`TrajectoryEngine.run_many` routing into the vectorized ``*_many``
+query paths.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import (
+    EMPTY_INDEX_MESSAGE,
+    EMPTY_PATH_MESSAGE,
+    ConstructionError,
+    DatasetError,
+    QueryError,
+)
+from ..queries.strict_path import StrictPathMatch
+from ..queries.temporal import TemporalIndex
+from ..strings.alphabet import SEP_SYMBOL, Alphabet
+from ..trajectories.model import Trajectory, TrajectoryDataset
+from .backends import EngineBackend
+from .config import EngineConfig
+from .queries import (
+    ContainsQuery,
+    ContainsResult,
+    CountQuery,
+    CountResult,
+    EngineQuery,
+    EngineResult,
+    ExtractQuery,
+    ExtractResult,
+    LocateQuery,
+    LocateResult,
+    StrictPathQuery,
+    StrictPathResult,
+)
+from .registry import BackendSpec, backend_spec
+
+
+def _normalise_trajectories(
+    trajectories: TrajectoryDataset | Iterable[Trajectory | Sequence[Hashable]],
+) -> tuple[list[list[Hashable]], list[list[float] | None]]:
+    """Split any accepted input shape into (edge lists, per-trajectory times)."""
+    if isinstance(trajectories, TrajectoryDataset):
+        trajectories = trajectories.trajectories
+    edges: list[list[Hashable]] = []
+    timestamps: list[list[float] | None] = []
+    for trajectory in trajectories:
+        if isinstance(trajectory, Trajectory):
+            edges.append(list(trajectory.edges))
+            timestamps.append(
+                list(trajectory.timestamps) if trajectory.timestamps is not None else None
+            )
+        else:
+            edges.append(list(trajectory))
+            timestamps.append(None)
+    return edges, timestamps
+
+
+def sample_paths(
+    trajectories: TrajectoryDataset | Iterable[Trajectory | Sequence[Hashable]],
+    pattern_length: int,
+    n_paths: int,
+    seed: int = 0,
+) -> list[list[Hashable]]:
+    """Sample query paths (raw edges, travel order) from real trajectories.
+
+    The backend-independent analogue of the paper's workload protocol
+    ("queries randomly sampled from the data"): windows are drawn from the
+    trajectories themselves, so they never straddle a separator and can be fed
+    straight into :meth:`TrajectoryEngine.count` on any backend.
+    """
+    if pattern_length < 1:
+        raise DatasetError("pattern_length must be positive")
+    if n_paths < 1:
+        raise DatasetError("n_paths must be positive")
+    edges, _ = _normalise_trajectories(trajectories)
+    eligible = [t for t in edges if len(t) >= pattern_length]
+    if not eligible:
+        raise DatasetError(
+            f"no trajectory is at least {pattern_length} segments long; "
+            "shorten the pattern length"
+        )
+    rng = np.random.default_rng(seed)
+    paths: list[list[Hashable]] = []
+    for _ in range(n_paths):
+        trajectory = eligible[int(rng.integers(len(eligible)))]
+        start = int(rng.integers(0, len(trajectory) - pattern_length + 1))
+        paths.append(list(trajectory[start : start + pattern_length]))
+    return paths
+
+
+class TrajectoryEngine:
+    """Unified query facade over every registered index backend.
+
+    Instances are created with :meth:`build` (from raw trajectories or a
+    :class:`~repro.trajectories.TrajectoryDataset`) or :meth:`load` (from a
+    directory written by :meth:`save`); the constructor is an internal
+    assembly point shared by both paths.
+    """
+
+    def __init__(
+        self,
+        backend: EngineBackend,
+        config: EngineConfig,
+        timestamps: Sequence[list[float] | None] = (),
+    ):
+        self._backend = backend
+        self._config = config
+        self._spec = backend_spec(config.backend)
+        self._timestamps: list[list[float] | None] = list(timestamps)
+        self._validate_timestamps(self._timestamps, first_id=0)
+        # The temporal companion is built lazily (and only once per growth
+        # step), so streaming ingestion stays linear in the fleet size.
+        self._temporal: TemporalIndex | None = None
+        self._temporal_fresh = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        trajectories: TrajectoryDataset | Iterable[Trajectory | Sequence[Hashable]],
+        config: EngineConfig | None = None,
+    ) -> "TrajectoryEngine":
+        """Build an engine from raw trajectories (or a dataset) and a config.
+
+        An empty trajectory collection is only allowed for growth-capable
+        backends (start an empty fleet, then :meth:`add_batch`).
+        """
+        config = config or EngineConfig()
+        spec = backend_spec(config.backend)
+        edges, timestamps = _normalise_trajectories(trajectories)
+        if not edges and not spec.supports_growth:
+            raise ConstructionError(
+                "cannot build a trajectory string from zero trajectories"
+            )
+        backend = spec.factory(edges, config)
+        return cls(backend, config, timestamps)
+
+    @classmethod
+    def load(cls, directory) -> "TrajectoryEngine":
+        """Reload an engine persisted with :meth:`save` (any backend)."""
+        from ..io.index_io import load_index
+
+        return load_index(directory)
+
+    def save(self, directory) -> None:
+        """Persist the engine (config + alphabet + backend state) to a directory."""
+        from ..io.index_io import save_index
+
+        save_index(self, directory)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> EngineConfig:
+        """The construction configuration."""
+        return self._config
+
+    @property
+    def spec(self) -> BackendSpec:
+        """The registry spec of the active backend."""
+        return self._spec
+
+    @property
+    def backend(self) -> EngineBackend:
+        """The backend adapter (exposes the wrapped index structure)."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Canonical registry key of the active backend."""
+        return self._spec.name
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The alphabet mapping raw edge IDs to indexed symbols."""
+        return self._backend.alphabet
+
+    @property
+    def length(self) -> int:
+        """Total indexed trajectory-string length (including separators)."""
+        return self._backend.length
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size (distinct edges + the two special symbols)."""
+        return self._backend.sigma
+
+    @property
+    def n_trajectories(self) -> int:
+        """Number of indexed trajectories."""
+        return self._backend.n_trajectories
+
+    @property
+    def temporal(self) -> TemporalIndex | None:
+        """The temporal companion index (``None`` when disabled/unavailable)."""
+        if not self._temporal_fresh:
+            if self._config.temporal_index and self._fully_timestamped():
+                self._temporal = self._build_temporal()
+            else:
+                self._temporal = None
+            self._temporal_fresh = True
+        return self._temporal
+
+    def timestamps_of(self, trajectory_id: int) -> list[float] | None:
+        """Per-segment timestamps of one trajectory (``None`` when absent)."""
+        if not 0 <= trajectory_id < len(self._timestamps):
+            raise QueryError(f"trajectory id {trajectory_id} out of range")
+        return self._timestamps[trajectory_id]
+
+    @property
+    def timestamps(self) -> list[list[float] | None]:
+        """Per-trajectory timestamp lists, aligned to :attr:`n_trajectories`."""
+        aligned = list(self._timestamps[: self.n_trajectories])
+        aligned.extend([None] * (self.n_trajectories - len(aligned)))
+        return aligned
+
+    def size_in_bits(self) -> int:
+        """Backend index size plus the temporal companion (when built)."""
+        bits = self._backend.size_in_bits()
+        if self.temporal is not None:
+            bits += self.temporal.size_in_bits()
+        return bits
+
+    def bits_per_symbol(self) -> float:
+        """Index size divided by trajectory-string length."""
+        length = self.length
+        if length == 0:
+            raise QueryError(EMPTY_INDEX_MESSAGE)
+        return self.size_in_bits() / length
+
+    # ------------------------------------------------------------------ #
+    # growth
+    # ------------------------------------------------------------------ #
+    def add_batch(
+        self,
+        trajectories: TrajectoryDataset | Iterable[Trajectory | Sequence[Hashable]],
+    ) -> None:
+        """Index newly arrived trajectories (growth-capable backends only)."""
+        edges, timestamps = _normalise_trajectories(trajectories)
+        self._validate_timestamps(timestamps, first_id=len(self._timestamps))
+        self._backend.add_batch(edges)
+        self._timestamps.extend(timestamps)
+        self._temporal_fresh = False
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of independent partitions (1 for monolithic backends)."""
+        return self._backend.n_partitions
+
+    def consolidate(self) -> None:
+        """Merge all partitions into one (growth-capable backends only).
+
+        This is the paper's Section III-A periodic reconstruction, exposed on
+        the facade so growth workflows never touch backend internals.
+        """
+        self._backend.consolidate()
+
+    # ------------------------------------------------------------------ #
+    # scalar queries (raw edge sequences in, plain values out)
+    # ------------------------------------------------------------------ #
+    def count(self, path: Sequence[Hashable]) -> int:
+        """Occurrences of the path across all indexed trajectories."""
+        return self._backend.count(self._encode(path))
+
+    def contains(self, path: Sequence[Hashable]) -> bool:
+        """True when the path occurs at least once."""
+        return self._backend.contains(self._encode(path))
+
+    def count_many(self, paths: Sequence[Sequence[Hashable]]) -> list[int]:
+        """Batched :meth:`count` through the backend's vectorized path."""
+        return self._backend.count_many([self._encode(path) for path in paths])
+
+    def locate(self, path: Sequence[Hashable]) -> list[StrictPathMatch]:
+        """Every occurrence of the path, resolved to trajectory coordinates."""
+        return self._resolve_matches(path)
+
+    def extract(self, row: int, length: int) -> list[Hashable]:
+        """Algorithm-4 extraction, decoded back to edge IDs (``#``/``$`` markers)."""
+        return self._decode_symbols(self._backend.extract(row, length))
+
+    def strict_path(
+        self,
+        path: Sequence[Hashable],
+        t_start: float | None = None,
+        t_end: float | None = None,
+    ) -> list[StrictPathMatch]:
+        """Strict path query: traversals of ``path`` within ``[t_start, t_end]``.
+
+        Mirrors :meth:`repro.StrictPathIndex.query` on every locate-capable
+        backend: both interval bounds must be given together, and temporal
+        filtering requires fully timestamped trajectories.
+        """
+        if (t_start is None) != (t_end is None):
+            raise QueryError("provide both t_start and t_end, or neither")
+        if t_start is not None and not self._fully_timestamped():
+            raise QueryError(
+                "the dataset has no timestamps; temporal filtering is unavailable"
+            )
+        matches = self._resolve_matches(path)
+        if t_start is None:
+            return matches
+        active: set[int] | None = None
+        if self.temporal is not None:
+            active = set(self.temporal.active_during(t_start, t_end))
+        filtered: list[StrictPathMatch] = []
+        for match in matches:
+            if active is not None and match.trajectory_id not in active:
+                continue
+            if match.start_time is None or match.end_time is None:
+                continue
+            if match.start_time < t_start or match.end_time > t_end:
+                continue
+            filtered.append(match)
+        return filtered
+
+    # ------------------------------------------------------------------ #
+    # typed query API
+    # ------------------------------------------------------------------ #
+    def run(self, query: EngineQuery) -> EngineResult:
+        """Answer one typed query."""
+        if isinstance(query, CountQuery):
+            return CountResult(query, self.count(query.path))
+        if isinstance(query, ContainsQuery):
+            return ContainsResult(query, self.contains(query.path))
+        if isinstance(query, LocateQuery):
+            return LocateResult(query, tuple(self.locate(query.path)))
+        if isinstance(query, ExtractQuery):
+            symbols = self._backend.extract(query.row, query.length)
+            return ExtractResult(
+                query, tuple(symbols), tuple(self._decode_symbols(symbols))
+            )
+        if isinstance(query, StrictPathQuery):
+            return StrictPathResult(
+                query, tuple(self.strict_path(query.path, query.t_start, query.t_end))
+            )
+        raise QueryError(f"unsupported query type: {type(query).__name__}")
+
+    def run_many(self, queries: Sequence[EngineQuery]) -> list[EngineResult]:
+        """Answer a mixed workload, batch-first.
+
+        Count/contains queries share one vectorized ``count_many`` pass;
+        extract queries are grouped by length into ``extract_many`` batches;
+        locate and strict-path queries run per query (each already batches its
+        whole suffix range internally).  Results come back in input order and
+        are identical to calling :meth:`run` per query.
+        """
+        queries = list(queries)
+        known = (CountQuery, ContainsQuery, LocateQuery, ExtractQuery, StrictPathQuery)
+        for query in queries:
+            if not isinstance(query, known):
+                raise QueryError(f"unsupported query type: {type(query).__name__}")
+        results: list[EngineResult | None] = [None] * len(queries)
+
+        count_like = [
+            (i, q) for i, q in enumerate(queries) if isinstance(q, (CountQuery, ContainsQuery))
+        ]
+        if count_like:
+            patterns = [self._encode(q.path) for _, q in count_like]
+            for (i, query), count in zip(count_like, self._backend.count_many(patterns)):
+                if isinstance(query, CountQuery):
+                    results[i] = CountResult(query, count)
+                else:
+                    results[i] = ContainsResult(query, count > 0)
+
+        extract_groups: dict[int, list[tuple[int, ExtractQuery]]] = {}
+        for i, query in enumerate(queries):
+            if isinstance(query, ExtractQuery):
+                extract_groups.setdefault(query.length, []).append((i, query))
+        for length, group in extract_groups.items():
+            rows = [query.row for _, query in group]
+            for (i, query), symbols in zip(group, self._backend.extract_many(rows, length)):
+                results[i] = ExtractResult(
+                    query, tuple(symbols), tuple(self._decode_symbols(symbols))
+                )
+
+        for i, query in enumerate(queries):
+            if results[i] is not None:
+                continue
+            results[i] = self.run(query)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _encode(self, path: Sequence[Hashable]) -> list[int]:
+        if self._backend.n_trajectories == 0:
+            raise QueryError(EMPTY_INDEX_MESSAGE)
+        edges = list(path)
+        if not edges:
+            raise QueryError(EMPTY_PATH_MESSAGE)
+        return self._backend.alphabet.encode_path(edges)
+
+    def _resolve_matches(self, path: Sequence[Hashable]) -> list[StrictPathMatch]:
+        pattern = self._encode(path)
+        matches: list[StrictPathMatch] = []
+        for trajectory_id, start, end in self._backend.locate_matches(pattern):
+            times = (
+                self._timestamps[trajectory_id]
+                if 0 <= trajectory_id < len(self._timestamps)
+                else None
+            )
+            matches.append(
+                StrictPathMatch(
+                    trajectory_id=trajectory_id,
+                    start_edge_index=start,
+                    end_edge_index=end,
+                    start_time=times[start] if times is not None else None,
+                    end_time=times[end] if times is not None else None,
+                )
+            )
+        return matches
+
+    def _decode_symbols(self, symbols: Sequence[int]) -> list[Hashable]:
+        alphabet = self._backend.alphabet
+        decoded: list[Hashable] = []
+        for symbol in symbols:
+            symbol = int(symbol)
+            if alphabet.is_edge_symbol(symbol):
+                decoded.append(alphabet.decode(symbol))
+            else:
+                decoded.append("$" if symbol == SEP_SYMBOL else "#")
+        return decoded
+
+    def _fully_timestamped(self) -> bool:
+        return bool(self._timestamps) and all(
+            times is not None for times in self._timestamps
+        )
+
+    @staticmethod
+    def _validate_timestamps(
+        timestamps: Sequence[list[float] | None], first_id: int
+    ) -> None:
+        # The same construction-time check TemporalIndex.from_trajectories
+        # performs, applied only to newly arriving trajectories so streaming
+        # ingestion stays linear overall.
+        for offset, times in enumerate(timestamps):
+            if times is None:
+                continue
+            if np.any(np.diff(np.asarray(times, dtype=np.float64)) < 0):
+                raise ConstructionError(
+                    f"trajectory {first_id + offset} has decreasing timestamps"
+                )
+
+    def _build_temporal(self) -> TemporalIndex:
+        starts = np.asarray([times[0] for times in self._timestamps], dtype=np.float64)
+        ends = np.asarray([times[-1] for times in self._timestamps], dtype=np.float64)
+        deltas = [np.diff(np.asarray(times, dtype=np.float64)) for times in self._timestamps]
+        return TemporalIndex(starts=starts, deltas=deltas, ends=ends)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TrajectoryEngine(backend={self.backend_name!r}, "
+            f"trajectories={self.n_trajectories}, length={self.length})"
+        )

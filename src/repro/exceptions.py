@@ -3,9 +3,35 @@
 All library-specific errors derive from :class:`ReproError` so callers can
 catch a single base class.  More specific subclasses are raised close to the
 point of failure with actionable messages.
+
+The module also hosts the *canonical* messages for the error conditions every
+index backend can hit (empty patterns, out-of-alphabet symbols, unknown road
+segments, queries on empty indexes).  All entry points — the individual index
+classes as well as the :class:`~repro.engine.TrajectoryEngine` facade — raise
+these exact messages so callers can rely on uniform behaviour regardless of
+which backend answers a query.
 """
 
 from __future__ import annotations
+
+#: Canonical message for a query pattern with zero symbols.
+EMPTY_PATTERN_MESSAGE = "the query pattern must contain at least one symbol"
+
+#: Canonical message for a query path with zero road segments.
+EMPTY_PATH_MESSAGE = "the query path must contain at least one segment"
+
+#: Canonical message for querying an index that holds no trajectories yet.
+EMPTY_INDEX_MESSAGE = "the index is empty; add trajectories before querying"
+
+
+def symbol_out_of_range_message(symbol: int, sigma: int) -> str:
+    """Canonical message for a pattern symbol outside ``[0, sigma)``."""
+    return f"pattern symbol {symbol} outside alphabet [0, {sigma})"
+
+
+def unknown_segment_message(edge_id: object) -> str:
+    """Canonical message for a road segment absent from the alphabet."""
+    return f"unknown road segment: {edge_id!r}"
 
 
 class ReproError(Exception):

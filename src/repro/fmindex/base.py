@@ -31,8 +31,28 @@ from typing import Sequence
 
 import numpy as np
 
-from ..exceptions import QueryError
+from ..exceptions import (
+    EMPTY_PATTERN_MESSAGE,
+    QueryError,
+    symbol_out_of_range_message,
+)
 from ..strings.bwt import BWTResult
+
+
+def validate_pattern(pattern: Sequence[int], sigma: int) -> list[int]:
+    """Normalise a symbol pattern and enforce the canonical error behaviour.
+
+    Every index backend funnels its query patterns through this helper so that
+    empty patterns and out-of-alphabet symbols raise :class:`QueryError` with
+    identical messages everywhere (see :mod:`repro.exceptions`).
+    """
+    symbols = [int(s) for s in pattern]
+    if not symbols:
+        raise QueryError(EMPTY_PATTERN_MESSAGE)
+    for symbol in symbols:
+        if not 0 <= symbol < sigma:
+            raise QueryError(symbol_out_of_range_message(symbol, sigma))
+    return symbols
 
 
 def iter_key_groups(members: np.ndarray, keys: np.ndarray):
@@ -303,13 +323,7 @@ class FMIndexBase(abc.ABC):
     # helpers
     # ------------------------------------------------------------------ #
     def _validated_pattern(self, pattern: Sequence[int]) -> list[int]:
-        symbols = [int(s) for s in pattern]
-        if not symbols:
-            raise QueryError("the query pattern must contain at least one symbol")
-        for symbol in symbols:
-            if not 0 <= symbol < self._sigma:
-                raise QueryError(f"pattern symbol {symbol} outside alphabet [0, {self._sigma})")
-        return symbols
+        return validate_pattern(pattern, self._sigma)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(n={self._n}, sigma={self._sigma})"

@@ -20,8 +20,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..exceptions import QueryError
+from ..exceptions import EMPTY_PATTERN_MESSAGE, QueryError
 from ..strings.bwt import BWTResult
+from .base import validate_pattern
 
 
 class LinearScanIndex:
@@ -88,6 +89,15 @@ class LinearScanIndex:
         """Number of occurrences of the query path."""
         return len(self.occurrences(pattern))
 
+    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+        """Batched :meth:`count`.
+
+        A linear scan has no shared frontier to vectorize, so this is a plain
+        loop; it exists so the scanner satisfies the same batch query surface
+        as the FM-index variants.
+        """
+        return [self.count(pattern) for pattern in patterns]
+
     def contains(self, pattern: Sequence[int]) -> bool:
         """True when the query path occurs at least once."""
         needle = self._validated_pattern(pattern)[::-1]
@@ -114,7 +124,7 @@ class LinearScanIndex:
         n = int(text.size)
         m = len(needle)
         if m == 0:
-            raise QueryError("the query pattern must contain at least one symbol")
+            raise QueryError(EMPTY_PATTERN_MESSAGE)
         if m > n:
             return []
         # Bad-character shift table keyed by symbol (dict: the alphabet is huge
@@ -138,13 +148,7 @@ class LinearScanIndex:
         return matches
 
     def _validated_pattern(self, pattern: Sequence[int]) -> list[int]:
-        symbols = [int(s) for s in pattern]
-        if not symbols:
-            raise QueryError("the query pattern must contain at least one symbol")
-        for symbol in symbols:
-            if not 0 <= symbol < self._sigma:
-                raise QueryError(f"pattern symbol {symbol} outside alphabet [0, {self._sigma})")
-        return symbols
+        return validate_pattern(pattern, self._sigma)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"LinearScanIndex(n={self.length}, sigma={self._sigma})"

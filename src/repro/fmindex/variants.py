@@ -14,7 +14,8 @@ The first three are faithful reimplementations.  FM-GMR and FM-AP-HYB follow
 the *design idea* of the cited structures (per-symbol position lists giving
 rank by binary search, and frequency-based alphabet partitioning) rather than
 their exact bit-level layouts, which rely on engineering that only pays off in
-C++; DESIGN.md records this substitution.  What matters for the reproduction
+C++ (the class docstrings record each substitution).  What matters for the
+reproduction
 is their qualitative position in the size/time trade-off: large but fast
 (FM-GMR), small but slower (FM-AP-HYB).
 """

@@ -2,9 +2,11 @@
 
 * :mod:`repro.io.dataset_io` — read/write trajectory datasets as JSON Lines or
   CSV so real NCT exports can be fed to the library;
-* :mod:`repro.io.index_io` — persist the BWT artefacts and index parameters so
-  a CiNCT index can be reloaded without recomputing the suffix array (the only
-  super-linear construction step).
+* :mod:`repro.io.index_io` — persist index state so it can be reloaded without
+  recomputing the suffix array (the only super-linear construction step):
+  :func:`save_index`/:func:`load_index` round-trip a whole
+  :class:`~repro.engine.TrajectoryEngine` for any registered backend, while
+  :func:`save_cinct`/:func:`load_cinct` remain as the legacy CiNCT-only shim.
 """
 
 from .dataset_io import (
@@ -17,8 +19,10 @@ from .index_io import (
     SavedIndex,
     load_bwt_result,
     load_cinct,
+    load_index,
     save_bwt_result,
     save_cinct,
+    save_index,
 )
 
 __all__ = [
@@ -31,4 +35,6 @@ __all__ = [
     "load_bwt_result",
     "save_cinct",
     "load_cinct",
+    "save_index",
+    "load_index",
 ]

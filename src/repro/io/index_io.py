@@ -1,4 +1,4 @@
-"""Persistence of BWT artefacts and CiNCT indexes.
+"""Persistence of BWT artefacts, CiNCT indexes, and whole engines.
 
 Building a CiNCT index has one super-linear step — suffix-array construction —
 followed by a chain of strictly linear steps (ET-graph, RML, labelling,
@@ -13,6 +13,16 @@ and reloading rebuilds the succinct structures in linear time from those
 arrays, never re-sorting suffixes.  This mirrors how the reference C++
 implementation persists the ``sdsl`` structures while remaining a plain,
 inspection-friendly on-disk format.
+
+Two generations of index persistence live here:
+
+* :func:`save_index` / :func:`load_index` — the universal layer: they
+  round-trip a whole :class:`~repro.engine.TrajectoryEngine` for *any*
+  registered backend by dispatching through the backend registry
+  (``engine.json`` + backend-specific archives);
+* :func:`save_cinct` / :func:`load_cinct` — the original CiNCT-only format
+  (``index.json`` + ``bwt.npz``), kept as a compatibility shim for existing
+  callers and previously saved directories.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 import numpy as np
 
@@ -30,7 +40,11 @@ from ..strings.alphabet import Alphabet
 from ..strings.bwt import BWTResult
 from ..strings.trajectory_string import TrajectoryString
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine.engine import TrajectoryEngine
+
 _FORMAT_VERSION = 1
+_ENGINE_FORMAT_VERSION = 1
 
 
 # --------------------------------------------------------------------------- #
@@ -118,6 +132,11 @@ def save_cinct(
 ) -> Path:
     """Persist a CiNCT index (BWT artefacts + parameters + optional alphabet).
 
+    .. deprecated::
+        This is the original CiNCT-only format, kept as a compatibility shim.
+        New code should persist through :meth:`repro.engine.TrajectoryEngine.save`
+        (:func:`save_index`), which handles every registered backend.
+
     Parameters
     ----------
     index:
@@ -185,3 +204,74 @@ def load_cinct(directory: str | Path) -> SavedIndex:
     if "alphabet" in metadata:
         alphabet = _alphabet_from_json(metadata["alphabet"])
     return SavedIndex(index=index, alphabet=alphabet)
+
+
+# --------------------------------------------------------------------------- #
+# universal engine persistence (registry-dispatched)
+# --------------------------------------------------------------------------- #
+def save_index(engine: "TrajectoryEngine", directory: str | Path) -> Path:
+    """Persist a :class:`~repro.engine.TrajectoryEngine` of *any* backend.
+
+    The engine-level state (config, backend name, alphabet, per-trajectory
+    timestamps) lands in ``engine.json``; the backend writes its own archives
+    via :meth:`~repro.engine.backends.EngineBackend.save_state` and returns
+    the metadata needed to reload them.  :func:`load_index` dispatches back
+    through the registry, so any backend registered with
+    :func:`repro.engine.register_backend` round-trips without touching this
+    module.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    backend_meta = engine.backend.save_state(directory)
+    timestamps = [
+        list(times) if times is not None else None for times in engine.timestamps
+    ]
+    document: dict[str, object] = {
+        "format_version": _ENGINE_FORMAT_VERSION,
+        "backend": engine.backend_name,
+        "config": engine.config.as_dict(),
+        "alphabet": _alphabet_to_json(engine.alphabet),
+        "timestamps": timestamps,
+        "backend_meta": backend_meta,
+    }
+    with (directory / "engine.json").open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    return directory
+
+
+def load_index(directory: str | Path) -> "TrajectoryEngine":
+    """Reload an engine persisted by :func:`save_index` (any backend).
+
+    Directories written by the legacy :func:`save_cinct` are detected and
+    rejected with a pointer to :func:`load_cinct`.
+    """
+    from ..engine.config import EngineConfig
+    from ..engine.engine import TrajectoryEngine
+    from ..engine.registry import backend_spec
+
+    directory = Path(directory)
+    document_path = directory / "engine.json"
+    if not document_path.exists():
+        if (directory / "index.json").exists():
+            raise DatasetError(
+                f"{directory} holds a legacy CiNCT-only index; load it with "
+                "repro.load_cinct instead"
+            )
+        raise DatasetError(f"engine metadata not found: {document_path}")
+    with document_path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    version = int(document.get("format_version", -1))
+    if version != _ENGINE_FORMAT_VERSION:
+        raise ConstructionError(
+            f"unsupported engine format version {version} "
+            f"(expected {_ENGINE_FORMAT_VERSION})"
+        )
+    config = EngineConfig.from_dict(document["config"])
+    spec = backend_spec(document["backend"])
+    alphabet = _alphabet_from_json(document["alphabet"])
+    backend = spec.loader(directory, document.get("backend_meta", {}), config, alphabet)
+    timestamps = [
+        list(times) if times is not None else None
+        for times in document.get("timestamps", [])
+    ]
+    return TrajectoryEngine(backend, config, timestamps)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.cinct import CiNCT
-from ..exceptions import QueryError
+from ..exceptions import EMPTY_PATH_MESSAGE, QueryError
 from ..network.road_network import EdgeId
 from ..queries.temporal import TemporalIndex
 from ..strings.trajectory_string import TrajectoryString
@@ -31,6 +31,41 @@ class StrictPathMatch:
     end_edge_index: int
     start_time: float | None
     end_time: float | None
+
+
+def resolve_text_position(
+    trajectory_string: TrajectoryString,
+    text_position: int,
+    pattern_length: int,
+) -> tuple[int, int, int] | None:
+    """Map a trajectory-string position to travel-order coordinates.
+
+    Given the start position (in the stored, reversed text) of a
+    ``pattern_length``-symbol occurrence, return ``(trajectory_index,
+    start_edge_index, end_edge_index)`` in travel order, or ``None`` when the
+    position falls on a separator or the occurrence would cross a trajectory
+    boundary.  Shared by :class:`StrictPathIndex` and the engine backends so
+    every locate-capable index resolves matches identically.
+    """
+    offsets = trajectory_string.trajectory_offsets
+    lengths = trajectory_string.trajectory_lengths
+    trajectory_index = bisect_right(offsets, text_position) - 1
+    if trajectory_index < 0 or trajectory_index >= len(offsets):
+        return None
+    offset = offsets[trajectory_index]
+    length = lengths[trajectory_index]
+    within = text_position - offset
+    if within >= length:
+        return None  # the position falls on a separator, not a segment
+    # The trajectory is stored reversed: text offset `within` is travel
+    # index (length - 1 - within); the match covers pattern_length
+    # positions going *forward* in the text, i.e. backwards in travel
+    # order, ending at that travel index.
+    end_travel_index = length - 1 - within
+    start_travel_index = end_travel_index - (pattern_length - 1)
+    if start_travel_index < 0:
+        return None
+    return trajectory_index, start_travel_index, end_travel_index
 
 
 class StrictPathIndex:
@@ -153,28 +188,14 @@ class StrictPathIndex:
     # ------------------------------------------------------------------ #
     def _encode(self, path: Sequence[EdgeId]) -> list[int]:
         if not path:
-            raise QueryError("the query path must contain at least one segment")
+            raise QueryError(EMPTY_PATH_MESSAGE)
         return self._trajectory_string.encode_pattern(list(path))
 
     def _match_from_text_position(self, text_position: int, pattern_length: int) -> StrictPathMatch | None:
-        offsets = self._trajectory_string.trajectory_offsets
-        lengths = self._trajectory_string.trajectory_lengths
-        trajectory_index = bisect_right(offsets, text_position) - 1
-        if trajectory_index < 0 or trajectory_index >= len(offsets):
+        resolved = resolve_text_position(self._trajectory_string, text_position, pattern_length)
+        if resolved is None:
             return None
-        offset = offsets[trajectory_index]
-        length = lengths[trajectory_index]
-        within = text_position - offset
-        if within >= length:
-            return None  # the position falls on a separator, not a segment
-        # The trajectory is stored reversed: text offset `within` is travel
-        # index (length - 1 - within); the match covers pattern_length
-        # positions going *forward* in the text, i.e. backwards in travel
-        # order, ending at that travel index.
-        end_travel_index = length - 1 - within
-        start_travel_index = end_travel_index - (pattern_length - 1)
-        if start_travel_index < 0:
-            return None
+        trajectory_index, start_travel_index, end_travel_index = resolved
         trajectory = self._dataset.trajectories[trajectory_index]
         start_time = end_time = None
         if trajectory.timestamps is not None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Sequence
 
-from ..exceptions import AlphabetError
+from ..exceptions import AlphabetError, unknown_segment_message
 
 END_SYMBOL = 0
 SEP_SYMBOL = 1
@@ -89,7 +89,7 @@ class Alphabet:
         try:
             return self._edge_to_symbol[edge_id]
         except KeyError:
-            raise AlphabetError(f"unknown road segment: {edge_id!r}") from None
+            raise AlphabetError(unknown_segment_message(edge_id)) from None
 
     def decode(self, symbol: int) -> Hashable:
         """Return the road-segment ID for an internal ``symbol``."""

@@ -1,8 +1,8 @@
 """Synthetic trajectory generators.
 
 These generators produce the workload *analogues* of the paper's datasets
-(DESIGN.md documents each substitution).  All of them are deterministic given
-a seeded :class:`numpy.random.Generator`.
+(each function's docstring documents its substitution).  All of them are
+deterministic given a seeded :class:`numpy.random.Generator`.
 
 * :func:`straight_biased_walks` — random walks on a road network where the
   successor with the smallest turn angle is strongly preferred, reproducing

@@ -10,7 +10,7 @@ indexes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from ..exceptions import DatasetError
 from ..network.road_network import EdgeId, RoadNetwork

@@ -1,4 +1,4 @@
-"""Tests for the ``repro-cinct`` command-line interface."""
+"""Tests for the ``repro-cinct`` command-line interface (engine-facade based)."""
 
 from __future__ import annotations
 
@@ -52,11 +52,72 @@ class TestBuildAndQuery:
         build_output = capsys.readouterr().out
         assert "index size" in build_output
         assert (output / "bwt.npz").exists()
-        assert (output / "index.json").exists()
+        assert (output / "engine.json").exists()
 
         assert main(["query", "--index", str(output), "b", "c", "d"]) == 0
         query_output = capsys.readouterr().out
         assert "matches   : 2" in query_output
+
+    @pytest.mark.parametrize("backend", ["icb-huff", "linear-scan", "partitioned-cinct"])
+    def test_build_and_query_other_backends(self, jsonl_dataset, tmp_path, capsys, backend):
+        output = tmp_path / f"index-{backend}"
+        assert main(
+            [
+                "build",
+                "--input",
+                str(jsonl_dataset),
+                "--backend",
+                backend,
+                "--output",
+                str(output),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["query", "--index", str(output), "b", "c", "d"]) == 0
+        assert "matches   : 2" in capsys.readouterr().out
+
+    def test_strict_path_query_through_cli(self, tmp_path, capsys):
+        dataset = TrajectoryDataset(
+            name="timed",
+            trajectories=[
+                Trajectory(edges=["a", "b", "c"], timestamps=[0.0, 5.0, 10.0]),
+                Trajectory(edges=["a", "b", "c"], timestamps=[100.0, 110.0, 120.0]),
+            ],
+        )
+        source = save_dataset_jsonl(dataset, tmp_path / "timed.jsonl")
+        output = tmp_path / "timed-index"
+        assert main(
+            [
+                "build",
+                "--input",
+                str(source),
+                "--sa-sample-rate",
+                "4",
+                "--output",
+                str(output),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", "--index", str(output), "--t-start", "0", "--t-end", "20", "a", "b"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "matches   : 1" in out
+
+    def test_unknown_backend_rejected(self, jsonl_dataset, tmp_path, capsys):
+        rc = main(
+            [
+                "build",
+                "--input",
+                str(jsonl_dataset),
+                "--backend",
+                "btree",
+                "--output",
+                str(tmp_path / "x"),
+            ]
+        )
+        assert rc == 2
+        assert "unknown index backend" in capsys.readouterr().err
 
     def test_query_unknown_segment_reports_zero(self, jsonl_dataset, tmp_path, capsys):
         output = tmp_path / "index"
@@ -69,7 +130,24 @@ class TestBuildAndQuery:
     def test_build_from_named_dataset(self, tmp_path, capsys):
         output = tmp_path / "roma-index"
         assert main(["build", "--dataset", "roma", "--scale", "0.05", "--output", str(output)]) == 0
-        assert (output / "index.json").exists()
+        assert (output / "engine.json").exists()
+
+    def test_query_legacy_save_cinct_directory(self, tmp_path, capsys):
+        # Directories written by the legacy CiNCT-only format stay queryable.
+        from repro.core import CiNCT
+        from repro.io import save_cinct
+        from repro.strings import build_trajectory_string, burrows_wheeler_transform
+
+        trajectory_string = build_trajectory_string(
+            [["a", "b", "c", "d"], ["b", "c", "d", "e"]]
+        )
+        bwt_result = burrows_wheeler_transform(
+            trajectory_string.text, sigma=trajectory_string.sigma
+        )
+        index = CiNCT(bwt_result, block_size=15)
+        save_cinct(index, bwt_result, tmp_path / "legacy", trajectory_string=trajectory_string)
+        assert main(["query", "--index", str(tmp_path / "legacy"), "b", "c", "d"]) == 0
+        assert "matches   : 2" in capsys.readouterr().out
 
     def test_build_requires_source(self, tmp_path, capsys):
         assert main(["build", "--output", str(tmp_path / "x")]) == 2
@@ -104,3 +182,35 @@ class TestCompareCommand:
         assert "CiNCT" in out
         assert "UFMI" in out
         assert "bits/symbol" in out
+
+    def test_compare_reports_sizes_from_registry(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--dataset",
+                "chess",
+                "--scale",
+                "0.05",
+                "--backends",
+                "cinct",
+                "linear-scan",
+                "--n-patterns",
+                "5",
+                "--pattern-length",
+                "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "size (bits)" in out
+        assert "bits/symbol" in out
+        assert "LinearScan" in out
+        # The raw 32-bit scan is a fixed 32 bits/symbol; CiNCT must be smaller.
+        assert "32.0" in out
+
+    def test_compare_rejects_unknown_backend(self, capsys):
+        rc = main(
+            ["compare", "--dataset", "chess", "--scale", "0.05", "--backends", "btree"]
+        )
+        assert rc == 2
+        assert "unknown index backend" in capsys.readouterr().err

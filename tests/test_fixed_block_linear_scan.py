@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import QueryError
-from repro.fmindex import FixedBlockFMIndex, LinearScanIndex, UncompressedFMIndex, sample_patterns
+from repro.fmindex import FixedBlockFMIndex, LinearScanIndex, sample_patterns
 
 
 @pytest.fixture(scope="module", params=[32, 128, 4096])

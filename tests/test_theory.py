@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.analysis import (
@@ -18,7 +16,6 @@ from repro.analysis import (
     predicted_size_reduction,
     rrr_overhead_per_bit,
 )
-from repro.core import CiNCT
 from repro.fmindex import ICBHuffmanFMIndex
 
 
