@@ -1,0 +1,109 @@
+"""Temporal-store benchmark: JSON timestamp persistence vs the npz store.
+
+Before the :class:`repro.temporal.TimestampStore` subsystem, whole-engine
+persistence serialized every per-trajectory timestamp list as raw JSON arrays
+inside ``engine.json``.  This benchmark pins the replacement:
+
+* **Persistence size** — the JSON byte size of the raw timestamp lists
+  (exactly what the legacy version-1 ``engine.json`` embedded) vs the
+  compressed ``timestamps.npz`` artefact the store writes, plus the store's
+  exact in-memory bit accounting.
+* **Build / decode time** — encoding a fleet's timestamps into the store and
+  decoding every trajectory back out.
+
+Results land in ``benchmarks/BENCH_temporal_store.json`` through
+:func:`repro.bench.write_bench_baseline`.  The fleet scales with
+``REPRO_BENCH_SCALE`` like the rest of the suite (CI smoke runs use 0.05).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import BENCH_SCALE
+from repro.bench import format_table, write_bench_baseline
+from repro.temporal import TimestampStore
+
+#: Fleet shape at scale 1.0: paper-style city fleet sampled once per segment.
+N_TRAJECTORIES = max(int(3000 * BENCH_SCALE), 30)
+MIN_LENGTH, MAX_LENGTH = 10, 200
+#: Fraction of trajectories without timestamps (the store must keep the gaps).
+GAP_FRACTION = 0.1
+
+
+def synth_fleet(seed: int = 7) -> list[list[float] | None]:
+    """Per-trajectory timestamps: integral 1 Hz dwells, a few gap entries."""
+    rng = np.random.default_rng(seed)
+    fleet: list[list[float] | None] = []
+    for _ in range(N_TRAJECTORIES):
+        if rng.uniform() < GAP_FRACTION:
+            fleet.append(None)
+            continue
+        n = int(rng.integers(MIN_LENGTH, MAX_LENGTH + 1))
+        departure = float(rng.integers(0, 86_400))
+        dwell = rng.integers(2, 90, size=n).astype(np.float64)
+        fleet.append(list(departure + np.cumsum(dwell) - dwell[0]))
+    return fleet
+
+
+def json_payload_bytes(fleet: list[list[float] | None]) -> int:
+    """Byte size of the legacy representation (raw lists inside engine.json)."""
+    return len(json.dumps(fleet).encode("utf-8"))
+
+
+def test_temporal_store_persistence(tmp_path: Path, report) -> None:
+    fleet = synth_fleet()
+
+    started = time.perf_counter()
+    store = TimestampStore(fleet)
+    build_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    decoded = store.as_lists()
+    decode_seconds = time.perf_counter() - started
+    assert decoded == fleet  # lossless, gaps included
+
+    json_bytes = json_payload_bytes(fleet)
+    archive = store.save(tmp_path / "timestamps.npz")
+    npz_bytes = archive.stat().st_size
+    reloaded = TimestampStore.load(archive)
+    assert reloaded.as_lists() == fleet
+
+    n_samples = sum(len(times) for times in fleet if times is not None)
+    rows = [
+        {
+            "trajectories": len(fleet),
+            "samples": n_samples,
+            "json (KiB)": round(json_bytes / 1024, 1),
+            "npz (KiB)": round(npz_bytes / 1024, 1),
+            "store (KiB)": round(store.size_in_bits() / 8 / 1024, 1),
+            "json/npz": round(json_bytes / max(npz_bytes, 1), 2),
+            "build (ms)": round(build_seconds * 1e3, 2),
+            "decode (ms)": round(decode_seconds * 1e3, 2),
+        }
+    ]
+    table = format_table(rows, title="timestamp persistence — JSON vs npz store")
+    report.add("Temporal store (JSON vs npz)", table)
+
+    write_bench_baseline(
+        "temporal_store",
+        {
+            "scale": BENCH_SCALE,
+            "n_trajectories": len(fleet),
+            "n_samples": n_samples,
+            "json_bytes": json_bytes,
+            "npz_bytes": npz_bytes,
+            "store_bits": store.size_in_bits(),
+            "bits_per_timestamp": round(store.size_in_bits() / max(n_samples, 1), 3),
+            "build_seconds": build_seconds,
+            "decode_seconds": decode_seconds,
+        },
+        directory=Path(__file__).parent,
+    )
+
+    # The compressed artefact must actually beat the raw-JSON representation.
+    assert npz_bytes < json_bytes

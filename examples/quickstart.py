@@ -7,6 +7,8 @@ network-constrained trajectories over six road segments A-F — using the
 * build an index from raw edge sequences (no manual pattern encoding),
 * count / locate paths, including paths that never occur,
 * extract a sub-path from the compressed representation (Algorithm 4),
+* attach per-segment timestamps and run a time-windowed strict-path query
+  (the timestamps live in the engine's compressed TimestampStore),
 * run the same queries against every registered backend via the registry.
 
 Run with:  python examples/quickstart.py
@@ -14,6 +16,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
+from repro import Trajectory
 from repro.engine import (
     CountQuery,
     EngineConfig,
@@ -59,6 +62,24 @@ def main() -> None:
     # end of the trajectory string; extracting 4 symbols from it recovers the
     # last stored trajectory fragments (see Section IV-C of the paper).
     print("extract(0, 4) recovers the symbols", engine.extract(0, 4))
+    print()
+
+    # --- Strict-path queries with timestamps ------------------------------ #
+    # Attaching timestamps turns locate into a strict path query; note the
+    # engine here has NO sa_sample_rate — locate falls back to the retained
+    # suffix array, and the timestamps are held delta-encoded in the
+    # engine's TimestampStore (persisted as timestamps.npz by save()).
+    timed = TrajectoryEngine.build(
+        [
+            Trajectory(edges=edges, timestamps=[60.0 * k * (i + 1) for k in range(len(edges))])
+            for i, edges in enumerate(TRAJECTORIES)
+        ],
+        EngineConfig(backend="cinct", block_size=15),
+    )
+    window = timed.strict_path(["A", "B"], t_start=0.0, t_end=90.0)
+    print(f"strict path A->B in [0, 90]s: trajectories "
+          f"{sorted({m.trajectory_id for m in window})} "
+          f"(timestamp store: {timed.temporal_size_in_bits()} bits)")
     print()
 
     # --- Batched, typed queries ------------------------------------------- #

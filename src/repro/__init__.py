@@ -97,6 +97,7 @@ from .strings import (
     burrows_wheeler_transform,
     suffix_array,
 )
+from .temporal import TimestampStore
 from .trajectories import Trajectory, TrajectoryDataset
 
 __version__ = "1.0.0"
@@ -161,6 +162,7 @@ __all__ = [
     "DeltaTimestampCodec",
     "BoundedErrorTimestampCodec",
     "CompressedTimestampStore",
+    "TimestampStore",
     # exceptions
     "ReproError",
     "ConstructionError",

@@ -111,6 +111,11 @@ def _command_build(args: argparse.Namespace) -> int:
     print(f"alphabet sigma    : {engine.sigma}")
     print(f"index size        : {engine.size_in_bits()} bits "
           f"({engine.bits_per_symbol():.2f} bits/symbol)")
+    temporal_bits = engine.temporal_size_in_bits()
+    if temporal_bits:
+        store = engine.timestamp_store
+        print(f"temporal store    : {temporal_bits} bits "
+              f"({store.n_timestamped}/{store.n_trajectories} trajectories timestamped)")
     print(f"construction time : {elapsed:.2f} s")
     print(f"saved to          : {args.output}")
     return 0
@@ -193,6 +198,8 @@ def _command_compare(args: argparse.Namespace) -> int:
             {
                 "method": spec.display_name,
                 "size (bits)": engine.size_in_bits(),
+                # exact TimestampStore accounting (0 without timestamps)
+                "temporal (bits)": engine.temporal_size_in_bits(),
                 "bits/symbol": round(engine.bits_per_symbol(), 2),
                 "search (us)": round(mean_us, 1),
                 "build (s)": round(build_seconds, 2),

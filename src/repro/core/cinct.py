@@ -223,6 +223,11 @@ class CiNCT:
         """The HWT storing ``phi(Tbwt)``."""
         return self._wavelet_tree
 
+    @property
+    def has_sa_samples(self) -> bool:
+        """True when the index was built with ``sa_sample_rate`` (locate works)."""
+        return self._sa_samples is not None
+
     # ------------------------------------------------------------------ #
     # PseudoRank (Algorithm 2) — inlined for query speed
     # ------------------------------------------------------------------ #

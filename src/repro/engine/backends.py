@@ -21,7 +21,7 @@ from __future__ import annotations
 import abc
 from functools import partial
 from pathlib import Path
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
@@ -40,6 +40,22 @@ from .registry import BackendSpec, register_backend
 
 #: ``(trajectory_id, start_edge_index, end_edge_index)`` in travel order.
 RawMatch = tuple[int, int, int]
+
+
+def _cinct_occurrence_positions(
+    index: CiNCT, get_bwt: Callable[[], BWTResult], sp: int, ep: int
+) -> list[int]:
+    """Occurrence positions for a CiNCT suffix range ``[sp, ep)``.
+
+    Sampled indexes locate with the batched LF-walk to the sampled rows;
+    unsampled ones fall back to the retained suffix array (which the engine
+    keeps for linear-time persistence anyway), so locate/strict-path work
+    without ``sa_sample_rate``.  ``get_bwt`` is only called on the fallback
+    path.
+    """
+    if index.has_sa_samples:
+        return index.locate_many(range(sp, ep))
+    return [int(v) for v in get_bwt().suffix_array[sp:ep]]
 
 
 class EngineBackend(abc.ABC):
@@ -318,12 +334,7 @@ class CiNCTBackend(_BWTBackend):
         if found is None:
             return []
         sp, ep = found
-        if index._sa_samples is not None:
-            # compressed locate: batched LF-walk to the sampled rows
-            return index.locate_many(range(sp, ep))
-        # Unsampled index: fall back to the retained suffix array, which the
-        # engine keeps for persistence anyway.
-        return [int(v) for v in self._bwt_result.suffix_array[sp:ep]]
+        return _cinct_occurrence_positions(index, lambda: self._bwt_result, sp, ep)
 
 
 class FMBaselineBackend(_BWTBackend):
@@ -556,7 +567,10 @@ class PartitionedBackend(EngineBackend):
             if found is None:
                 continue
             sp, ep = found
-            for position in index.locate_many(range(sp, ep)):
+            positions = _cinct_occurrence_positions(
+                index, lambda: self._partition_bwt(partition), sp, ep
+            )
+            for position in positions:
                 resolved = resolve_text_position(
                     partition.trajectory_string, int(position), len(pattern)
                 )
@@ -566,6 +580,16 @@ class PartitionedBackend(EngineBackend):
                 matches.append((partition.first_trajectory_id + local_index, start, end))
         matches.sort()
         return matches
+
+    @staticmethod
+    def _partition_bwt(partition: Partition) -> BWTResult:
+        if partition.bwt_result is None:
+            # Partitions assembled outside add_batch/consolidate may lack
+            # retained artefacts; recompute once and cache on the partition.
+            partition.bwt_result = burrows_wheeler_transform(
+                partition.trajectory_string.text, sigma=partition.index.sigma
+            )
+        return partition.bwt_result
 
     def add_batch(self, trajectories: Sequence[Sequence[Hashable]]) -> None:
         self._partitioned.add_batch(trajectories)
@@ -583,14 +607,7 @@ class PartitionedBackend(EngineBackend):
         entries: list[dict[str, object]] = []
         for k, partition in enumerate(self._partitioned.partitions()):
             archive = f"partition_{k}.npz"
-            bwt_result = partition.bwt_result
-            if bwt_result is None:
-                # Partitions assembled outside add_batch/consolidate may lack
-                # retained artefacts; recompute once so the reload stays linear.
-                bwt_result = burrows_wheeler_transform(
-                    partition.trajectory_string.text, sigma=partition.index.sigma
-                )
-            save_bwt_result(bwt_result, directory / archive)
+            save_bwt_result(self._partition_bwt(partition), directory / archive)
             entries.append(
                 {
                     "archive": archive,

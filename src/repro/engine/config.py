@@ -32,9 +32,10 @@ class EngineConfig:
     block_size:
         RRR block size ``b`` for the compressed backends.
     sa_sample_rate:
-        Suffix-array sampling rate; required by the CiNCT-family backends for
-        locate and strict-path queries.  ``None`` disables sampling (matching
-        the paper's size accounting).
+        Suffix-array sampling rate for the CiNCT-family backends.  When set,
+        locate walks the LF-mapping to sampled rows (the compressed scheme);
+        ``None`` disables sampling (matching the paper's size accounting) and
+        locate/strict-path fall back to the retained suffix array instead.
     max_partitions:
         Partitioning knob: when set, the partitioned backend consolidates
         automatically once the partition count exceeds this bound.

@@ -36,6 +36,7 @@ from ..exceptions import (
 from ..queries.strict_path import StrictPathMatch
 from ..queries.temporal import TemporalIndex
 from ..strings.alphabet import SEP_SYMBOL, Alphabet
+from ..temporal.store import TimestampStore
 from ..trajectories.model import Trajectory, TrajectoryDataset
 from .backends import EngineBackend
 from .config import EngineConfig
@@ -122,13 +123,16 @@ class TrajectoryEngine:
         self,
         backend: EngineBackend,
         config: EngineConfig,
-        timestamps: Sequence[list[float] | None] = (),
+        timestamps: TimestampStore | Sequence[list[float] | None] = (),
     ):
         self._backend = backend
         self._config = config
         self._spec = backend_spec(config.backend)
-        self._timestamps: list[list[float] | None] = list(timestamps)
-        self._validate_timestamps(self._timestamps, first_id=0)
+        if isinstance(timestamps, TimestampStore):
+            self._store = timestamps
+        else:
+            self._validate_timestamps(timestamps, first_id=0)
+            self._store = TimestampStore(timestamps)
         # The temporal companion is built lazily (and only once per growth
         # step), so streaming ingestion stays linear in the fleet size.
         self._temporal: TemporalIndex | None = None
@@ -225,25 +229,31 @@ class TrajectoryEngine:
             self._temporal_fresh = True
         return self._temporal
 
+    @property
+    def timestamp_store(self) -> TimestampStore:
+        """The compressed per-trajectory timestamp store."""
+        return self._store
+
     def timestamps_of(self, trajectory_id: int) -> list[float] | None:
         """Per-segment timestamps of one trajectory (``None`` when absent)."""
-        if not 0 <= trajectory_id < len(self._timestamps):
-            raise QueryError(f"trajectory id {trajectory_id} out of range")
-        return self._timestamps[trajectory_id]
+        return self._store.get(trajectory_id)
 
     @property
     def timestamps(self) -> list[list[float] | None]:
         """Per-trajectory timestamp lists, aligned to :attr:`n_trajectories`."""
-        aligned = list(self._timestamps[: self.n_trajectories])
+        aligned = self._store.as_lists()[: self.n_trajectories]
         aligned.extend([None] * (self.n_trajectories - len(aligned)))
         return aligned
 
     def size_in_bits(self) -> int:
-        """Backend index size plus the temporal companion (when built)."""
-        bits = self._backend.size_in_bits()
-        if self.temporal is not None:
-            bits += self.temporal.size_in_bits()
-        return bits
+        """Backend index size plus the exact temporal storage (when present)."""
+        return self._backend.size_in_bits() + self.temporal_size_in_bits()
+
+    def temporal_size_in_bits(self) -> int:
+        """Exact encoded size of the timestamp store (0 without timestamps)."""
+        if not self._store.any_timestamped:
+            return 0
+        return self._store.size_in_bits()
 
     def bits_per_symbol(self) -> float:
         """Index size divided by trajectory-string length."""
@@ -261,9 +271,9 @@ class TrajectoryEngine:
     ) -> None:
         """Index newly arrived trajectories (growth-capable backends only)."""
         edges, timestamps = _normalise_trajectories(trajectories)
-        self._validate_timestamps(timestamps, first_id=len(self._timestamps))
+        self._validate_timestamps(timestamps, first_id=len(self._store))
         self._backend.add_batch(edges)
-        self._timestamps.extend(timestamps)
+        self._store.extend(timestamps)
         self._temporal_fresh = False
 
     @property
@@ -311,12 +321,18 @@ class TrajectoryEngine:
         """Strict path query: traversals of ``path`` within ``[t_start, t_end]``.
 
         Mirrors :meth:`repro.StrictPathIndex.query` on every locate-capable
-        backend: both interval bounds must be given together, and temporal
-        filtering requires fully timestamped trajectories.
+        backend.  Both interval bounds must be given together.  Temporal
+        filtering is per match: a traversal qualifies when its own trajectory
+        carries timestamps and the traversal lies inside the window, so a
+        partially timestamped fleet still answers windowed queries —
+        occurrences on timestamp-less trajectories are simply dropped (they
+        cannot prove they happened inside the window).  Only when *no*
+        trajectory in the fleet carries timestamps is a windowed query
+        rejected with a :class:`~repro.exceptions.QueryError`.
         """
         if (t_start is None) != (t_end is None):
             raise QueryError("provide both t_start and t_end, or neither")
-        if t_start is not None and not self._fully_timestamped():
+        if t_start is not None and not self._store.any_timestamped:
             raise QueryError(
                 "the dataset has no timestamps; temporal filtering is unavailable"
             )
@@ -417,12 +433,15 @@ class TrajectoryEngine:
     def _resolve_matches(self, path: Sequence[Hashable]) -> list[StrictPathMatch]:
         pattern = self._encode(path)
         matches: list[StrictPathMatch] = []
+        decoded: dict[int, list[float] | None] = {}
         for trajectory_id, start, end in self._backend.locate_matches(pattern):
-            times = (
-                self._timestamps[trajectory_id]
-                if 0 <= trajectory_id < len(self._timestamps)
-                else None
-            )
+            if trajectory_id not in decoded:
+                decoded[trajectory_id] = (
+                    self._store.get(trajectory_id)
+                    if 0 <= trajectory_id < len(self._store)
+                    else None
+                )
+            times = decoded[trajectory_id]
             matches.append(
                 StrictPathMatch(
                     trajectory_id=trajectory_id,
@@ -446,9 +465,7 @@ class TrajectoryEngine:
         return decoded
 
     def _fully_timestamped(self) -> bool:
-        return bool(self._timestamps) and all(
-            times is not None for times in self._timestamps
-        )
+        return self._store.fully_timestamped
 
     @staticmethod
     def _validate_timestamps(
@@ -466,9 +483,13 @@ class TrajectoryEngine:
                 )
 
     def _build_temporal(self) -> TemporalIndex:
-        starts = np.asarray([times[0] for times in self._timestamps], dtype=np.float64)
-        ends = np.asarray([times[-1] for times in self._timestamps], dtype=np.float64)
-        deltas = [np.diff(np.asarray(times, dtype=np.float64)) for times in self._timestamps]
+        decoded = [
+            np.asarray(self._store.get(i), dtype=np.float64)
+            for i in range(len(self._store))
+        ]
+        starts = np.asarray([times[0] for times in decoded], dtype=np.float64)
+        ends = np.asarray([times[-1] for times in decoded], dtype=np.float64)
+        deltas = [np.diff(times) for times in decoded]
         return TemporalIndex(starts=starts, deltas=deltas, ends=ends)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

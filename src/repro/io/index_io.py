@@ -19,7 +19,8 @@ Two generations of index persistence live here:
 * :func:`save_index` / :func:`load_index` — the universal layer: they
   round-trip a whole :class:`~repro.engine.TrajectoryEngine` for *any*
   registered backend by dispatching through the backend registry
-  (``engine.json`` + backend-specific archives);
+  (``engine.json`` + a compressed ``timestamps.npz`` written by the
+  :class:`~repro.temporal.TimestampStore` + backend-specific archives);
 * :func:`save_cinct` / :func:`load_cinct` — the original CiNCT-only format
   (``index.json`` + ``bwt.npz``), kept as a compatibility shim for existing
   callers and previously saved directories.
@@ -39,12 +40,17 @@ from ..exceptions import ConstructionError, DatasetError
 from ..strings.alphabet import Alphabet
 from ..strings.bwt import BWTResult
 from ..strings.trajectory_string import TrajectoryString
+from .npzutil import ensure_npz_suffix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..engine.engine import TrajectoryEngine
 
 _FORMAT_VERSION = 1
-_ENGINE_FORMAT_VERSION = 1
+#: version 1 embedded raw timestamp lists in ``engine.json``; version 2 moves
+#: them to a compressed ``timestamps.npz`` artefact.  Both versions load.
+_ENGINE_FORMAT_VERSION = 2
+_SUPPORTED_ENGINE_VERSIONS = frozenset({1, 2})
+_TIMESTAMP_ARCHIVE = "timestamps.npz"
 
 
 # --------------------------------------------------------------------------- #
@@ -63,8 +69,7 @@ def save_bwt_result(bwt_result: BWTResult, path: str | Path) -> Path:
         counts=bwt_result.counts,
         c_array=bwt_result.c_array,
     )
-    # np.savez appends ``.npz`` when missing; normalise the returned path.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return ensure_npz_suffix(path)
 
 
 def load_bwt_result(path: str | Path) -> BWTResult:
@@ -212,10 +217,13 @@ def load_cinct(directory: str | Path) -> SavedIndex:
 def save_index(engine: "TrajectoryEngine", directory: str | Path) -> Path:
     """Persist a :class:`~repro.engine.TrajectoryEngine` of *any* backend.
 
-    The engine-level state (config, backend name, alphabet, per-trajectory
-    timestamps) lands in ``engine.json``; the backend writes its own archives
-    via :meth:`~repro.engine.backends.EngineBackend.save_state` and returns
-    the metadata needed to reload them.  :func:`load_index` dispatches back
+    The engine-level state (config, backend name, alphabet) lands in
+    ``engine.json``; per-trajectory timestamps go to a compressed
+    ``timestamps.npz`` written by the
+    :class:`~repro.temporal.TimestampStore` (never as raw JSON arrays); the
+    backend writes its own archives via
+    :meth:`~repro.engine.backends.EngineBackend.save_state` and returns the
+    metadata needed to reload them.  :func:`load_index` dispatches back
     through the registry, so any backend registered with
     :func:`repro.engine.register_backend` round-trips without touching this
     module.
@@ -223,15 +231,13 @@ def save_index(engine: "TrajectoryEngine", directory: str | Path) -> Path:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     backend_meta = engine.backend.save_state(directory)
-    timestamps = [
-        list(times) if times is not None else None for times in engine.timestamps
-    ]
+    engine.timestamp_store.save(directory / _TIMESTAMP_ARCHIVE)
     document: dict[str, object] = {
         "format_version": _ENGINE_FORMAT_VERSION,
         "backend": engine.backend_name,
         "config": engine.config.as_dict(),
         "alphabet": _alphabet_to_json(engine.alphabet),
-        "timestamps": timestamps,
+        "timestamps_file": _TIMESTAMP_ARCHIVE,
         "backend_meta": backend_meta,
     }
     with (directory / "engine.json").open("w", encoding="utf-8") as handle:
@@ -242,12 +248,16 @@ def save_index(engine: "TrajectoryEngine", directory: str | Path) -> Path:
 def load_index(directory: str | Path) -> "TrajectoryEngine":
     """Reload an engine persisted by :func:`save_index` (any backend).
 
-    Directories written by the legacy :func:`save_cinct` are detected and
-    rejected with a pointer to :func:`load_cinct`.
+    Both engine document generations load: version 2 reads the compressed
+    ``timestamps.npz`` artefact, version 1 (legacy) reads the raw timestamp
+    lists embedded in ``engine.json``.  Directories written by the legacy
+    :func:`save_cinct` are detected and rejected with a pointer to
+    :func:`load_cinct`.
     """
     from ..engine.config import EngineConfig
     from ..engine.engine import TrajectoryEngine
     from ..engine.registry import backend_spec
+    from ..temporal.store import TimestampStore
 
     directory = Path(directory)
     document_path = directory / "engine.json"
@@ -261,17 +271,21 @@ def load_index(directory: str | Path) -> "TrajectoryEngine":
     with document_path.open("r", encoding="utf-8") as handle:
         document = json.load(handle)
     version = int(document.get("format_version", -1))
-    if version != _ENGINE_FORMAT_VERSION:
+    if version not in _SUPPORTED_ENGINE_VERSIONS:
         raise ConstructionError(
             f"unsupported engine format version {version} "
-            f"(expected {_ENGINE_FORMAT_VERSION})"
+            f"(expected one of {sorted(_SUPPORTED_ENGINE_VERSIONS)})"
         )
     config = EngineConfig.from_dict(document["config"])
     spec = backend_spec(document["backend"])
     alphabet = _alphabet_from_json(document["alphabet"])
     backend = spec.loader(directory, document.get("backend_meta", {}), config, alphabet)
-    timestamps = [
-        list(times) if times is not None else None
-        for times in document.get("timestamps", [])
-    ]
-    return TrajectoryEngine(backend, config, timestamps)
+    if "timestamps_file" in document:
+        store = TimestampStore.load(directory / str(document["timestamps_file"]))
+    else:
+        # Legacy version-1 documents embed raw per-trajectory lists.
+        store = TimestampStore(
+            list(times) if times is not None else None
+            for times in document.get("timestamps", [])
+        )
+    return TrajectoryEngine(backend, config, store)

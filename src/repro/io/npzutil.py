@@ -1,0 +1,14 @@
+"""Tiny helpers shared by the ``.npz``-writing persistence paths."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+def ensure_npz_suffix(path: Path) -> Path:
+    """Normalise a path to the name ``np.savez`` actually wrote.
+
+    ``np.savez``/``np.savez_compressed`` append ``.npz`` when the target has a
+    different suffix; callers returning the written path must mirror that.
+    """
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")

@@ -75,7 +75,12 @@ class TemporalIndex:
         return [int(i) for i in np.nonzero(mask)[0]]
 
     def size_in_bits(self, delta_resolution: float = 1.0) -> int:
-        """Approximate storage cost with deltas quantised at ``delta_resolution``."""
+        """Approximate storage cost with deltas quantised at ``delta_resolution``.
+
+        This is an estimate only; the engine facade reports the *exact*
+        encoded size of its :class:`~repro.temporal.TimestampStore` instead
+        (:meth:`~repro.engine.TrajectoryEngine.temporal_size_in_bits`).
+        """
         bits = self.n_trajectories * 64  # absolute start times
         for deltas in self.deltas:
             if deltas.size == 0:

@@ -130,6 +130,12 @@ class TimestampStoreStatistics:
 class CompressedTimestampStore:
     """Compressed timestamps for a whole dataset, addressable by trajectory.
 
+    This is the *analysis* companion: it keeps the original timestamps so
+    :meth:`statistics` can report the reconstruction error of lossy codecs
+    (the Section-VII size/accuracy trade-off).  For lossless timestamp
+    storage inside the engine — including ``None`` gaps and npz persistence —
+    use :class:`repro.temporal.TimestampStore` instead.
+
     Parameters
     ----------
     trajectories:

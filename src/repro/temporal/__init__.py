@@ -1,0 +1,5 @@
+"""Temporal storage subsystem: compressed per-trajectory timestamps."""
+
+from .store import TimestampStore
+
+__all__ = ["TimestampStore"]

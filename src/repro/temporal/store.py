@@ -1,0 +1,335 @@
+"""The :class:`TimestampStore`: compressed per-trajectory timestamp storage.
+
+The paper compresses spatial paths only and notes (Section VII) that CiNCT
+composes with a temporal companion.  This module is that companion's storage
+layer: one delta-encoded entry per trajectory, tolerating ``None`` gaps for
+trajectories that carry no timestamps, with an ``.npz``-backed on-disk format
+so whole-engine persistence never serialises raw timestamp lists as JSON.
+
+Encoding is built on :class:`~repro.queries.timestamp_compression.DeltaTimestampCodec`
+and is **always lossless**: a trajectory whose timestamps sit at integral
+multiples of the codec resolution (how the paper's datasets are sampled) is
+stored as a 64-bit start plus minimal-width integer deltas; any trajectory the
+codec cannot reproduce bit-exactly falls back to raw ``float64`` samples.  The
+representation choice is per trajectory, deterministic, and verified at encode
+time, so decoded timestamps are identical to the originals before and after a
+save/load round-trip.
+
+:meth:`TimestampStore.size_in_bits` reports the *exact* encoded size (presence
+bitmap + per-entry payloads), replacing the ``delta_resolution`` guess the
+engine previously made through :meth:`TemporalIndex.size_in_bits`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..exceptions import ConstructionError, DatasetError, QueryError
+from ..io.npzutil import ensure_npz_suffix
+from ..queries.timestamp_compression import DeltaTimestampCodec, EncodedTimestamps
+
+_STORE_FORMAT_VERSION = 1
+
+#: entry kinds in the flat archive layout
+_KIND_NONE = 0
+_KIND_DELTA = 1
+_KIND_RAW = 2
+
+
+class _Entry:
+    """One trajectory's stored timestamps (delta-encoded or raw fallback)."""
+
+    __slots__ = ("encoded", "raw")
+
+    def __init__(self, encoded: EncodedTimestamps | None, raw: np.ndarray | None):
+        self.encoded = encoded
+        self.raw = raw
+
+    @property
+    def n_samples(self) -> int:
+        if self.encoded is not None:
+            return self.encoded.n_samples
+        assert self.raw is not None
+        return int(self.raw.size)
+
+    def decode(self) -> np.ndarray:
+        if self.encoded is not None:
+            return self.encoded.decode()
+        assert self.raw is not None
+        return self.raw.copy()
+
+    def size_in_bits(self) -> int:
+        if self.encoded is not None:
+            return self.encoded.size_in_bits()
+        assert self.raw is not None
+        # raw float64 samples plus the same per-entry width byte the codec pays
+        return int(self.raw.size) * 64 + 8
+
+
+class TimestampStore:
+    """Delta-encoded per-trajectory timestamps, addressable by trajectory id.
+
+    Parameters
+    ----------
+    timestamps:
+        Initial per-trajectory timestamp sequences; ``None`` marks a
+        trajectory without timestamps (the gap is preserved).
+    codec:
+        The delta codec applied to every entry (lossless 1-second resolution
+        by default).  Entries the codec cannot reproduce exactly are kept as
+        raw ``float64`` samples, so the store is lossless regardless.
+
+    Notes
+    -----
+    This is the engine's *lossless storage* layer.  The older
+    :class:`~repro.queries.timestamp_compression.CompressedTimestampStore`
+    serves a different purpose — analysing the size/accuracy trade-off of
+    *lossy* codecs (it keeps the originals to measure reconstruction error)
+    — and stays in the analysis/benchmark layer.
+    """
+
+    def __init__(
+        self,
+        timestamps: Iterable[Sequence[float] | np.ndarray | None] = (),
+        codec: DeltaTimestampCodec | None = None,
+    ):
+        self.codec = codec or DeltaTimestampCodec()
+        self._entries: list[_Entry | None] = []
+        self.extend(timestamps)
+
+    # ------------------------------------------------------------------ #
+    # growth
+    # ------------------------------------------------------------------ #
+    def append(self, timestamps: Sequence[float] | np.ndarray | None) -> None:
+        """Store one trajectory's timestamps (``None`` records a gap)."""
+        if timestamps is None:
+            self._entries.append(None)
+            return
+        times = np.asarray(timestamps, dtype=np.float64)
+        if times.ndim != 1 or times.size == 0:
+            raise ConstructionError(
+                "a timestamp sequence must be a non-empty 1-d array"
+            )
+        if np.any(np.diff(times) < 0):
+            raise ConstructionError("timestamps must be non-decreasing")
+        encoded = self.codec.encode(times)
+        decoded = encoded.decode()
+        if decoded.size == times.size and np.array_equal(decoded, times):
+            self._entries.append(_Entry(encoded, None))
+        else:
+            # Not representable at the codec resolution: keep raw samples so
+            # the store stays lossless.
+            self._entries.append(_Entry(None, times.copy()))
+
+    def extend(
+        self, timestamps: Iterable[Sequence[float] | np.ndarray | None]
+    ) -> None:
+        """Append one entry per trajectory in order (``None`` gaps included)."""
+        for times in timestamps:
+            self.append(times)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def n_trajectories(self) -> int:
+        """Number of entries (timestamped or not)."""
+        return len(self._entries)
+
+    @property
+    def n_timestamped(self) -> int:
+        """Number of entries that carry timestamps."""
+        return sum(1 for entry in self._entries if entry is not None)
+
+    @property
+    def any_timestamped(self) -> bool:
+        """True when at least one trajectory carries timestamps."""
+        return any(entry is not None for entry in self._entries)
+
+    @property
+    def fully_timestamped(self) -> bool:
+        """True when the store is non-empty and every entry has timestamps."""
+        return bool(self._entries) and all(
+            entry is not None for entry in self._entries
+        )
+
+    def has_timestamps(self, trajectory_id: int) -> bool:
+        """True when the given trajectory carries timestamps."""
+        self._check_id(trajectory_id)
+        return self._entries[trajectory_id] is not None
+
+    def get(self, trajectory_id: int) -> list[float] | None:
+        """Decoded timestamps of one trajectory (``None`` for a gap).
+
+        Entries decode on every access (linear in the trajectory length);
+        nothing decoded is retained, so the store's resident size stays the
+        compressed one.
+        """
+        self._check_id(trajectory_id)
+        entry = self._entries[trajectory_id]
+        if entry is None:
+            return None
+        return [float(v) for v in entry.decode()]
+
+    def as_lists(self) -> list[list[float] | None]:
+        """Every entry decoded, in trajectory order (gaps as ``None``)."""
+        return [self.get(i) for i in range(len(self._entries))]
+
+    def __iter__(self) -> Iterator[list[float] | None]:
+        return iter(self.as_lists())
+
+    # ------------------------------------------------------------------ #
+    # size accounting
+    # ------------------------------------------------------------------ #
+    def size_in_bits(self) -> int:
+        """Exact encoded size: presence bitmap plus per-entry payloads."""
+        bits = len(self._entries)  # one presence bit per trajectory
+        bits += sum(
+            entry.size_in_bits() for entry in self._entries if entry is not None
+        )
+        return bits
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Write the store as a compressed ``.npz`` archive."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        kinds = np.zeros(len(self._entries), dtype=np.int8)
+        lengths = np.zeros(len(self._entries), dtype=np.int64)
+        starts = np.zeros(len(self._entries), dtype=np.float64)
+        delta_chunks: list[np.ndarray] = []
+        raw_chunks: list[np.ndarray] = []
+        for i, entry in enumerate(self._entries):
+            if entry is None:
+                kinds[i] = _KIND_NONE
+                continue
+            lengths[i] = entry.n_samples
+            if entry.encoded is not None:
+                kinds[i] = _KIND_DELTA
+                starts[i] = entry.encoded.start
+                delta_chunks.append(
+                    np.asarray(entry.encoded.quantised_deltas, dtype=np.int64)
+                )
+            else:
+                kinds[i] = _KIND_RAW
+                raw_chunks.append(entry.raw)
+        np.savez_compressed(
+            path,
+            format_version=np.asarray([_STORE_FORMAT_VERSION], dtype=np.int64),
+            resolution=np.asarray([self.codec.resolution], dtype=np.float64),
+            kinds=kinds,
+            lengths=lengths,
+            starts=starts,
+            deltas=(
+                np.concatenate(delta_chunks)
+                if delta_chunks
+                else np.zeros(0, dtype=np.int64)
+            ),
+            raw_values=(
+                np.concatenate(raw_chunks)
+                if raw_chunks
+                else np.zeros(0, dtype=np.float64)
+            ),
+        )
+        return ensure_npz_suffix(path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TimestampStore":
+        """Reload a store written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise DatasetError(f"timestamp archive not found: {path}")
+        with np.load(path) as archive:
+            version = int(archive["format_version"][0])
+            if version != _STORE_FORMAT_VERSION:
+                raise ConstructionError(
+                    f"unsupported timestamp archive version {version} "
+                    f"(expected {_STORE_FORMAT_VERSION})"
+                )
+            resolution = float(archive["resolution"][0])
+            kinds = archive["kinds"].astype(np.int8)
+            lengths = archive["lengths"].astype(np.int64)
+            starts = archive["starts"].astype(np.float64)
+            deltas = archive["deltas"].astype(np.int64)
+            raw_values = archive["raw_values"].astype(np.float64)
+        store = cls(codec=DeltaTimestampCodec(resolution=resolution))
+        delta_cursor = 0
+        raw_cursor = 0
+        for i in range(kinds.size):
+            kind = int(kinds[i])
+            n = int(lengths[i])
+            if kind == _KIND_NONE:
+                store._entries.append(None)
+            elif n <= 0:
+                # A zero/negative length would walk the payload cursors
+                # backwards and silently misalign every later entry.
+                raise ConstructionError(
+                    f"corrupt timestamp archive: entry {i} has length {n}"
+                )
+            elif kind == _KIND_DELTA:
+                quantised = deltas[delta_cursor : delta_cursor + n - 1]
+                delta_cursor += n - 1
+                if quantised.size and int(quantised.min()) < 0:
+                    raise ConstructionError(
+                        f"corrupt timestamp archive: entry {i} has negative deltas"
+                    )
+                store._entries.append(
+                    _Entry(_encoded_from_deltas(float(starts[i]), quantised, resolution), None)
+                )
+            elif kind == _KIND_RAW:
+                raw = raw_values[raw_cursor : raw_cursor + n].copy()
+                raw_cursor += n
+                if np.any(np.diff(raw) < 0):
+                    raise ConstructionError(
+                        f"corrupt timestamp archive: entry {i} has decreasing timestamps"
+                    )
+                store._entries.append(_Entry(None, raw))
+            else:
+                raise ConstructionError(f"corrupt timestamp archive: entry kind {kind}")
+        if delta_cursor != deltas.size or raw_cursor != raw_values.size:
+            raise ConstructionError(
+                "corrupt timestamp archive: entry lengths do not match the "
+                f"stored payload (deltas {delta_cursor}/{deltas.size}, "
+                f"raw {raw_cursor}/{raw_values.size})"
+            )
+        return store
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _check_id(self, trajectory_id: int) -> None:
+        if not 0 <= trajectory_id < len(self._entries):
+            raise QueryError(f"trajectory id {trajectory_id} out of range")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TimestampStore(trajectories={len(self._entries)}, "
+            f"timestamped={self.n_timestamped}, bits={self.size_in_bits()})"
+        )
+
+
+def _encoded_from_deltas(
+    start: float, quantised: np.ndarray, resolution: float
+) -> EncodedTimestamps:
+    """Rebuild an :class:`EncodedTimestamps` from its persisted arrays."""
+    from ..succinct import bits_needed
+
+    width = (
+        bits_needed(int(quantised.max()))
+        if quantised.size and int(quantised.max()) > 0
+        else 1
+    )
+    return EncodedTimestamps(
+        start=start,
+        quantised_deltas=np.asarray(quantised, dtype=np.int64),
+        resolution=resolution,
+        delta_width=width,
+    )

@@ -80,6 +80,44 @@ def test_partitioned_growth_survives_roundtrip(fleet_dataset, tmp_path):
     assert reloaded.count(["x1", "x2"]) == 1
 
 
+def test_engine_json_carries_no_raw_timestamps(fleet_dataset, tmp_path):
+    # Timestamps live in the compressed timestamps.npz artefact, never as raw
+    # JSON arrays inside engine.json.
+    engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+    engine.save(tmp_path / "index")
+    document = json.loads((tmp_path / "index" / "engine.json").read_text(encoding="utf-8"))
+    assert "timestamps" not in document
+    assert document["timestamps_file"] == "timestamps.npz"
+    assert (tmp_path / "index" / "timestamps.npz").exists()
+    reloaded = TrajectoryEngine.load(tmp_path / "index")
+    assert reloaded.timestamps == engine.timestamps
+    assert reloaded.timestamp_store.size_in_bits() == engine.timestamp_store.size_in_bits()
+
+
+def test_legacy_json_timestamp_document_loads(fleet_dataset, tmp_path):
+    # Version-1 engine.json documents (raw timestamp lists, no npz) still load.
+    engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+    engine.save(tmp_path / "index")
+    document_path = tmp_path / "index" / "engine.json"
+    document = json.loads(document_path.read_text(encoding="utf-8"))
+    document["format_version"] = 1
+    del document["timestamps_file"]
+    document["timestamps"] = [list(times) for times in engine.timestamps]
+    document_path.write_text(json.dumps(document), encoding="utf-8")
+    (tmp_path / "index" / "timestamps.npz").unlink()
+    reloaded = load_index(tmp_path / "index")
+    assert reloaded.timestamps == engine.timestamps
+    assert reloaded.temporal is not None
+
+
+def test_missing_timestamp_archive_rejected(fleet_dataset, tmp_path):
+    engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+    engine.save(tmp_path / "index")
+    (tmp_path / "index" / "timestamps.npz").unlink()
+    with pytest.raises(DatasetError, match="timestamp archive"):
+        load_index(tmp_path / "index")
+
+
 def test_missing_directory_rejected(tmp_path):
     with pytest.raises(DatasetError):
         load_index(tmp_path / "nothing-here")

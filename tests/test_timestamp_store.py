@@ -1,0 +1,177 @@
+"""Tests for the :class:`repro.temporal.TimestampStore` subsystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConstructionError, DatasetError, QueryError
+from repro.queries import DeltaTimestampCodec
+from repro.temporal import TimestampStore
+
+INTEGRAL = [10.0, 12.0, 15.0, 15.0, 21.0]
+FRACTIONAL = [0.25, 1.4, 3.33, 9.99]
+
+
+@pytest.fixture()
+def mixed_store():
+    """Integral (delta-encoded), fractional (raw fallback), gap, single sample."""
+    return TimestampStore([INTEGRAL, FRACTIONAL, None, [42.0]])
+
+
+class TestLosslessRoundTrip:
+    def test_decodes_exactly(self, mixed_store):
+        assert mixed_store.get(0) == INTEGRAL
+        assert mixed_store.get(1) == FRACTIONAL
+        assert mixed_store.get(2) is None
+        assert mixed_store.get(3) == [42.0]
+
+    def test_as_lists_preserves_gaps_and_order(self, mixed_store):
+        assert mixed_store.as_lists() == [INTEGRAL, FRACTIONAL, None, [42.0]]
+        assert list(mixed_store) == [INTEGRAL, FRACTIONAL, None, [42.0]]
+
+    def test_save_load_is_lossless(self, mixed_store, tmp_path):
+        path = mixed_store.save(tmp_path / "timestamps.npz")
+        reloaded = TimestampStore.load(path)
+        assert reloaded.as_lists() == mixed_store.as_lists()
+        assert reloaded.size_in_bits() == mixed_store.size_in_bits()
+        assert reloaded.codec.resolution == mixed_store.codec.resolution
+
+    def test_empty_store_round_trips(self, tmp_path):
+        store = TimestampStore()
+        reloaded = TimestampStore.load(store.save(tmp_path / "empty.npz"))
+        assert len(reloaded) == 0
+        assert not reloaded.any_timestamped
+
+    def test_all_gaps_round_trip(self, tmp_path):
+        store = TimestampStore([None, None, None])
+        reloaded = TimestampStore.load(store.save(tmp_path / "gaps.npz"))
+        assert reloaded.as_lists() == [None, None, None]
+        assert not reloaded.any_timestamped
+
+    def test_single_sample_round_trips(self, tmp_path):
+        store = TimestampStore([[3.5], [7.0]])
+        reloaded = TimestampStore.load(store.save(tmp_path / "one.npz"))
+        assert reloaded.as_lists() == [[3.5], [7.0]]
+
+    def test_random_float_fleet_round_trips(self, tmp_path):
+        rng = np.random.default_rng(11)
+        fleet = [
+            list(rng.uniform(0, 100) + np.cumsum(rng.uniform(1, 30, rng.integers(1, 20))))
+            for _ in range(25)
+        ]
+        fleet[5] = None
+        fleet[17] = None
+        store = TimestampStore(fleet)
+        reloaded = TimestampStore.load(store.save(tmp_path / "fleet.npz"))
+        assert reloaded.as_lists() == store.as_lists() == fleet
+
+
+class TestEncodingChoice:
+    def test_integral_data_uses_delta_encoding(self):
+        store = TimestampStore([INTEGRAL])
+        # 64-bit start + 4 deltas at 3 bits (max delta 6) + width byte + presence
+        assert store.size_in_bits() == 64 + 4 * 3 + 8 + 1
+
+    def test_fractional_data_falls_back_to_raw(self):
+        store = TimestampStore([FRACTIONAL])
+        assert store.size_in_bits() == 4 * 64 + 8 + 1
+
+    def test_delta_encoding_beats_raw_floats(self):
+        integral = TimestampStore([INTEGRAL])
+        assert integral.size_in_bits() < len(INTEGRAL) * 64
+
+    def test_coarser_codec_respected(self, tmp_path):
+        codec = DeltaTimestampCodec(resolution=5.0)
+        store = TimestampStore([[0.0, 5.0, 15.0]], codec=codec)
+        reloaded = TimestampStore.load(store.save(tmp_path / "coarse.npz"))
+        assert reloaded.get(0) == [0.0, 5.0, 15.0]
+        assert reloaded.codec.resolution == 5.0
+
+
+class TestGrowth:
+    def test_append_and_extend(self):
+        store = TimestampStore()
+        store.append([1.0, 2.0])
+        store.extend([None, [4.0]])
+        assert len(store) == 3
+        assert store.n_timestamped == 2
+        assert store.has_timestamps(0) and not store.has_timestamps(1)
+
+    def test_flags(self):
+        assert not TimestampStore().fully_timestamped
+        assert TimestampStore([[1.0]]).fully_timestamped
+        assert not TimestampStore([[1.0], None]).fully_timestamped
+        assert TimestampStore([[1.0], None]).any_timestamped
+
+
+class TestValidation:
+    def test_decreasing_rejected(self):
+        with pytest.raises(ConstructionError, match="non-decreasing"):
+            TimestampStore([[5.0, 1.0]])
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConstructionError):
+            TimestampStore([[]])
+
+    def test_out_of_range_id_rejected(self, mixed_store):
+        with pytest.raises(QueryError, match="out of range"):
+            mixed_store.get(99)
+        with pytest.raises(QueryError, match="out of range"):
+            mixed_store.get(-1)
+
+    def test_missing_archive_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            TimestampStore.load(tmp_path / "nope.npz")
+
+    def test_unsupported_version_rejected(self, mixed_store, tmp_path):
+        path = mixed_store.save(tmp_path / "store.npz")
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        arrays["format_version"] = np.asarray([999], dtype=np.int64)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ConstructionError, match="version"):
+            TimestampStore.load(path)
+
+    def test_zero_length_entry_rejected(self, tmp_path):
+        store = TimestampStore([INTEGRAL, [5.0]])
+        path = store.save(tmp_path / "store.npz")
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        arrays["lengths"] = arrays["lengths"].copy()
+        arrays["lengths"][1] = 0
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ConstructionError, match="corrupt"):
+            TimestampStore.load(path)
+
+    def test_decreasing_raw_archive_rejected(self, tmp_path):
+        store = TimestampStore([FRACTIONAL])
+        path = store.save(tmp_path / "store.npz")
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        arrays["raw_values"] = arrays["raw_values"][::-1].copy()
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ConstructionError, match="decreasing"):
+            TimestampStore.load(path)
+
+    def test_negative_delta_archive_rejected(self, tmp_path):
+        store = TimestampStore([INTEGRAL])
+        path = store.save(tmp_path / "store.npz")
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        arrays["deltas"] = -np.abs(arrays["deltas"]) - 1
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ConstructionError, match="negative"):
+            TimestampStore.load(path)
+
+    @pytest.mark.parametrize("payload", ["deltas", "raw_values"])
+    def test_truncated_payload_rejected(self, mixed_store, tmp_path, payload):
+        # An archive whose entry lengths disagree with the stored payload must
+        # fail loudly instead of silently decoding short timestamp lists.
+        path = mixed_store.save(tmp_path / "store.npz")
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        arrays[payload] = arrays[payload][:-1]
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ConstructionError, match="corrupt"):
+            TimestampStore.load(path)
