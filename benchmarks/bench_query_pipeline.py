@@ -1,0 +1,181 @@
+"""Query-pipeline benchmark: grouped mixed batches and the warm result cache.
+
+Pins the two wins of the staged plan -> optimize -> execute pipeline inside
+:class:`repro.engine.TrajectoryEngine`:
+
+* **Grouped mixed-batch throughput** — a heterogeneous service-style batch
+  (count / contains / locate / extract, with the duplicates real traffic
+  carries) answered by ``run_many``'s grouped vectorized dispatch vs the same
+  batch dispatched per query through ``run``.  Both sides run cache-disabled
+  so the measurement isolates grouping + dedupe (target >= 2x at full scale).
+* **Warm-cache speedup** — a repeated-query workload (the dominant shape
+  against a mostly-static fleet) replayed for several rounds on a
+  cache-enabled engine vs a cache-disabled one; after the first round every
+  plan is served from the epoch-guarded LRU (target >= 5x at full scale).
+
+Results land in ``benchmarks/BENCH_query_pipeline.json`` through
+:func:`repro.bench.write_bench_baseline`.  Dataset size follows
+``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_PATTERNS`` like the rest of the suite;
+CI smoke runs (0.05) check plumbing and bit-identical results only.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import BENCH_SCALE, N_PATTERNS, get_bundle
+from repro.bench import format_table, write_bench_baseline
+from repro.engine import (
+    ContainsQuery,
+    CountQuery,
+    EngineConfig,
+    ExtractQuery,
+    LocateQuery,
+    TrajectoryEngine,
+    sample_paths,
+)
+
+DATASET = "Singapore"
+BLOCK_SIZE = 63
+
+#: Distinct patterns in the workloads (the paper samples 500 queries at full
+#: scale; the repeated-query workload replays them ROUNDS times).
+N_DISTINCT = max(int(200 * min(BENCH_SCALE, 1.0)), N_PATTERNS, 10)
+ROUNDS = 5
+PATTERN_LENGTH = 8
+
+
+def build_engine(cache_size: int) -> TrajectoryEngine:
+    bundle = get_bundle(DATASET)
+    return TrajectoryEngine.build(
+        [list(t) for t in bundle.symbol_trajectories],
+        EngineConfig(
+            backend="cinct",
+            block_size=BLOCK_SIZE,
+            sa_sample_rate=16,
+            cache_size=cache_size,
+        ),
+    )
+
+
+def mixed_batch(engine: TrajectoryEngine, paths, seed: int = 3):
+    """A service-style heterogeneous batch with realistic duplication."""
+    rng = np.random.default_rng(seed)
+    queries = []
+    # Count/contains traffic drawn with repetition from the distinct paths.
+    for _ in range(2 * len(paths)):
+        path = paths[int(rng.integers(len(paths)))]
+        queries.append(CountQuery(path) if rng.uniform() < 0.7 else ContainsQuery(path))
+    # A thinner stream of locate and extract requests, duplicates included.
+    for _ in range(max(len(paths) // 10, 3)):
+        queries.append(LocateQuery(paths[int(rng.integers(len(paths) // 2))]))
+    for _ in range(max(len(paths) // 10, 3)):
+        row = int(rng.integers(0, max(engine.length - 1, 1)))
+        queries.append(ExtractQuery(row=row, length=6))
+    order = rng.permutation(len(queries))
+    return [queries[i] for i in order]
+
+
+def test_query_pipeline_throughput(report) -> None:
+    paths = sample_paths(
+        [list(t) for t in get_bundle(DATASET).symbol_trajectories],
+        PATTERN_LENGTH,
+        N_DISTINCT,
+        seed=1,
+    )
+
+    # --- grouped mixed batch vs per-query dispatch (both cache-disabled) ---
+    per_query_engine = build_engine(cache_size=0)
+    grouped_engine = build_engine(cache_size=0)
+    batch = mixed_batch(per_query_engine, paths)
+
+    started = time.perf_counter()
+    per_query_results = [per_query_engine.run(query) for query in batch]
+    per_query_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    grouped_results = grouped_engine.run_many(batch)
+    grouped_seconds = time.perf_counter() - started
+
+    assert grouped_results == per_query_results  # bit-identical, always
+    grouped_speedup = per_query_seconds / max(grouped_seconds, 1e-9)
+
+    # --- warm cache on a repeated-query workload ---
+    cold_engine = build_engine(cache_size=4 * N_DISTINCT)
+    nocache_engine = build_engine(cache_size=0)
+    repeated = [CountQuery(path) for path in paths]
+
+    started = time.perf_counter()
+    first_round = cold_engine.run_many(repeated)  # fills the cache
+    cold_seconds = time.perf_counter() - started
+
+    warm_rounds: list[float] = []
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        warm_results = cold_engine.run_many(repeated)
+        warm_rounds.append(time.perf_counter() - started)
+        assert warm_results == first_round
+    warm_seconds = min(warm_rounds)
+
+    started = time.perf_counter()
+    nocache_results = nocache_engine.run_many(repeated)
+    nocache_seconds = time.perf_counter() - started
+    assert nocache_results == first_round
+
+    warm_speedup = nocache_seconds / max(warm_seconds, 1e-9)
+    stats = cold_engine.cache_stats()
+    # Each warm round hits once per *distinct* plan (duplicates inside a
+    # batch are deduplicated by the optimize stage before the cache).
+    n_unique = len({tuple(path) for path in paths})
+    assert stats["hits"] >= ROUNDS * n_unique
+
+    rows = [
+        {
+            "workload": "mixed batch",
+            "queries": len(batch),
+            "per-query (ms)": round(per_query_seconds * 1e3, 2),
+            "grouped (ms)": round(grouped_seconds * 1e3, 2),
+            "speedup": round(grouped_speedup, 2),
+        },
+        {
+            "workload": "repeated counts",
+            "queries": len(repeated),
+            "per-query (ms)": round(nocache_seconds * 1e3, 2),
+            "grouped (ms)": round(warm_seconds * 1e3, 2),
+            "speedup": round(warm_speedup, 2),
+        },
+    ]
+    table = format_table(rows, title=f"{DATASET} — query pipeline (grouping + cache)")
+    report.add("Query pipeline (grouped batches, warm cache)", table)
+
+    write_bench_baseline(
+        "query_pipeline",
+        {
+            "scale": BENCH_SCALE,
+            "dataset": DATASET,
+            "n_distinct_patterns": N_DISTINCT,
+            "mixed_batch_queries": len(batch),
+            "per_query_seconds": per_query_seconds,
+            "grouped_seconds": grouped_seconds,
+            "grouped_speedup": grouped_speedup,
+            "repeated_queries": len(repeated),
+            "cold_seconds": cold_seconds,
+            "nocache_seconds": nocache_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_cache_speedup": warm_speedup,
+            "cache_stats": {key: int(value) for key, value in stats.items()},
+        },
+        directory=Path(__file__).parent,
+    )
+    assert (Path(__file__).parent / "BENCH_query_pipeline.json").exists()
+
+    # Smoke runs (CI uses a tiny REPRO_BENCH_SCALE) check plumbing and
+    # bit-identical results only; the thresholds hold at full scale.
+    if BENCH_SCALE >= 1.0:
+        assert grouped_speedup >= 2.0, (
+            f"grouped mixed-batch speedup only {grouped_speedup:.1f}x"
+        )
+        assert warm_speedup >= 5.0, f"warm-cache speedup only {warm_speedup:.1f}x"

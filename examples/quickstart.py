@@ -83,12 +83,20 @@ def main() -> None:
     print()
 
     # --- Batched, typed queries ------------------------------------------- #
-    # run_many routes a mixed workload through the vectorized batch paths.
+    # run_many drives the staged pipeline (normalize -> optimize -> execute):
+    # the batch is grouped by query type, duplicates are answered once, and
+    # repeats land in the engine's epoch-invalidated result cache.
     results = engine.run_many(
         [CountQuery(["A", "B"]), LocateQuery(["B", "C"]), ExtractQuery(row=0, length=4)]
     )
     for result in results:
         print(type(result).__name__, "->", result)
+    engine.run_many(
+        [CountQuery(["A", "B"]), LocateQuery(["B", "C"]), ExtractQuery(row=0, length=4)]
+    )
+    stats = engine.cache_stats()
+    print(f"result cache after the repeat: hits={stats['hits']} "
+          f"misses={stats['misses']} (epoch {engine.epoch})")
     print()
 
     # --- The same API over every registered backend ------------------------ #

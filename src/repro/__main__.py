@@ -1,0 +1,12 @@
+"""``python -m repro`` — the ``repro-cinct`` command-line interface.
+
+Equivalent to ``python -m repro.cli`` and the installed console script; see
+:mod:`repro.cli` for the sub-commands.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

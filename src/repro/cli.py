@@ -10,7 +10,8 @@ sub-command works with every registered index backend (``--backend``):
     with any registered backend and persist it to a directory.
 ``repro-cinct query``
     Load a persisted index and run a path query (optionally a strict-path
-    query with ``--t-start``/``--t-end``).
+    query with ``--t-start``/``--t-end``); ``--verbose`` adds result-cache
+    statistics and the growth epoch, ``--no-cache`` bypasses the cache.
 ``repro-cinct compare``
     Build every requested backend on a dataset analogue and print the
     size/time comparison of Fig. 10, including ``size_in_bits`` and
@@ -130,6 +131,8 @@ def _command_query(args: argparse.Namespace) -> int:
         # A directory written by the legacy save_cinct format.
         return _query_legacy(args, path)
     engine = load_index(index_dir)
+    if args.no_cache:
+        engine.result_cache.disable()
     started = time.perf_counter()
     try:
         if args.t_start is not None:
@@ -146,6 +149,16 @@ def _command_query(args: argparse.Namespace) -> int:
     print(f"path      : {' -> '.join(str(p) for p in path)}")
     print(f"matches   : {count}")
     print(f"query time: {elapsed:.1f} us")
+    if args.verbose:
+        stats = engine.cache_stats()
+        state = "on" if stats["enabled"] else "off"
+        print(
+            f"cache     : {state} "
+            f"(hits={stats['hits']} misses={stats['misses']} "
+            f"size={stats['size']}/{stats['capacity']} "
+            f"evictions={stats['evictions']})"
+        )
+        print(f"epoch     : {engine.epoch}")
     if matches is not None:
         for match in matches[:10]:
             window = ""
@@ -163,6 +176,10 @@ def _query_legacy(args: argparse.Namespace, path: list[Hashable]) -> int:
     saved = load_cinct(args.index)
     if args.t_start is not None:
         raise ReproError("legacy CiNCT directories do not support strict-path queries")
+    if args.verbose or args.no_cache:
+        # Legacy directories are queried without the engine pipeline, so
+        # there is no result cache to report on or bypass.
+        print("note      : legacy save_cinct index; no result cache (engine-only)")
     if saved.alphabet is not None:
         try:
             pattern = saved.alphabet.encode_path(path)
@@ -184,8 +201,15 @@ def _command_compare(args: argparse.Namespace) -> int:
     bundle = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     trajectories = [list(t) for t in bundle.symbol_trajectories]
     paths = sample_paths(trajectories, args.pattern_length, args.n_patterns, seed=0)
+    # The pipeline dedupes identical plans inside a batch, so only distinct
+    # patterns execute; report the mean over the work actually performed.
+    n_distinct = len({tuple(path) for path in paths})
     rows = []
-    for name in args.variants:
+    # Resolve aliases, dedupe, and iterate in the deterministic
+    # available_backends() order so the output rows are stable across runs.
+    requested = {backend_spec(name).name for name in args.variants}
+    ordered = [name for name in available_backends() if name in requested]
+    for name in ordered:
         spec = backend_spec(name)
         config = EngineConfig(backend=spec.name, block_size=args.block_size)
         started = time.perf_counter()
@@ -193,7 +217,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         build_seconds = time.perf_counter() - started
         started = time.perf_counter()
         engine.count_many(paths)
-        mean_us = (time.perf_counter() - started) / max(len(paths), 1) * 1e6
+        mean_us = (time.perf_counter() - started) / max(n_distinct, 1) * 1e6
         rows.append(
             {
                 "method": spec.display_name,
@@ -244,6 +268,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--index", type=Path, required=True, help="directory of the saved index")
     query.add_argument("--t-start", type=float, default=None, help="strict-path window start")
     query.add_argument("--t-end", type=float, default=None, help="strict-path window end")
+    query.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the engine's plan-keyed result cache for this query",
+    )
+    query.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print result-cache statistics and the growth epoch",
+    )
     query.add_argument("path", nargs="+", help="road segments of the query path, in travel order")
     query.set_defaults(handler=_command_query)
 

@@ -7,7 +7,11 @@
   :class:`BackendSpec`) unifying CiNCT, the partitioned CiNCT, every Table-II
   FM-index baseline and the linear-scan baseline;
 * the typed query layer (:class:`CountQuery` ... :class:`StrictPathResult`)
-  with the batch-first :meth:`TrajectoryEngine.run_many` entry point.
+  with the batch-first :meth:`TrajectoryEngine.run_many` entry point;
+* the staged query pipeline — normalize (:class:`QueryPlanner` /
+  :class:`QueryPlan`), optimize (:func:`optimize_plans`), execute
+  (:class:`QueryExecutor` behind the :class:`PlanExecutor` protocol) — with
+  the epoch-invalidated :class:`ResultCache` in front of every backend.
 """
 
 # Importing .backends populates the registry as a side effect.
@@ -20,6 +24,14 @@ from .backends import (
 )
 from .config import EngineConfig
 from .engine import TrajectoryEngine, sample_paths
+from .executor import (
+    PlanExecutor,
+    PlanGroups,
+    QueryExecutor,
+    ResultCache,
+    optimize_plans,
+)
+from .plan import PlannedQuery, QueryPlan, QueryPlanner
 from .queries import (
     ContainsQuery,
     ContainsResult,
@@ -52,6 +64,15 @@ __all__ = [
     "PartitionedBackend",
     "FMBaselineBackend",
     "LinearScanBackend",
+    # query pipeline
+    "QueryPlan",
+    "PlannedQuery",
+    "QueryPlanner",
+    "PlanExecutor",
+    "PlanGroups",
+    "optimize_plans",
+    "QueryExecutor",
+    "ResultCache",
     # queries
     "EngineQuery",
     "EngineResult",

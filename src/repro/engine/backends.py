@@ -13,6 +13,11 @@ behind the uniform :class:`EngineBackend` surface the
 * ``save_state`` / ``load`` hooks dispatched by the universal persistence
   layer in :mod:`repro.io.index_io`.
 
+The query surface doubles as the execution surface of the staged query
+pipeline: :class:`EngineBackend` structurally satisfies the
+:class:`~repro.engine.executor.PlanExecutor` protocol, so every adapter here
+(and any third-party one) executes canonical query plans without extra code.
+
 Importing this module populates the backend registry.
 """
 

@@ -46,6 +46,11 @@ class EngineConfig:
     labeling_strategy:
         RML labelling strategy forwarded to CiNCT-family backends
         (``"bigram"``, ``"unigram"`` or ``"random"``).
+    cache_size:
+        Capacity (in distinct canonical query plans) of the engine's LRU
+        result cache.  Repeated queries against an unchanged fleet are served
+        from the cache; any growth (``add_batch`` / ``consolidate``) bumps the
+        engine epoch and drops every entry.  ``0`` disables caching.
     """
 
     backend: str = DEFAULT_BACKEND
@@ -54,6 +59,7 @@ class EngineConfig:
     max_partitions: int | None = None
     temporal_index: bool = True
     labeling_strategy: str = "bigram"
+    cache_size: int = 1024
 
     def __post_init__(self) -> None:
         if not self.backend or not str(self.backend).strip():
@@ -67,6 +73,10 @@ class EngineConfig:
         if self.max_partitions is not None and self.max_partitions < 1:
             raise ConstructionError(
                 f"max_partitions must be at least 1 when given, got {self.max_partitions}"
+            )
+        if self.cache_size < 0:
+            raise ConstructionError(
+                f"cache_size must be non-negative (0 disables), got {self.cache_size}"
             )
 
     def as_dict(self) -> dict[str, object]:

@@ -12,12 +12,27 @@ with raw edge sequences::
     engine.save("my-index")
     TrajectoryEngine.load("my-index").count(["e2", "e3"])  # -> 2
 
-The facade owns everything that used to force callers through per-backend
-entry points: pattern encoding against the backend's alphabet, the canonical
-:class:`~repro.exceptions.QueryError` / :class:`~repro.exceptions.AlphabetError`
-behaviour, temporal filtering for strict-path queries, and the batch-first
-:meth:`TrajectoryEngine.run_many` routing into the vectorized ``*_many``
-query paths.
+Every query — scalar convenience methods and the typed :meth:`run` /
+:meth:`run_many` API alike — flows through a staged pipeline:
+
+1. **normalize** (:mod:`repro.engine.plan`) — raw-edge queries become
+   canonical :class:`~repro.engine.plan.QueryPlan` records (encoded pattern,
+   capability requirement, window bounds); every ``QueryError`` /
+   ``AlphabetError`` is raised at this stage;
+2. **optimize** (:func:`repro.engine.executor.optimize_plans`) — a batch is
+   deduplicated and grouped by (query type x capability) so heterogeneous
+   workloads route into the vectorized ``*_many`` backend paths instead of
+   per-query loops;
+3. **execute** (:class:`repro.engine.executor.QueryExecutor`) — groups run
+   against the backend through the
+   :class:`~repro.engine.executor.PlanExecutor` surface, fronted by a bounded
+   LRU result cache keyed on canonical plans and invalidated by the engine's
+   monotonically increasing growth :attr:`~TrajectoryEngine.epoch` (bumped by
+   :meth:`~TrajectoryEngine.add_batch` / :meth:`~TrajectoryEngine.consolidate`
+   and persisted with the index).
+
+Results are assembled back around the original query objects, so cached,
+batched and scalar answers are bit-identical.
 """
 
 from __future__ import annotations
@@ -28,7 +43,6 @@ import numpy as np
 
 from ..exceptions import (
     EMPTY_INDEX_MESSAGE,
-    EMPTY_PATH_MESSAGE,
     ConstructionError,
     DatasetError,
     QueryError,
@@ -40,6 +54,8 @@ from ..temporal.store import TimestampStore
 from ..trajectories.model import Trajectory, TrajectoryDataset
 from .backends import EngineBackend
 from .config import EngineConfig
+from .executor import QueryExecutor, ResultCache
+from .plan import PlannedQuery, QueryPlanner
 from .queries import (
     ContainsQuery,
     ContainsResult,
@@ -124,6 +140,7 @@ class TrajectoryEngine:
         backend: EngineBackend,
         config: EngineConfig,
         timestamps: TimestampStore | Sequence[list[float] | None] = (),
+        epoch: int = 0,
     ):
         self._backend = backend
         self._config = config
@@ -137,6 +154,12 @@ class TrajectoryEngine:
         # step), so streaming ingestion stays linear in the fleet size.
         self._temporal: TemporalIndex | None = None
         self._temporal_fresh = False
+        # Query pipeline: normalize (planner) -> optimize/execute (executor)
+        # with an epoch-invalidated LRU result cache in front of the backend.
+        self._epoch = int(epoch)
+        self._planner = QueryPlanner(backend, self._spec, self._store)
+        self._cache = ResultCache(config.cache_size, epoch=self._epoch)
+        self._executor = QueryExecutor(backend, self._resolve_encoded, self._cache)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -219,6 +242,26 @@ class TrajectoryEngine:
         return self._backend.n_trajectories
 
     @property
+    def epoch(self) -> int:
+        """Monotonically increasing growth epoch.
+
+        Starts at 0 (or the persisted value after :meth:`load`), bumped by
+        every :meth:`add_batch` / :meth:`consolidate`.  The result cache keys
+        its validity on this value, and :meth:`save` persists it so reloaded
+        engines keep counting from where they left off.
+        """
+        return self._epoch
+
+    @property
+    def result_cache(self) -> ResultCache:
+        """The bounded, epoch-invalidated LRU in front of the backend."""
+        return self._cache
+
+    def cache_stats(self) -> dict[str, int | bool]:
+        """Result-cache counters (hits, misses, evictions, invalidations)."""
+        return self._cache.stats()
+
+    @property
     def temporal(self) -> TemporalIndex | None:
         """The temporal companion index (``None`` when disabled/unavailable)."""
         if not self._temporal_fresh:
@@ -275,6 +318,7 @@ class TrajectoryEngine:
         self._backend.add_batch(edges)
         self._store.extend(timestamps)
         self._temporal_fresh = False
+        self._bump_epoch()
 
     @property
     def n_partitions(self) -> int:
@@ -288,29 +332,43 @@ class TrajectoryEngine:
         the facade so growth workflows never touch backend internals.
         """
         self._backend.consolidate()
+        self._bump_epoch()
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+        self._cache.sync_epoch(self._epoch)
 
     # ------------------------------------------------------------------ #
     # scalar queries (raw edge sequences in, plain values out)
     # ------------------------------------------------------------------ #
     def count(self, path: Sequence[Hashable]) -> int:
         """Occurrences of the path across all indexed trajectories."""
-        return self._backend.count(self._encode(path))
+        result = self.run(CountQuery(path))
+        assert isinstance(result, CountResult)
+        return result.count
 
     def contains(self, path: Sequence[Hashable]) -> bool:
         """True when the path occurs at least once."""
-        return self._backend.contains(self._encode(path))
+        result = self.run(ContainsQuery(path))
+        assert isinstance(result, ContainsResult)
+        return result.found
 
     def count_many(self, paths: Sequence[Sequence[Hashable]]) -> list[int]:
         """Batched :meth:`count` through the backend's vectorized path."""
-        return self._backend.count_many([self._encode(path) for path in paths])
+        results = self.run_many([CountQuery(path) for path in paths])
+        return [result.count for result in results]  # type: ignore[union-attr]
 
     def locate(self, path: Sequence[Hashable]) -> list[StrictPathMatch]:
         """Every occurrence of the path, resolved to trajectory coordinates."""
-        return self._resolve_matches(path)
+        result = self.run(LocateQuery(path))
+        assert isinstance(result, LocateResult)
+        return list(result.matches)
 
     def extract(self, row: int, length: int) -> list[Hashable]:
         """Algorithm-4 extraction, decoded back to edge IDs (``#``/``$`` markers)."""
-        return self._decode_symbols(self._backend.extract(row, length))
+        result = self.run(ExtractQuery(row=row, length=length))
+        assert isinstance(result, ExtractResult)
+        return list(result.edges)
 
     def strict_path(
         self,
@@ -330,14 +388,97 @@ class TrajectoryEngine:
         trajectory in the fleet carries timestamps is a windowed query
         rejected with a :class:`~repro.exceptions.QueryError`.
         """
-        if (t_start is None) != (t_end is None):
-            raise QueryError("provide both t_start and t_end, or neither")
-        if t_start is not None and not self._store.any_timestamped:
-            raise QueryError(
-                "the dataset has no timestamps; temporal filtering is unavailable"
+        result = self.run(StrictPathQuery(path, t_start, t_end))
+        assert isinstance(result, StrictPathResult)
+        return list(result.matches)
+
+    # ------------------------------------------------------------------ #
+    # typed query API (the staged pipeline)
+    # ------------------------------------------------------------------ #
+    def run(self, query: EngineQuery) -> EngineResult:
+        """Answer one typed query through the plan -> execute pipeline."""
+        planned = self._planner.plan(query)
+        payloads = self._executor.execute([planned.plan])
+        return self._assemble(planned, payloads[planned.plan.canonical()])
+
+    def run_many(self, queries: Sequence[EngineQuery]) -> list[EngineResult]:
+        """Answer a mixed workload, batch-first.
+
+        The batch flows through the staged pipeline: every query is
+        normalized into a canonical plan first (so all raising happens before
+        anything executes), the optimize stage dedupes identical plans and
+        groups the remainder by (query type x capability), and the execute
+        stage routes each group through the backend's vectorized ``*_many``
+        paths — count/contains share one ``count_many`` pass, extractions
+        batch per length into ``extract_many``, locate/strict-path run once
+        per distinct pattern (each already batches its whole suffix range
+        internally).  Results come back in input order and are identical to
+        calling :meth:`run` per query.
+        """
+        planned = self._planner.plan_many(queries)
+        payloads = self._executor.execute([entry.plan for entry in planned])
+        return [
+            self._assemble(entry, payloads[entry.plan.canonical()])
+            for entry in planned
+        ]
+
+    # ------------------------------------------------------------------ #
+    # pipeline helpers
+    # ------------------------------------------------------------------ #
+    def _assemble(self, planned: PlannedQuery, payload: object) -> EngineResult:
+        """Wrap an executed payload back around the original query object."""
+        query = planned.query
+        if isinstance(query, CountQuery):
+            assert isinstance(payload, int)
+            return CountResult(query, payload)
+        if isinstance(query, ContainsQuery):
+            assert isinstance(payload, int)
+            return ContainsResult(query, payload > 0)
+        if isinstance(query, LocateQuery):
+            assert isinstance(payload, tuple)
+            return LocateResult(query, payload)
+        if isinstance(query, ExtractQuery):
+            assert isinstance(payload, tuple)
+            return ExtractResult(query, payload, tuple(self._decode_symbols(payload)))
+        assert isinstance(query, StrictPathQuery) and isinstance(payload, tuple)
+        matches = self._filter_window(payload, planned.plan.t_start, planned.plan.t_end)
+        return StrictPathResult(query, matches)
+
+    def _resolve_encoded(self, pattern: tuple[int, ...]) -> tuple[StrictPathMatch, ...]:
+        """Locate an encoded pattern and annotate matches with timestamps.
+
+        Timestamps come from the store's sampled point lookups
+        (:meth:`~repro.temporal.TimestampStore.timestamp`), so resolving a
+        match never decodes a whole trajectory.
+        """
+        store = self._store
+        n_stored = len(store)
+        matches: list[StrictPathMatch] = []
+        for trajectory_id, start, end in self._backend.locate_matches(list(pattern)):
+            if 0 <= trajectory_id < n_stored:
+                start_time = store.timestamp(trajectory_id, start)
+                end_time = store.timestamp(trajectory_id, end)
+            else:
+                start_time = end_time = None
+            matches.append(
+                StrictPathMatch(
+                    trajectory_id=trajectory_id,
+                    start_edge_index=start,
+                    end_edge_index=end,
+                    start_time=start_time,
+                    end_time=end_time,
+                )
             )
-        matches = self._resolve_matches(path)
-        if t_start is None:
+        return tuple(matches)
+
+    def _filter_window(
+        self,
+        matches: tuple[StrictPathMatch, ...],
+        t_start: float | None,
+        t_end: float | None,
+    ) -> tuple[StrictPathMatch, ...]:
+        """Apply strict-path window semantics to located matches."""
+        if t_start is None or t_end is None:
             return matches
         active: set[int] | None = None
         if self.temporal is not None:
@@ -351,107 +492,7 @@ class TrajectoryEngine:
             if match.start_time < t_start or match.end_time > t_end:
                 continue
             filtered.append(match)
-        return filtered
-
-    # ------------------------------------------------------------------ #
-    # typed query API
-    # ------------------------------------------------------------------ #
-    def run(self, query: EngineQuery) -> EngineResult:
-        """Answer one typed query."""
-        if isinstance(query, CountQuery):
-            return CountResult(query, self.count(query.path))
-        if isinstance(query, ContainsQuery):
-            return ContainsResult(query, self.contains(query.path))
-        if isinstance(query, LocateQuery):
-            return LocateResult(query, tuple(self.locate(query.path)))
-        if isinstance(query, ExtractQuery):
-            symbols = self._backend.extract(query.row, query.length)
-            return ExtractResult(
-                query, tuple(symbols), tuple(self._decode_symbols(symbols))
-            )
-        if isinstance(query, StrictPathQuery):
-            return StrictPathResult(
-                query, tuple(self.strict_path(query.path, query.t_start, query.t_end))
-            )
-        raise QueryError(f"unsupported query type: {type(query).__name__}")
-
-    def run_many(self, queries: Sequence[EngineQuery]) -> list[EngineResult]:
-        """Answer a mixed workload, batch-first.
-
-        Count/contains queries share one vectorized ``count_many`` pass;
-        extract queries are grouped by length into ``extract_many`` batches;
-        locate and strict-path queries run per query (each already batches its
-        whole suffix range internally).  Results come back in input order and
-        are identical to calling :meth:`run` per query.
-        """
-        queries = list(queries)
-        known = (CountQuery, ContainsQuery, LocateQuery, ExtractQuery, StrictPathQuery)
-        for query in queries:
-            if not isinstance(query, known):
-                raise QueryError(f"unsupported query type: {type(query).__name__}")
-        results: list[EngineResult | None] = [None] * len(queries)
-
-        count_like = [
-            (i, q) for i, q in enumerate(queries) if isinstance(q, (CountQuery, ContainsQuery))
-        ]
-        if count_like:
-            patterns = [self._encode(q.path) for _, q in count_like]
-            for (i, query), count in zip(count_like, self._backend.count_many(patterns)):
-                if isinstance(query, CountQuery):
-                    results[i] = CountResult(query, count)
-                else:
-                    results[i] = ContainsResult(query, count > 0)
-
-        extract_groups: dict[int, list[tuple[int, ExtractQuery]]] = {}
-        for i, query in enumerate(queries):
-            if isinstance(query, ExtractQuery):
-                extract_groups.setdefault(query.length, []).append((i, query))
-        for length, group in extract_groups.items():
-            rows = [query.row for _, query in group]
-            for (i, query), symbols in zip(group, self._backend.extract_many(rows, length)):
-                results[i] = ExtractResult(
-                    query, tuple(symbols), tuple(self._decode_symbols(symbols))
-                )
-
-        for i, query in enumerate(queries):
-            if results[i] is not None:
-                continue
-            results[i] = self.run(query)
-        return results  # type: ignore[return-value]
-
-    # ------------------------------------------------------------------ #
-    # helpers
-    # ------------------------------------------------------------------ #
-    def _encode(self, path: Sequence[Hashable]) -> list[int]:
-        if self._backend.n_trajectories == 0:
-            raise QueryError(EMPTY_INDEX_MESSAGE)
-        edges = list(path)
-        if not edges:
-            raise QueryError(EMPTY_PATH_MESSAGE)
-        return self._backend.alphabet.encode_path(edges)
-
-    def _resolve_matches(self, path: Sequence[Hashable]) -> list[StrictPathMatch]:
-        pattern = self._encode(path)
-        matches: list[StrictPathMatch] = []
-        decoded: dict[int, list[float] | None] = {}
-        for trajectory_id, start, end in self._backend.locate_matches(pattern):
-            if trajectory_id not in decoded:
-                decoded[trajectory_id] = (
-                    self._store.get(trajectory_id)
-                    if 0 <= trajectory_id < len(self._store)
-                    else None
-                )
-            times = decoded[trajectory_id]
-            matches.append(
-                StrictPathMatch(
-                    trajectory_id=trajectory_id,
-                    start_edge_index=start,
-                    end_edge_index=end,
-                    start_time=times[start] if times is not None else None,
-                    end_time=times[end] if times is not None else None,
-                )
-            )
-        return matches
+        return tuple(filtered)
 
     def _decode_symbols(self, symbols: Sequence[int]) -> list[Hashable]:
         alphabet = self._backend.alphabet

@@ -1,0 +1,315 @@
+"""Optimize and execute stages of the engine query pipeline.
+
+The normalize stage (:mod:`repro.engine.plan`) turns raw queries into
+canonical :class:`~repro.engine.plan.QueryPlan` records; this module finishes
+the pipeline:
+
+* :func:`optimize_plans` — the **optimize** stage: dedupe identical plans and
+  group the remainder by (query type x capability), so a heterogeneous batch
+  becomes one ``count_many`` pass, one ``extract_many`` batch per extraction
+  length, and one locate walk per distinct pattern — never a per-query loop;
+* :class:`PlanExecutor` — the capability surface a backend must provide to
+  execute plans.  The existing :class:`~repro.engine.backends.EngineBackend`
+  adapters satisfy it structurally, so every registered backend (and any
+  third-party one) is already a plan executor;
+* :class:`ResultCache` — a bounded LRU keyed on canonical plans, invalidated
+  by the engine's monotonically increasing **growth epoch** (bumped by
+  ``add_batch`` / ``consolidate`` and persisted by the index format);
+* :class:`QueryExecutor` — the **execute** stage: serve plans from the cache
+  where possible, route the misses through the grouped vectorized paths, and
+  fill the cache with what they produce.
+
+Cached payloads are plain values (occurrence counts, resolved match tuples,
+extracted symbol tuples), never result objects: the engine wraps them back
+around the original query at assembly time, so cached and uncached answers
+are bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+from ..queries.strict_path import StrictPathMatch
+from .plan import KIND_COUNT, KIND_EXTRACT, KIND_LOCATE, QueryPlan
+
+#: Resolves an encoded pattern to located, timestamp-annotated matches.
+#: Provided by the engine (it owns the timestamp store the matches borrow
+#: their ``start_time``/``end_time`` from).
+MatchResolver = Callable[[tuple[int, ...]], tuple[StrictPathMatch, ...]]
+
+
+@runtime_checkable
+class PlanExecutor(Protocol):
+    """What a backend must provide to execute canonical query plans.
+
+    This is the capability-driven execution surface of the pipeline: count
+    plans run through :meth:`count_many`, locate plans through
+    :meth:`locate_matches`, extract plans through :meth:`extract` /
+    :meth:`extract_many`.  :class:`~repro.engine.backends.EngineBackend`
+    satisfies the protocol, so adapters never subclass anything new — the
+    spec's capability flags (checked at plan time) declare which methods are
+    actually callable.
+    """
+
+    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]: ...
+
+    def locate_matches(self, pattern: Sequence[int]) -> list[tuple[int, int, int]]: ...
+
+    def extract(self, row: int, length: int) -> list[int]: ...
+
+    def extract_many(self, rows: Sequence[int], length: int) -> list[list[int]]: ...
+
+
+# --------------------------------------------------------------------------- #
+# optimize stage
+# --------------------------------------------------------------------------- #
+@dataclass
+class PlanGroups:
+    """Deduplicated plans grouped by (query type x capability)."""
+
+    count: list[QueryPlan] = field(default_factory=list)
+    locate: list[QueryPlan] = field(default_factory=list)
+    #: extraction plans share one ``extract_many`` batch per length
+    extract: "OrderedDict[int, list[QueryPlan]]" = field(default_factory=OrderedDict)
+
+    @property
+    def n_plans(self) -> int:
+        """Total distinct plans across all groups."""
+        return (
+            len(self.count)
+            + len(self.locate)
+            + sum(len(group) for group in self.extract.values())
+        )
+
+
+def optimize_plans(plans: Iterable[QueryPlan]) -> PlanGroups:
+    """Dedupe canonical plans and group them for vectorized execution.
+
+    Input plans must already be canonical (window-stripped); the first
+    occurrence of each distinct plan wins, so a batch carrying the same
+    pattern as both a count and a contains query — or the same extraction
+    twice — does each piece of work exactly once.
+    """
+    groups = PlanGroups()
+    seen: set[QueryPlan] = set()
+    for plan in plans:
+        if plan in seen:
+            continue
+        seen.add(plan)
+        if plan.kind == KIND_COUNT:
+            groups.count.append(plan)
+        elif plan.kind == KIND_LOCATE:
+            groups.locate.append(plan)
+        elif plan.kind == KIND_EXTRACT:
+            groups.extract.setdefault(plan.length, []).append(plan)
+        else:  # pragma: no cover - the planner only emits the three kinds
+            raise ValueError(f"unknown plan kind: {plan.kind!r}")
+    return groups
+
+
+# --------------------------------------------------------------------------- #
+# result cache
+# --------------------------------------------------------------------------- #
+_MISS = object()
+
+
+class ResultCache:
+    """Bounded LRU of executed plan payloads, invalidated by growth epoch.
+
+    Keys are canonical :class:`~repro.engine.plan.QueryPlan` records; values
+    are the executed payloads (ints, match tuples, symbol tuples).  The cache
+    belongs to one engine and tracks that engine's growth epoch: whenever the
+    epoch it is told about differs from the one its entries were computed
+    under, every entry is dropped (the index contents changed, so every
+    cached answer is potentially stale).
+
+    ``capacity <= 0`` disables caching entirely (every lookup is a miss and
+    nothing is stored), which is also what :meth:`disable` switches to at
+    runtime — the CLI's ``--no-cache``.
+    """
+
+    def __init__(self, capacity: int, epoch: int = 0):
+        self._capacity = max(int(capacity), 0)
+        self._entries: "OrderedDict[QueryPlan, object]" = OrderedDict()
+        self._epoch = int(epoch)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached plans (0 when disabled)."""
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        """True when the cache stores anything at all."""
+        return self._capacity > 0
+
+    @property
+    def epoch(self) -> int:
+        """Growth epoch the cached entries were computed under."""
+        return self._epoch
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def sync_epoch(self, epoch: int) -> None:
+        """Adopt the engine's growth epoch, dropping entries if it moved."""
+        epoch = int(epoch)
+        if epoch == self._epoch:
+            return
+        if self._entries:
+            self.invalidations += 1
+            self._entries.clear()
+        self._epoch = epoch
+
+    def get(self, plan: QueryPlan) -> object:
+        """Cached payload for a canonical plan, or the module-private miss."""
+        payload = self._entries.get(plan, _MISS)
+        if payload is _MISS:
+            self.misses += 1
+            return _MISS
+        self._entries.move_to_end(plan)
+        self.hits += 1
+        return payload
+
+    def put(self, plan: QueryPlan, payload: object) -> None:
+        """Store one executed payload, evicting the least recently used."""
+        if self._capacity <= 0:
+            return
+        if plan in self._entries:
+            self._entries.move_to_end(plan)
+        self._entries[plan] = payload
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def disable(self) -> None:
+        """Turn the cache off for the rest of this engine's lifetime."""
+        self._capacity = 0
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int | bool]:
+        """Counters for observability (CLI ``query --verbose``, benchmarks)."""
+        return {
+            "enabled": self.enabled,
+            "capacity": self._capacity,
+            "size": len(self._entries),
+            "epoch": self._epoch,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# execute stage
+# --------------------------------------------------------------------------- #
+class QueryExecutor:
+    """Execute canonical plans against a backend, fronted by the result cache.
+
+    One executor belongs to one engine.  :meth:`execute` is the whole execute
+    stage: look every canonical plan up in the cache, run
+    :func:`optimize_plans` over the misses, route each group through the
+    backend's vectorized path, and return a payload per canonical plan.
+    """
+
+    def __init__(
+        self,
+        backend: PlanExecutor,
+        resolver: MatchResolver,
+        cache: ResultCache,
+    ):
+        self._backend = backend
+        self._resolver = resolver
+        self._cache = cache
+
+    @property
+    def cache(self) -> ResultCache:
+        """The epoch-invalidated LRU in front of the backend."""
+        return self._cache
+
+    def execute(self, plans: Iterable[QueryPlan]) -> dict[QueryPlan, object]:
+        """Payloads for every distinct canonical plan in ``plans``."""
+        canonical: list[QueryPlan] = []
+        seen: set[QueryPlan] = set()
+        for plan in plans:
+            key = plan.canonical()
+            if key not in seen:
+                seen.add(key)
+                canonical.append(key)
+
+        payloads: dict[QueryPlan, object] = {}
+        misses: list[QueryPlan] = []
+        for key in canonical:
+            cached = self._cache.get(key)
+            if cached is _MISS:
+                misses.append(key)
+            else:
+                payloads[key] = cached
+
+        groups = optimize_plans(misses)
+        self._execute_counts(groups.count, payloads)
+        self._execute_extracts(groups.extract, payloads)
+        self._execute_locates(groups.locate, payloads)
+        return payloads
+
+    # ------------------------------------------------------------------ #
+    # per-group vectorized execution
+    # ------------------------------------------------------------------ #
+    def _execute_counts(
+        self, plans: Sequence[QueryPlan], payloads: dict[QueryPlan, object]
+    ) -> None:
+        if not plans:
+            return
+        counts = self._backend.count_many([list(plan.pattern) for plan in plans])
+        for plan, count in zip(plans, counts):
+            payload = int(count)
+            payloads[plan] = payload
+            self._cache.put(plan, payload)
+
+    def _execute_extracts(
+        self,
+        grouped: "OrderedDict[int, list[QueryPlan]]",
+        payloads: dict[QueryPlan, object],
+    ) -> None:
+        for length, plans in grouped.items():
+            if len(plans) == 1:
+                # The scalar path keeps the backend's single-row diagnostics
+                # (e.g. which BWT position was out of range).
+                symbol_lists = [self._backend.extract(plans[0].row, length)]
+            else:
+                symbol_lists = self._backend.extract_many(
+                    [plan.row for plan in plans], length
+                )
+            for plan, symbols in zip(plans, symbol_lists):
+                payload = tuple(int(symbol) for symbol in symbols)
+                payloads[plan] = payload
+                self._cache.put(plan, payload)
+
+    def _execute_locates(
+        self, plans: Sequence[QueryPlan], payloads: dict[QueryPlan, object]
+    ) -> None:
+        for plan in plans:
+            payload = self._resolver(plan.pattern)
+            payloads[plan] = payload
+            self._cache.put(plan, payload)
+
+
+__all__ = [
+    "MatchResolver",
+    "PlanExecutor",
+    "PlanGroups",
+    "optimize_plans",
+    "ResultCache",
+    "QueryExecutor",
+]

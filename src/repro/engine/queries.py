@@ -7,9 +7,12 @@ the canonical :class:`~repro.exceptions.QueryError` /
 :class:`~repro.exceptions.AlphabetError` messages.
 
 ``TrajectoryEngine.run`` answers one query; ``TrajectoryEngine.run_many`` is
-the batch-first path — it groups a mixed workload by query type and routes
-each group to the backend's vectorized ``*_many`` implementation, returning
-results in the original order.
+the batch-first path.  Both flow through the staged pipeline — queries are
+normalized into canonical :class:`~repro.engine.plan.QueryPlan` records,
+deduplicated and grouped by (query type x capability), and executed through
+the backend's vectorized ``*_many`` paths behind an epoch-invalidated result
+cache — returning results in the original order, bit-identical to scalar
+calls.
 """
 
 from __future__ import annotations

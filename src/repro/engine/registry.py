@@ -106,13 +106,18 @@ def backend_spec(name: str) -> BackendSpec:
 
 
 def available_backends() -> list[str]:
-    """Canonical keys of every registered backend, in registration order."""
-    return list(_REGISTRY)
+    """Canonical keys of every registered backend, sorted alphabetically.
+
+    The order is deterministic regardless of import/registration order, so
+    CLI output, parametrized test IDs and anything else that enumerates the
+    registry is stable across runs and processes.
+    """
+    return sorted(_REGISTRY)
 
 
 def backend_specs() -> list[BackendSpec]:
-    """Every registered spec, in registration order."""
-    return list(_REGISTRY.values())
+    """Every registered spec, in :func:`available_backends` order."""
+    return [_REGISTRY[key] for key in available_backends()]
 
 
 __all__ = [

@@ -46,10 +46,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..engine.engine import TrajectoryEngine
 
 _FORMAT_VERSION = 1
-#: version 1 embedded raw timestamp lists in ``engine.json``; version 2 moves
-#: them to a compressed ``timestamps.npz`` artefact.  Both versions load.
-_ENGINE_FORMAT_VERSION = 2
-_SUPPORTED_ENGINE_VERSIONS = frozenset({1, 2})
+#: version 1 embedded raw timestamp lists in ``engine.json``; version 2 moved
+#: them to a compressed ``timestamps.npz`` artefact; version 3 adds the
+#: engine's growth ``epoch`` (the result-cache invalidation counter bumped by
+#: ``add_batch``/``consolidate``).  All three versions load — documents
+#: without an epoch come back at epoch 0.
+_ENGINE_FORMAT_VERSION = 3
+_SUPPORTED_ENGINE_VERSIONS = frozenset({1, 2, 3})
 _TIMESTAMP_ARCHIVE = "timestamps.npz"
 
 
@@ -238,6 +241,7 @@ def save_index(engine: "TrajectoryEngine", directory: str | Path) -> Path:
         "config": engine.config.as_dict(),
         "alphabet": _alphabet_to_json(engine.alphabet),
         "timestamps_file": _TIMESTAMP_ARCHIVE,
+        "epoch": int(engine.epoch),
         "backend_meta": backend_meta,
     }
     with (directory / "engine.json").open("w", encoding="utf-8") as handle:
@@ -288,4 +292,6 @@ def load_index(directory: str | Path) -> "TrajectoryEngine":
             list(times) if times is not None else None
             for times in document.get("timestamps", [])
         )
-    return TrajectoryEngine(backend, config, store)
+    # Version-1/2 documents predate growth epochs; they resume at epoch 0.
+    epoch = int(document.get("epoch", 0))
+    return TrajectoryEngine(backend, config, store, epoch=epoch)

@@ -38,15 +38,22 @@ _KIND_NONE = 0
 _KIND_DELTA = 1
 _KIND_RAW = 2
 
+#: One sampled prefix sum is kept every this many quantised deltas, so a
+#: point lookup decodes at most this many deltas instead of the whole entry.
+POINT_SAMPLE_RATE = 32
+
 
 class _Entry:
     """One trajectory's stored timestamps (delta-encoded or raw fallback)."""
 
-    __slots__ = ("encoded", "raw")
+    __slots__ = ("encoded", "raw", "_anchors")
 
     def __init__(self, encoded: EncodedTimestamps | None, raw: np.ndarray | None):
         self.encoded = encoded
         self.raw = raw
+        # Sampled prefix sums over the expanded deltas, built lazily on the
+        # first point lookup (bulk decode paths never pay for them).
+        self._anchors: np.ndarray | None = None
 
     @property
     def n_samples(self) -> int:
@@ -60,6 +67,42 @@ class _Entry:
             return self.encoded.decode()
         assert self.raw is not None
         return self.raw.copy()
+
+    def timestamp_at(self, index: int) -> float:
+        """One decoded timestamp without decoding the whole entry.
+
+        For delta entries this continues the delta accumulation from the
+        nearest sampled prefix sum, reproducing :meth:`decode`'s sequential
+        float summation order exactly — point lookups are bit-identical to
+        indexing the full decode.
+        """
+        if self.raw is not None:
+            return float(self.raw[index])
+        encoded = self.encoded
+        assert encoded is not None
+        if index == 0:
+            return float(encoded.start)
+        if self._anchors is None:
+            deltas = encoded.quantised_deltas.astype(np.float64) * encoded.resolution
+            # anchors[j] holds the running delta sum after j * RATE deltas,
+            # taken from the same left-to-right cumsum decode() performs.
+            sums = np.cumsum(deltas)
+            self._anchors = np.concatenate(
+                ([0.0], sums[POINT_SAMPLE_RATE - 1 :: POINT_SAMPLE_RATE])
+            )
+        anchor_index = index // POINT_SAMPLE_RATE
+        base = float(self._anchors[anchor_index])
+        tail = (
+            encoded.quantised_deltas[anchor_index * POINT_SAMPLE_RATE : index].astype(
+                np.float64
+            )
+            * encoded.resolution
+        )
+        if tail.size:
+            # Continue the sequential accumulation from the anchor so the
+            # float rounding matches the full cumsum term for term.
+            base = float(np.cumsum(np.concatenate(([base], tail)))[-1])
+        return float(encoded.start + base)
 
     def size_in_bits(self) -> int:
         if self.encoded is not None:
@@ -176,6 +219,25 @@ class TimestampStore:
         if entry is None:
             return None
         return [float(v) for v in entry.decode()]
+
+    def timestamp(self, trajectory_id: int, edge_index: int) -> float | None:
+        """Point lookup: the timestamp of one segment of one trajectory.
+
+        Returns ``None`` for trajectories without timestamps.  Delta-encoded
+        entries answer through sampled prefix sums over their quantised
+        deltas (one anchor every :data:`POINT_SAMPLE_RATE` deltas), so the
+        lookup decodes a bounded tail instead of the whole trajectory, while
+        remaining bit-identical to ``get(trajectory_id)[edge_index]``.
+        """
+        self._check_id(trajectory_id)
+        entry = self._entries[trajectory_id]
+        if entry is None:
+            return None
+        if not 0 <= edge_index < entry.n_samples:
+            raise QueryError(
+                f"edge index {edge_index} out of range for trajectory {trajectory_id}"
+            )
+        return entry.timestamp_at(edge_index)
 
     def as_lists(self) -> list[list[float] | None]:
         """Every entry decoded, in trajectory order (gaps as ``None``)."""

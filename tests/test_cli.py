@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -103,6 +106,26 @@ class TestBuildAndQuery:
         ) == 0
         out = capsys.readouterr().out
         assert "matches   : 1" in out
+
+    def test_query_verbose_reports_cache_and_epoch(self, jsonl_dataset, tmp_path, capsys):
+        output = tmp_path / "index"
+        main(["build", "--input", str(jsonl_dataset), "--output", str(output)])
+        capsys.readouterr()
+        assert main(["query", "--index", str(output), "--verbose", "b", "c", "d"]) == 0
+        out = capsys.readouterr().out
+        assert "cache     : on" in out
+        assert "misses=1" in out
+        assert "epoch     : 0" in out
+
+    def test_query_no_cache_flag(self, jsonl_dataset, tmp_path, capsys):
+        output = tmp_path / "index"
+        main(["build", "--input", str(jsonl_dataset), "--output", str(output)])
+        capsys.readouterr()
+        rc = main(["query", "--index", str(output), "--no-cache", "--verbose", "b", "c", "d"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "matches   : 2" in out
+        assert "cache     : off" in out
 
     def test_unknown_backend_rejected(self, jsonl_dataset, tmp_path, capsys):
         rc = main(
@@ -214,3 +237,52 @@ class TestCompareCommand:
         )
         assert rc == 2
         assert "unknown index backend" in capsys.readouterr().err
+
+    def test_compare_iterates_in_deterministic_order(self, capsys):
+        # Rows follow available_backends() order (and dedupe), no matter how
+        # the variants were spelled on the command line.
+        rc = main(
+            [
+                "compare",
+                "--dataset",
+                "chess",
+                "--scale",
+                "0.05",
+                "--backends",
+                "UFMI",
+                "cinct",
+                "ufmi",
+                "--n-patterns",
+                "5",
+                "--pattern-length",
+                "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("UFMI") == 1
+        assert out.index("CiNCT") < out.index("UFMI")
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_runs_the_cli(self):
+        import os
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing else os.pathsep.join([package_root, existing])
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            check=False,
+            env=env,
+        )
+        assert result.returncode == 0
+        assert "repro-cinct" in result.stdout

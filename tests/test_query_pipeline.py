@@ -1,0 +1,309 @@
+"""The staged query pipeline: plan -> optimize -> execute, cache, epochs.
+
+Covers the contract the pipeline must honour on every registered backend:
+mixed-type ``run_many`` batches (with duplicates) are bit-identical to
+sequential ``run`` calls, the result cache serves repeats without changing
+answers, growth bumps the engine epoch and invalidates the cache, and the
+epoch survives persistence (format version 3; version-2 documents load at
+epoch 0).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ContainsQuery,
+    CountQuery,
+    EngineConfig,
+    ExtractQuery,
+    LocateQuery,
+    PlanExecutor,
+    QueryPlan,
+    StrictPathQuery,
+    TrajectoryEngine,
+    available_backends,
+    backend_spec,
+    optimize_plans,
+    sample_paths,
+)
+from repro.exceptions import QueryError
+from repro.io import load_index
+from repro.network import grid_network
+from repro.trajectories import TrajectoryDataset, straight_biased_walks
+
+BACKENDS = available_backends()
+
+
+@pytest.fixture(scope="module")
+def fleet_dataset():
+    """A timestamped fleet on a grid network, shared by every backend."""
+    network = grid_network(5, 5)
+    rng = np.random.default_rng(31)
+    trajectories = straight_biased_walks(
+        network, n_trajectories=24, min_length=5, max_length=13, rng=rng
+    )
+    for trajectory in trajectories:
+        departure = float(rng.uniform(0, 500))
+        dwell = rng.uniform(4, 18, size=len(trajectory.edges))
+        trajectory.timestamps = list(departure + np.cumsum(dwell) - dwell[0])
+    return TrajectoryDataset(name="pipeline-fleet", trajectories=trajectories, network=network)
+
+
+@pytest.fixture(scope="module")
+def growth_batch(fleet_dataset):
+    """Extra timestamped trajectories for the growth/epoch cases."""
+    network = fleet_dataset.network
+    rng = np.random.default_rng(77)
+    trajectories = straight_biased_walks(
+        network, n_trajectories=6, min_length=5, max_length=10, rng=rng
+    )
+    for trajectory in trajectories:
+        departure = float(rng.uniform(600, 900))
+        dwell = rng.uniform(4, 18, size=len(trajectory.edges))
+        trajectory.timestamps = list(departure + np.cumsum(dwell) - dwell[0])
+    return trajectories
+
+
+def mixed_workload(engine, fleet_dataset, seed=5):
+    """Every query type interleaved, with deliberate duplicates."""
+    paths = sample_paths(fleet_dataset, 3, 6, seed=seed)
+    window_source = engine.strict_path(paths[0]) or engine.strict_path(paths[1])
+    t0, t1 = (0.0, 1e9)
+    if window_source and window_source[0].start_time is not None:
+        t0, t1 = window_source[0].start_time, window_source[0].end_time
+    queries = [
+        CountQuery(paths[0]),
+        StrictPathQuery(paths[1]),
+        ContainsQuery(paths[0]),          # duplicate pattern, different type
+        LocateQuery(paths[2]),
+        CountQuery(paths[0]),             # literal duplicate
+        StrictPathQuery(paths[0], t0, t1),
+        ContainsQuery(paths[3]),
+        LocateQuery(paths[1]),            # same pattern as the strict-path above
+        CountQuery(paths[4]),
+        StrictPathQuery(paths[0], 0.0, 1e9),  # same path, different window
+        CountQuery(list(reversed(paths[5]))),  # likely non-occurring
+    ]
+    if backend_spec(engine.backend_name).supports_extract:
+        queries[3:3] = [ExtractQuery(row=0, length=4)]
+        queries.append(ExtractQuery(row=1, length=4))
+        queries.append(ExtractQuery(row=0, length=4))  # duplicate extraction
+        queries.append(ExtractQuery(row=2, length=2))  # different length group
+    return queries
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestMixedBatches:
+    def test_run_many_bit_identical_to_sequential_run(self, fleet_dataset, backend):
+        engine = TrajectoryEngine.build(
+            fleet_dataset, EngineConfig(backend=backend, block_size=31, sa_sample_rate=8)
+        )
+        queries = mixed_workload(engine, fleet_dataset)
+        # A cache-less twin provides the sequential reference, so neither
+        # side can leak answers to the other through the cache.
+        reference = TrajectoryEngine.build(
+            fleet_dataset,
+            EngineConfig(backend=backend, block_size=31, sa_sample_rate=8, cache_size=0),
+        )
+        expected = [reference.run(query) for query in queries]
+        assert engine.run_many(queries) == expected
+        # A second pass is served (partly) from the cache — still identical.
+        assert engine.run_many(queries) == expected
+        assert engine.cache_stats()["hits"] > 0
+
+    def test_run_many_pre_and_post_growth(self, fleet_dataset, growth_batch, backend):
+        if not backend_spec(backend).supports_growth:
+            pytest.skip(f"{backend} cannot grow")
+        engine = TrajectoryEngine.build(
+            fleet_dataset, EngineConfig(backend=backend, block_size=31, sa_sample_rate=8)
+        )
+        queries = mixed_workload(engine, fleet_dataset)
+        pre = engine.run_many(queries)
+        assert pre == [engine.run(query) for query in queries]
+
+        engine.add_batch(growth_batch)
+        # The growth epoch moved, so cached pre-growth answers must not leak.
+        fresh = TrajectoryEngine.build(
+            list(fleet_dataset.trajectories) + list(growth_batch),
+            EngineConfig(backend=backend, block_size=31, sa_sample_rate=8, cache_size=0),
+        )
+        post = engine.run_many(queries)
+        assert post == [fresh.run(query) for query in queries]
+        assert post == [engine.run(query) for query in queries]
+
+
+class TestCacheSemantics:
+    @pytest.fixture()
+    def engine(self, fleet_dataset):
+        return TrajectoryEngine.build(
+            fleet_dataset, EngineConfig(backend="cinct", block_size=31, sa_sample_rate=8)
+        )
+
+    def test_repeat_queries_hit_the_cache(self, engine, fleet_dataset):
+        path = sample_paths(fleet_dataset, 3, 1, seed=2)[0]
+        first = engine.count(path)
+        stats = engine.cache_stats()
+        assert stats["misses"] >= 1
+        assert engine.count(path) == first
+        assert engine.cache_stats()["hits"] >= 1
+
+    def test_contains_shares_the_count_plan(self, engine, fleet_dataset):
+        path = sample_paths(fleet_dataset, 3, 1, seed=3)[0]
+        count = engine.count(path)
+        hits_before = engine.cache_stats()["hits"]
+        assert engine.contains(path) == (count > 0)
+        assert engine.cache_stats()["hits"] == hits_before + 1
+
+    def test_strict_path_windows_share_one_locate_plan(self, engine, fleet_dataset):
+        path = sample_paths(fleet_dataset, 3, 1, seed=4)[0]
+        unwindowed = engine.strict_path(path)
+        hits_before = engine.cache_stats()["hits"]
+        engine.strict_path(path, 0.0, 1e9)
+        engine.strict_path(path, 0.0, 50.0)
+        assert engine.locate(path) == unwindowed
+        assert engine.cache_stats()["hits"] == hits_before + 3
+
+    def test_cache_size_zero_disables_caching(self, fleet_dataset):
+        engine = TrajectoryEngine.build(
+            fleet_dataset, EngineConfig(backend="cinct", cache_size=0)
+        )
+        path = sample_paths(fleet_dataset, 3, 1, seed=5)[0]
+        assert engine.count(path) == engine.count(path)
+        stats = engine.cache_stats()
+        assert not stats["enabled"]
+        assert stats["hits"] == 0 and stats["size"] == 0
+
+    def test_lru_eviction_is_bounded(self, fleet_dataset):
+        engine = TrajectoryEngine.build(
+            fleet_dataset, EngineConfig(backend="cinct", cache_size=3)
+        )
+        for path in sample_paths(fleet_dataset, 3, 8, seed=6):
+            engine.count(path)
+        stats = engine.cache_stats()
+        assert stats["size"] <= 3
+        assert stats["evictions"] >= 1
+
+    def test_disable_at_runtime(self, engine, fleet_dataset):
+        path = sample_paths(fleet_dataset, 3, 1, seed=7)[0]
+        engine.count(path)
+        engine.result_cache.disable()
+        assert engine.cache_stats()["size"] == 0
+        assert not engine.result_cache.enabled
+        hits_before = engine.cache_stats()["hits"]
+        engine.count(path)
+        assert engine.cache_stats()["hits"] == hits_before
+
+
+class TestEpochs:
+    def test_growth_bumps_epoch_and_invalidates(self, fleet_dataset, growth_batch):
+        engine = TrajectoryEngine.build(
+            fleet_dataset,
+            EngineConfig(backend="partitioned-cinct", block_size=31, sa_sample_rate=8),
+        )
+        assert engine.epoch == 0
+        probe = list(growth_batch[0].edges[:2])
+        baseline = engine.count(probe)
+        engine.add_batch(growth_batch)
+        assert engine.epoch == 1
+        assert engine.result_cache.epoch == 1
+        assert engine.cache_stats()["invalidations"] == 1
+        # The post-growth answer reflects the new trajectories, not the cache.
+        assert engine.count(probe) >= max(baseline, 1)
+        engine.consolidate()
+        assert engine.epoch == 2
+
+    def test_epoch_persists_at_format_version_3(self, fleet_dataset, growth_batch, tmp_path):
+        engine = TrajectoryEngine.build(
+            fleet_dataset,
+            EngineConfig(backend="partitioned-cinct", block_size=31, sa_sample_rate=8),
+        )
+        engine.add_batch(growth_batch)
+        engine.consolidate()
+        engine.save(tmp_path / "fleet")
+        document = json.loads((tmp_path / "fleet" / "engine.json").read_text(encoding="utf-8"))
+        assert document["format_version"] == 3
+        assert document["epoch"] == 2
+        reloaded = TrajectoryEngine.load(tmp_path / "fleet")
+        assert reloaded.epoch == 2
+        reloaded.add_batch([["x1", "x2"]])
+        assert reloaded.epoch == 3
+
+    def test_version_2_documents_load_at_epoch_zero(self, fleet_dataset, tmp_path):
+        engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+        engine.save(tmp_path / "index")
+        document_path = tmp_path / "index" / "engine.json"
+        document = json.loads(document_path.read_text(encoding="utf-8"))
+        document["format_version"] = 2
+        del document["epoch"]
+        document_path.write_text(json.dumps(document), encoding="utf-8")
+        reloaded = load_index(tmp_path / "index")
+        assert reloaded.epoch == 0
+        path = sample_paths(fleet_dataset, 3, 1, seed=8)[0]
+        assert reloaded.count(path) == engine.count(path)
+
+
+class TestPlanLayer:
+    def test_contains_and_count_normalize_to_one_plan(self, fleet_dataset):
+        engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+        planner = engine._planner
+        path = sample_paths(fleet_dataset, 3, 1, seed=9)[0]
+        count_plan = planner.plan(CountQuery(path)).plan
+        contains_plan = planner.plan(ContainsQuery(path)).plan
+        assert count_plan == contains_plan
+
+    def test_strict_path_canonicalizes_to_locate(self, fleet_dataset):
+        engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+        planner = engine._planner
+        path = sample_paths(fleet_dataset, 3, 1, seed=10)[0]
+        locate_plan = planner.plan(LocateQuery(path)).plan
+        windowed = planner.plan(StrictPathQuery(path, 0.0, 10.0)).plan
+        assert windowed.windowed and not locate_plan.windowed
+        assert windowed.canonical() == locate_plan
+
+    def test_planning_raises_before_execution(self, fleet_dataset):
+        engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="linear-scan"))
+        with pytest.raises(QueryError, match="extract is not supported"):
+            engine.run_many([ExtractQuery(row=0, length=2)])
+        with pytest.raises(QueryError, match="unsupported query type"):
+            engine.run_many([object()])  # type: ignore[list-item]
+
+    def test_invalid_extract_fails_at_plan_time(self, fleet_dataset):
+        # An out-of-range extraction aborts the whole batch during normalize:
+        # nothing executes, so nothing lands in the cache.
+        engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+        path = sample_paths(fleet_dataset, 3, 1, seed=11)[0]
+        with pytest.raises(QueryError, match="out of range"):
+            engine.run_many([CountQuery(path), ExtractQuery(row=engine.length, length=4)])
+        assert engine.cache_stats()["size"] == 0
+        with pytest.raises(QueryError, match="non-negative"):
+            engine.run(ExtractQuery(row=0, length=-1))
+
+    def test_optimize_groups_and_dedupes(self):
+        count_a = QueryPlan("count", pattern=(2, 3))
+        count_b = QueryPlan("count", pattern=(3, 4))
+        locate = QueryPlan("locate", pattern=(2, 3))
+        extract_4 = QueryPlan("extract", row=0, length=4)
+        extract_4b = QueryPlan("extract", row=1, length=4)
+        extract_2 = QueryPlan("extract", row=0, length=2)
+        groups = optimize_plans(
+            [count_a, count_b, count_a, locate, extract_4, extract_4b, extract_4, extract_2]
+        )
+        assert groups.count == [count_a, count_b]
+        assert groups.locate == [locate]
+        assert list(groups.extract) == [4, 2]
+        assert groups.extract[4] == [extract_4, extract_4b]
+        assert groups.n_plans == 6
+
+    def test_backends_satisfy_the_plan_executor_protocol(self, fleet_dataset):
+        for backend in BACKENDS:
+            engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend=backend))
+            assert isinstance(engine.backend, PlanExecutor)
+
+
+def test_available_backends_is_sorted_and_stable():
+    assert BACKENDS == sorted(BACKENDS)
+    assert available_backends() == BACKENDS

@@ -67,6 +67,63 @@ class TestLosslessRoundTrip:
         assert reloaded.as_lists() == store.as_lists() == fleet
 
 
+class TestPointLookups:
+    """Sampled-prefix-sum point lookups decode exactly like full decodes."""
+
+    def test_matches_full_decode_on_mixed_store(self, mixed_store):
+        for trajectory_id, times in enumerate(mixed_store.as_lists()):
+            if times is None:
+                assert mixed_store.timestamp(trajectory_id, 0) is None
+                continue
+            for edge_index, expected in enumerate(times):
+                looked_up = mixed_store.timestamp(trajectory_id, edge_index)
+                assert looked_up == expected
+
+    def test_matches_full_decode_across_anchor_boundaries(self):
+        # Long integral entries exercise several prefix-sum anchors; the
+        # point lookup must reproduce the sequential cumsum bit-for-bit.
+        rng = np.random.default_rng(11)
+        fleet = []
+        for _ in range(8):
+            n = int(rng.integers(60, 400))
+            start = float(rng.integers(0, 86_400))
+            dwell = rng.integers(1, 120, size=n).astype(np.float64)
+            fleet.append(list(start + np.cumsum(dwell) - dwell[0]))
+        store = TimestampStore(fleet)
+        for trajectory_id, times in enumerate(fleet):
+            decoded = store.get(trajectory_id)
+            for edge_index in range(len(times)):
+                assert store.timestamp(trajectory_id, edge_index) == decoded[edge_index]
+
+    def test_matches_full_decode_on_raw_fallback(self):
+        rng = np.random.default_rng(13)
+        times = list(np.cumsum(rng.uniform(0.1, 7.3, size=150)))
+        store = TimestampStore([times])
+        decoded = store.get(0)
+        for edge_index in range(len(times)):
+            assert store.timestamp(0, edge_index) == decoded[edge_index]
+
+    def test_gap_returns_none(self, mixed_store):
+        assert mixed_store.timestamp(2, 0) is None
+        assert mixed_store.timestamp(2, 99) is None
+
+    def test_out_of_range_edge_rejected(self, mixed_store):
+        with pytest.raises(QueryError, match="edge index"):
+            mixed_store.timestamp(0, len(INTEGRAL))
+        with pytest.raises(QueryError, match="edge index"):
+            mixed_store.timestamp(0, -1)
+
+    def test_out_of_range_trajectory_rejected(self, mixed_store):
+        with pytest.raises(QueryError, match="out of range"):
+            mixed_store.timestamp(99, 0)
+
+    def test_survives_save_load(self, mixed_store, tmp_path):
+        archive = mixed_store.save(tmp_path / "timestamps.npz")
+        reloaded = TimestampStore.load(archive)
+        assert reloaded.timestamp(0, 2) == INTEGRAL[2]
+        assert reloaded.timestamp(1, 3) == FRACTIONAL[3]
+
+
 class TestEncodingChoice:
     def test_integral_data_uses_delta_encoding(self):
         store = TimestampStore([INTEGRAL])
