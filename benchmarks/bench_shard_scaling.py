@@ -1,0 +1,218 @@
+"""Sharded fleet benchmark: mixed-batch throughput and cache retention.
+
+Pins the two properties of the sharded fleet layer
+(:class:`repro.engine.ShardedTrajectoryEngine`):
+
+* **Mixed-batch throughput at 1/2/4/8 shards** — a service-style
+  heterogeneous batch (count / contains / locate / extract) answered by each
+  fleet size, cache-disabled, results asserted bit-identical to the
+  single-shard engine.  The fan-out runs on a bounded thread pool: count-type
+  work is replicated per shard (every shard must be consulted), while locate
+  occurrences and routed extractions genuinely split across shards, so the
+  speedup comes from overlapping the shards' numpy sections on real cores.
+  The >= 1.5x target at 4 shards is therefore asserted only at full scale
+  *and* when the host actually has >= 4 CPUs — on a single-core host there
+  is nothing for the fan-out to overlap and the table simply records the
+  serialized cost.
+* **Cache retention under growth** — the reason the layer exists even on one
+  core: with per-shard growth epochs, ``add_batch`` routed to one shard must
+  leave the other shards' warm result caches intact.  The benchmark warms a
+  4-shard fleet, grows exactly one shard, replays the workload and reports
+  the fraction of the untouched shards' plans still served from cache
+  (>= 90% asserted, at every scale — a single-shard engine retains 0%).
+
+Results land in ``benchmarks/BENCH_shard_scaling.json`` through
+:func:`repro.bench.write_bench_baseline`.  Dataset size follows
+``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_PATTERNS``; CI smoke runs (0.05) check
+plumbing, bit-identical merges and retention only.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import BENCH_SCALE, N_PATTERNS, get_bundle
+from repro.bench import format_table, write_bench_baseline
+from repro.engine import (
+    ContainsQuery,
+    CountQuery,
+    EngineConfig,
+    ExtractQuery,
+    LocateQuery,
+    build_engine,
+    sample_paths,
+)
+
+DATASET = "Singapore"
+BLOCK_SIZE = 63
+SHARD_COUNTS = (1, 2, 4, 8)
+
+N_DISTINCT = max(int(200 * min(BENCH_SCALE, 1.0)), N_PATTERNS, 10)
+PATTERN_LENGTH = 8
+#: High-frequency locate patterns (short paths -> many occurrences to split).
+N_LOCATE = max(N_DISTINCT // 4, 5)
+
+
+def _trajectories():
+    return [list(t) for t in get_bundle(DATASET).symbol_trajectories]
+
+
+def build_fleet(num_shards: int, backend: str = "cinct", cache_size: int = 0):
+    return build_engine(
+        _trajectories(),
+        EngineConfig(
+            backend=backend,
+            block_size=BLOCK_SIZE,
+            sa_sample_rate=16,
+            cache_size=cache_size,
+            num_shards=num_shards,
+        ),
+    )
+
+
+def mixed_batch(row_bound: int, paths, locate_paths, seed: int = 3):
+    """A service-style heterogeneous batch, identical across fleet sizes.
+
+    ``row_bound`` is the single-shard engine's string length — the smallest
+    row space of the fleets compared — so one batch object replays verbatim
+    on every engine (extraction answers are row-space-dependent and are
+    excluded from the bit-identity check, everything else must merge
+    identically).
+    """
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(2 * len(paths)):
+        path = paths[int(rng.integers(len(paths)))]
+        queries.append(CountQuery(path) if rng.uniform() < 0.7 else ContainsQuery(path))
+    for path in locate_paths:
+        queries.append(LocateQuery(path))
+    for _ in range(len(paths) // 2):
+        row = int(rng.integers(0, max(row_bound - PATTERN_LENGTH, 1)))
+        queries.append(ExtractQuery(row=row, length=6))
+    order = rng.permutation(len(queries))
+    return [queries[i] for i in order]
+
+
+def measure_throughput(report_rows: list[dict]) -> dict[int, float]:
+    trajectories = _trajectories()
+    count_paths = sample_paths(trajectories, PATTERN_LENGTH, N_DISTINCT, seed=1)
+    locate_paths = sample_paths(trajectories, 2, N_LOCATE, seed=2)
+
+    seconds: dict[int, float] = {}
+    reference_results = None
+    reference_counts = None
+    batch = None
+    for num_shards in SHARD_COUNTS:
+        engine = build_fleet(num_shards)
+        if batch is None:  # SHARD_COUNTS starts at 1: the smallest row space
+            batch = mixed_batch(engine.length, count_paths, locate_paths)
+        engine.run_many(batch[: len(batch) // 8])  # warm code paths, no cache
+        started = time.perf_counter()
+        results = engine.run_many(batch)
+        seconds[num_shards] = time.perf_counter() - started
+        # Extraction rows address different (concatenated) row spaces per
+        # fleet size; everything else must merge bit-identically.
+        comparable = [r for r in results if not isinstance(r.query, ExtractQuery)]
+        if reference_results is None:
+            reference_results = comparable
+            reference_counts = engine.count_many(count_paths)
+        else:
+            assert comparable == reference_results  # bit-identical merges
+            assert engine.count_many(count_paths) == reference_counts
+        report_rows.append(
+            {
+                "shards": num_shards,
+                "queries": len(batch),
+                "batch (ms)": round(seconds[num_shards] * 1e3, 2),
+                "speedup vs 1": round(seconds[1] / seconds[num_shards], 2),
+            }
+        )
+    return seconds
+
+
+def measure_retention() -> dict[str, float]:
+    """Warm a 4-shard fleet, grow one shard, replay, report cache retention."""
+    trajectories = _trajectories()
+    paths = sample_paths(trajectories, PATTERN_LENGTH, N_DISTINCT, seed=4)
+    retention: dict[str, float] = {}
+    for num_shards in (1, 4):
+        engine = build_fleet(
+            num_shards, backend="partitioned-cinct", cache_size=4 * N_DISTINCT
+        )
+        engine.count_many(paths)  # fill
+        engine.count_many(paths)  # warm
+        shards = list(engine.shards) if num_shards > 1 else [engine]
+        # On a sharded fleet the grown shard legitimately recomputes, so
+        # retention is measured over the *untouched* shards; the single-shard
+        # engine has no untouched part — its whole (wholesale-invalidated)
+        # cache is the measured baseline.
+        target = engine.router.shard_of(engine.n_trajectories) if num_shards > 1 else None
+        # One new trajectory lands on exactly one shard.
+        engine.add_batch([trajectories[0]])
+        hits_before = [shard.cache_stats()["hits"] for shard in shards]
+        misses_before = [shard.cache_stats()["misses"] for shard in shards]
+        engine.count_many(paths)  # replay
+        replay_hits = replay_misses = 0
+        for shard_id, shard in enumerate(shards):
+            if shard_id == target:
+                continue
+            stats = shard.cache_stats()
+            replay_hits += stats["hits"] - hits_before[shard_id]
+            replay_misses += stats["misses"] - misses_before[shard_id]
+        asked = replay_hits + replay_misses
+        assert asked > 0  # the replay must actually consult the measured caches
+        retention[f"{num_shards}_shards"] = replay_hits / asked
+    return retention
+
+
+def test_shard_scaling(report) -> None:
+    rows: list[dict] = []
+    seconds = measure_throughput(rows)
+    retention = measure_retention()
+
+    table = format_table(rows, title=f"{DATASET} — sharded mixed-batch throughput")
+    retention_line = (
+        f"cache retention under growth: 1 shard "
+        f"{retention['1_shards']:.0%}, 4 shards {retention['4_shards']:.0%} "
+        f"(untouched shards' replay hits)"
+    )
+    report.add("Shard scaling (fan-out/merge, shard-scoped caches)", table + "\n" + retention_line)
+
+    speedup_4 = seconds[1] / seconds[4]
+    write_bench_baseline(
+        "shard_scaling",
+        {
+            "scale": BENCH_SCALE,
+            "dataset": DATASET,
+            "cpu_count": os.cpu_count() or 1,
+            "n_count_patterns": N_DISTINCT,
+            "n_locate_patterns": N_LOCATE,
+            "batch_seconds": {str(n): seconds[n] for n in SHARD_COUNTS},
+            "speedup_vs_single": {
+                str(n): seconds[1] / seconds[n] for n in SHARD_COUNTS
+            },
+            "cache_retention_under_growth": retention,
+        },
+        directory=Path(__file__).parent,
+    )
+    assert (Path(__file__).parent / "BENCH_shard_scaling.json").exists()
+
+    # Shard-scoped invalidation holds at every scale: growing one shard keeps
+    # (essentially all of) the other shards' warm plans; a single-shard
+    # engine keeps none of them.
+    assert retention["4_shards"] >= 0.9, (
+        f"untouched shards retained only {retention['4_shards']:.0%} of warm hits"
+    )
+    assert retention["1_shards"] == 0.0
+
+    # The wall-clock target needs hardware to overlap on: the fan-out is a
+    # thread pool, so a single-core host serializes the shards and simply
+    # records the table above.
+    if BENCH_SCALE >= 1.0 and (os.cpu_count() or 1) >= 4:
+        assert speedup_4 >= 1.5, (
+            f"4-shard mixed-batch speedup only {speedup_4:.2f}x"
+        )

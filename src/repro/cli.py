@@ -31,7 +31,13 @@ from typing import Hashable, Sequence
 from .analysis.stats import dataset_statistics
 from .bench.harness import format_table
 from .datasets.registry import load_dataset, paper_dataset_names
-from .engine import EngineConfig, TrajectoryEngine, available_backends, backend_spec, sample_paths
+from .engine import (
+    EngineConfig,
+    available_backends,
+    backend_spec,
+    build_engine,
+    sample_paths,
+)
 from .exceptions import AlphabetError, ReproError
 from .io.dataset_io import load_dataset_csv, load_dataset_jsonl
 from .io.index_io import load_cinct, load_index
@@ -61,6 +67,18 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="suffix-array sampling rate (enables locate / strict-path queries)",
     )
+    parser.add_argument(
+        "--num-shards",
+        type=int,
+        default=1,
+        help="fleet shards (>1 builds a sharded engine with round-robin routing)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="bound on the sharded fan-out thread pool (default: min(shards, CPUs))",
+    )
 
 
 def _load_trajectories(args: argparse.Namespace):
@@ -85,6 +103,8 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         backend=backend_spec(args.backend).name,
         block_size=args.block_size,
         sa_sample_rate=args.sa_sample_rate,
+        num_shards=args.num_shards,
+        shard_workers=args.shard_workers,
     )
 
 
@@ -102,11 +122,13 @@ def _command_build(args: argparse.Namespace) -> int:
     name, trajectories = _load_trajectories(args)
     config = _engine_config(args)
     started = time.perf_counter()
-    engine = TrajectoryEngine.build(trajectories, config)
+    engine = build_engine(trajectories, config)
     elapsed = time.perf_counter() - started
     engine.save(args.output)
     print(f"dataset           : {name}")
     print(f"backend           : {engine.spec.display_name} ({engine.backend_name})")
+    if config.num_shards > 1:
+        print(f"shards            : {config.num_shards}")
     print(f"trajectories      : {engine.n_trajectories}")
     print(f"string length |T| : {engine.length}")
     print(f"alphabet sigma    : {engine.sigma}")
@@ -132,7 +154,7 @@ def _command_query(args: argparse.Namespace) -> int:
         return _query_legacy(args, path)
     engine = load_index(index_dir)
     if args.no_cache:
-        engine.result_cache.disable()
+        engine.disable_cache()
     started = time.perf_counter()
     try:
         if args.t_start is not None:
@@ -146,6 +168,9 @@ def _command_query(args: argparse.Namespace) -> int:
         return 0
     elapsed = (time.perf_counter() - started) * 1e6
     print(f"backend   : {engine.spec.display_name}")
+    num_shards = getattr(engine, "num_shards", 1)
+    if num_shards > 1:
+        print(f"shards    : {num_shards}")
     print(f"path      : {' -> '.join(str(p) for p in path)}")
     print(f"matches   : {count}")
     print(f"query time: {elapsed:.1f} us")
@@ -211,16 +236,24 @@ def _command_compare(args: argparse.Namespace) -> int:
     ordered = [name for name in available_backends() if name in requested]
     for name in ordered:
         spec = backend_spec(name)
-        config = EngineConfig(backend=spec.name, block_size=args.block_size)
+        config = EngineConfig(
+            backend=spec.name,
+            block_size=args.block_size,
+            num_shards=args.num_shards,
+            shard_workers=args.shard_workers,
+        )
         started = time.perf_counter()
-        engine = TrajectoryEngine.build(trajectories, config)
+        engine = build_engine(trajectories, config)
         build_seconds = time.perf_counter() - started
         started = time.perf_counter()
         engine.count_many(paths)
         mean_us = (time.perf_counter() - started) / max(n_distinct, 1) * 1e6
+        method = spec.display_name
+        if args.num_shards > 1:
+            method = f"{method} x{args.num_shards}"
         rows.append(
             {
-                "method": spec.display_name,
+                "method": method,
                 "size (bits)": engine.size_in_bits(),
                 # exact TimestampStore accounting (0 without timestamps)
                 "temporal (bits)": engine.temporal_size_in_bits(),
@@ -286,6 +319,18 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--scale", type=float, default=0.2)
     compare.add_argument("--seed", type=int, default=None)
     compare.add_argument("--block-size", type=int, default=63)
+    compare.add_argument(
+        "--num-shards",
+        type=int,
+        default=1,
+        help="build every backend as a sharded fleet with this many shards",
+    )
+    compare.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        help="bound on the sharded fan-out thread pool (default: min(shards, CPUs))",
+    )
     compare.add_argument("--pattern-length", type=int, default=10)
     compare.add_argument("--n-patterns", type=int, default=20)
     compare.add_argument(

@@ -223,8 +223,27 @@ class PartitionedCiNCT:
         return sum(count for _, count in self._per_partition_counts(path))
 
     def contains(self, path: Sequence[Hashable]) -> bool:
-        """True when the path occurs in at least one partition."""
-        return any(count for _, count in self._per_partition_counts(path))
+        """True when the path occurs in at least one partition.
+
+        Short-circuits on the first matching partition — unlike
+        :meth:`count`, later partitions are never consulted once a match is
+        found.
+        """
+        pattern = self._encode_checked(path)
+        if pattern is None:
+            return False
+        return self.contains_encoded(pattern)
+
+    def contains_encoded(self, pattern: Sequence[int]) -> bool:
+        """Any-partition short-circuit for an already-encoded pattern.
+
+        The symbol-level twin of :meth:`contains`, used by the engine
+        executor's dedicated contains plan kind: the scan stops at the first
+        partition reporting an occurrence instead of summing a full count
+        over every partition.
+        """
+        symbols, searchable = self._searchable_partitions(pattern)
+        return any(ok and partition.index.contains(symbols) for partition, ok in searchable)
 
     def counts_by_partition(self, path: Sequence[Hashable]) -> list[int]:
         """Occurrence count of the path in each partition (oldest first)."""
@@ -244,19 +263,30 @@ class PartitionedCiNCT:
 
     def counts_encoded_by_partition(self, pattern: Sequence[int]) -> list[int]:
         """Occurrences of an encoded pattern in each partition (oldest first)."""
+        symbols, searchable = self._searchable_partitions(pattern)
+        return [
+            partition.index.count(symbols) if ok else 0 for partition, ok in searchable
+        ]
+
+    def _searchable_partitions(
+        self, pattern: Sequence[int]
+    ) -> tuple[list[int], list[tuple[Partition, bool]]]:
+        """Encoded-pattern prologue shared by count and contains paths.
+
+        Owns the empty-index guard and the compatibility rule: symbols
+        introduced by later batches are outside an older partition's
+        alphabet, so the path cannot occur in it (largest symbol >= that
+        partition's sigma).  Returns the int-normalised symbols plus each
+        partition (oldest first) with its searchability flag.
+        """
         if not self._partitions:
             raise QueryError(EMPTY_INDEX_MESSAGE)
         symbols = [int(s) for s in pattern]
         largest = max(symbols, default=-1)
-        counts: list[int] = []
-        for partition in self._partitions:
-            # Symbols introduced by later batches are outside this partition's
-            # alphabet, so the path cannot occur in it.
-            if largest >= partition.index.sigma:
-                counts.append(0)
-            else:
-                counts.append(partition.index.count(symbols))
-        return counts
+        return symbols, [
+            (partition, largest < partition.index.sigma)
+            for partition in self._partitions
+        ]
 
     def count_encoded_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
         """Batched :meth:`count_encoded` over a workload of encoded patterns.
@@ -281,18 +311,27 @@ class PartitionedCiNCT:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
-    def _per_partition_counts(self, path: Sequence[Hashable]) -> list[tuple[Partition, int]]:
+    def _encode_checked(self, path: Sequence[Hashable]) -> list[int] | None:
+        """Shared raw-path prologue: canonical raises, ``None`` for unknowns.
+
+        A segment never observed in any batch cannot match anywhere, so the
+        path encodes to ``None`` instead of raising.  (The engine facade is
+        stricter and raises AlphabetError; this lenient behaviour is kept
+        for the original entry points.)
+        """
         if not self._partitions:
             raise QueryError(EMPTY_INDEX_MESSAGE)
         edges = list(path)
         if not edges:
             raise QueryError(EMPTY_PATH_MESSAGE)
         if any(edge not in self._alphabet for edge in edges):
-            # A segment never observed in any batch cannot match anywhere.
-            # (The engine facade is stricter and raises AlphabetError; this
-            # lenient behaviour is kept for the original entry point.)
+            return None
+        return self._alphabet.encode_path(edges)
+
+    def _per_partition_counts(self, path: Sequence[Hashable]) -> list[tuple[Partition, int]]:
+        pattern = self._encode_checked(path)
+        if pattern is None:
             return [(partition, 0) for partition in self._partitions]
-        pattern = self._alphabet.encode_path(edges)
         counts = self.counts_encoded_by_partition(pattern)
         return list(zip(self._partitions, counts))
 

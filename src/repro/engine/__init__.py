@@ -11,7 +11,11 @@
 * the staged query pipeline — normalize (:class:`QueryPlanner` /
   :class:`QueryPlan`), optimize (:func:`optimize_plans`), execute
   (:class:`QueryExecutor` behind the :class:`PlanExecutor` protocol) — with
-  the epoch-invalidated :class:`ResultCache` in front of every backend.
+  the epoch-invalidated, byte-budgeted :class:`ResultCache` in front of
+  every backend;
+* the sharded fleet layer (:class:`ShardRouter`,
+  :class:`ShardedTrajectoryEngine`, :func:`build_engine`) fanning queries
+  out over shard-routed engines with shard-scoped cache invalidation.
 """
 
 # Importing .backends populates the registry as a side effect.
@@ -29,9 +33,11 @@ from .executor import (
     PlanGroups,
     QueryExecutor,
     ResultCache,
+    approximate_payload_bytes,
     optimize_plans,
 )
-from .plan import PlannedQuery, QueryPlan, QueryPlanner
+from .plan import ALL_SHARDS, PlannedQuery, QueryPlan, QueryPlanner
+from .sharding import ShardRouter, ShardedTrajectoryEngine, build_engine
 from .queries import (
     ContainsQuery,
     ContainsResult,
@@ -52,6 +58,10 @@ __all__ = [
     "TrajectoryEngine",
     "EngineConfig",
     "sample_paths",
+    # sharded fleet layer
+    "ShardRouter",
+    "ShardedTrajectoryEngine",
+    "build_engine",
     # registry
     "BackendSpec",
     "register_backend",
@@ -65,11 +75,13 @@ __all__ = [
     "FMBaselineBackend",
     "LinearScanBackend",
     # query pipeline
+    "ALL_SHARDS",
     "QueryPlan",
     "PlannedQuery",
     "QueryPlanner",
     "PlanExecutor",
     "PlanGroups",
+    "approximate_payload_bytes",
     "optimize_plans",
     "QueryExecutor",
     "ResultCache",

@@ -558,6 +558,11 @@ class PartitionedBackend(EngineBackend):
     def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
         return self._partitioned.count_encoded_many(patterns)
 
+    def contains(self, pattern: Sequence[int]) -> bool:
+        # Any-partition short-circuit: stops at the first partition that
+        # reports a match instead of counting across all of them.
+        return self._partitioned.contains_encoded(pattern)
+
     def locate_matches(self, pattern: Sequence[int]) -> list[RawMatch]:
         if self._partitioned.n_partitions == 0:
             raise QueryError(EMPTY_INDEX_MESSAGE)

@@ -51,6 +51,22 @@ class EngineConfig:
         result cache.  Repeated queries against an unchanged fleet are served
         from the cache; any growth (``add_batch`` / ``consolidate``) bumps the
         engine epoch and drops every entry.  ``0`` disables caching.
+    cache_max_bytes:
+        Approximate payload-byte budget of the result cache (on top of the
+        ``cache_size`` entry bound).  Locate / strict-path payloads are full
+        match tuples, so this keeps high-frequency paths from pinning big
+        result sets; ``None`` (default) leaves the byte dimension unbounded.
+    num_shards:
+        Number of fleet shards.  ``1`` (default) builds a plain
+        :class:`~repro.engine.TrajectoryEngine`; larger values make
+        :func:`~repro.engine.sharding.build_engine` construct a
+        :class:`~repro.engine.sharding.ShardedTrajectoryEngine` whose shards
+        each run this config with ``num_shards`` reset to 1.  Trajectories
+        are routed round-robin by global id, stable across growth and reload.
+    shard_workers:
+        Bound on the fleet layer's fan-out thread pool.  ``None`` (default)
+        uses ``min(num_shards, cpu_count)`` workers; ``1`` forces sequential
+        fan-out.  Ignored by unsharded engines.
     """
 
     backend: str = DEFAULT_BACKEND
@@ -60,6 +76,9 @@ class EngineConfig:
     temporal_index: bool = True
     labeling_strategy: str = "bigram"
     cache_size: int = 1024
+    cache_max_bytes: int | None = None
+    num_shards: int = 1
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
         if not self.backend or not str(self.backend).strip():
@@ -77,6 +96,18 @@ class EngineConfig:
         if self.cache_size < 0:
             raise ConstructionError(
                 f"cache_size must be non-negative (0 disables), got {self.cache_size}"
+            )
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ConstructionError(
+                f"cache_max_bytes must be positive when given, got {self.cache_max_bytes}"
+            )
+        if self.num_shards < 1:
+            raise ConstructionError(
+                f"num_shards must be at least 1, got {self.num_shards}"
+            )
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ConstructionError(
+                f"shard_workers must be at least 1 when given, got {self.shard_workers}"
             )
 
     def as_dict(self) -> dict[str, object]:

@@ -73,6 +73,27 @@ from .queries import (
 from .registry import BackendSpec, backend_spec
 
 
+def validate_monotonic_timestamps(
+    timestamps: Sequence[list[float] | None], first_id: int
+) -> None:
+    """Reject decreasing per-trajectory timestamps with the canonical message.
+
+    The same construction-time check ``TemporalIndex.from_trajectories``
+    performs, applied only to newly arriving trajectories so streaming
+    ingestion stays linear overall.  ``first_id`` names the global id of the
+    first entry, so the error points at the offending trajectory — the
+    sharded fleet layer calls this with global ids *before* routing, keeping
+    its error messages identical to an unsharded engine's.
+    """
+    for offset, times in enumerate(timestamps):
+        if times is None:
+            continue
+        if np.any(np.diff(np.asarray(times, dtype=np.float64)) < 0):
+            raise ConstructionError(
+                f"trajectory {first_id + offset} has decreasing timestamps"
+            )
+
+
 def _normalise_trajectories(
     trajectories: TrajectoryDataset | Iterable[Trajectory | Sequence[Hashable]],
 ) -> tuple[list[list[Hashable]], list[list[float] | None]]:
@@ -126,7 +147,76 @@ def sample_paths(
     return paths
 
 
-class TrajectoryEngine:
+class ScalarQueryAPI:
+    """Scalar convenience wrappers over the typed ``run``/``run_many`` surface.
+
+    Shared by :class:`TrajectoryEngine` and
+    :class:`~repro.engine.sharding.ShardedTrajectoryEngine`, which provide
+    the typed pipeline underneath — keeping the scalar facade in one place
+    means the two engine classes cannot drift apart on it.
+    """
+
+    def run(self, query: EngineQuery) -> EngineResult:
+        """Answer one typed query (provided by the engine class)."""
+        raise NotImplementedError  # pragma: no cover - engines override
+
+    def run_many(self, queries: Sequence[EngineQuery]) -> list[EngineResult]:
+        """Answer a typed batch (provided by the engine class)."""
+        raise NotImplementedError  # pragma: no cover - engines override
+
+    def count(self, path: Sequence[Hashable]) -> int:
+        """Occurrences of the path across all indexed trajectories."""
+        result = self.run(CountQuery(path))
+        assert isinstance(result, CountResult)
+        return result.count
+
+    def contains(self, path: Sequence[Hashable]) -> bool:
+        """True when the path occurs at least once."""
+        result = self.run(ContainsQuery(path))
+        assert isinstance(result, ContainsResult)
+        return result.found
+
+    def count_many(self, paths: Sequence[Sequence[Hashable]]) -> list[int]:
+        """Batched :meth:`count` through the batch-first pipeline."""
+        results = self.run_many([CountQuery(path) for path in paths])
+        return [result.count for result in results]  # type: ignore[union-attr]
+
+    def locate(self, path: Sequence[Hashable]) -> list[StrictPathMatch]:
+        """Every occurrence of the path, resolved to trajectory coordinates."""
+        result = self.run(LocateQuery(path))
+        assert isinstance(result, LocateResult)
+        return list(result.matches)
+
+    def extract(self, row: int, length: int) -> list[Hashable]:
+        """Algorithm-4 extraction, decoded back to edge IDs (``#``/``$`` markers)."""
+        result = self.run(ExtractQuery(row=row, length=length))
+        assert isinstance(result, ExtractResult)
+        return list(result.edges)
+
+    def strict_path(
+        self,
+        path: Sequence[Hashable],
+        t_start: float | None = None,
+        t_end: float | None = None,
+    ) -> list[StrictPathMatch]:
+        """Strict path query: traversals of ``path`` within ``[t_start, t_end]``.
+
+        Mirrors :meth:`repro.StrictPathIndex.query` on every locate-capable
+        backend.  Both interval bounds must be given together.  Temporal
+        filtering is per match: a traversal qualifies when its own trajectory
+        carries timestamps and the traversal lies inside the window, so a
+        partially timestamped fleet still answers windowed queries —
+        occurrences on timestamp-less trajectories are simply dropped (they
+        cannot prove they happened inside the window).  Only when *no*
+        trajectory in the fleet carries timestamps is a windowed query
+        rejected with a :class:`~repro.exceptions.QueryError`.
+        """
+        result = self.run(StrictPathQuery(path, t_start, t_end))
+        assert isinstance(result, StrictPathResult)
+        return list(result.matches)
+
+
+class TrajectoryEngine(ScalarQueryAPI):
     """Unified query facade over every registered index backend.
 
     Instances are created with :meth:`build` (from raw trajectories or a
@@ -158,7 +248,9 @@ class TrajectoryEngine:
         # with an epoch-invalidated LRU result cache in front of the backend.
         self._epoch = int(epoch)
         self._planner = QueryPlanner(backend, self._spec, self._store)
-        self._cache = ResultCache(config.cache_size, epoch=self._epoch)
+        self._cache = ResultCache(
+            config.cache_size, epoch=self._epoch, max_bytes=config.cache_max_bytes
+        )
         self._executor = QueryExecutor(backend, self._resolve_encoded, self._cache)
 
     # ------------------------------------------------------------------ #
@@ -173,9 +265,19 @@ class TrajectoryEngine:
         """Build an engine from raw trajectories (or a dataset) and a config.
 
         An empty trajectory collection is only allowed for growth-capable
-        backends (start an empty fleet, then :meth:`add_batch`).
+        backends (start an empty fleet, then :meth:`add_batch`).  A config
+        asking for more than one shard is rejected — a monolithic engine
+        silently ignoring ``num_shards`` would claim a fleet layout it does
+        not have; build those with :func:`repro.engine.build_engine` or
+        :meth:`~repro.engine.sharding.ShardedTrajectoryEngine.build`.
         """
         config = config or EngineConfig()
+        if config.num_shards > 1:
+            raise ConstructionError(
+                f"EngineConfig.num_shards={config.num_shards} needs the sharded "
+                "fleet layer; build with repro.engine.build_engine (or "
+                "ShardedTrajectoryEngine.build)"
+            )
         spec = backend_spec(config.backend)
         edges, timestamps = _normalise_trajectories(trajectories)
         if not edges and not spec.supports_growth:
@@ -187,10 +289,22 @@ class TrajectoryEngine:
 
     @classmethod
     def load(cls, directory) -> "TrajectoryEngine":
-        """Reload an engine persisted with :meth:`save` (any backend)."""
+        """Reload an engine persisted with :meth:`save` (any backend).
+
+        Directories holding a sharded fleet are rejected — load those with
+        :meth:`~repro.engine.sharding.ShardedTrajectoryEngine.load`, or use
+        :func:`repro.io.load_index`, which returns whichever engine class the
+        directory holds.
+        """
         from ..io.index_io import load_index
 
-        return load_index(directory)
+        engine = load_index(directory)
+        if not isinstance(engine, cls):
+            raise ConstructionError(
+                f"{directory} holds a sharded fleet; load it with "
+                "ShardedTrajectoryEngine.load (or repro.io.load_index)"
+            )
+        return engine
 
     def save(self, directory) -> None:
         """Persist the engine (config + alphabet + backend state) to a directory."""
@@ -260,6 +374,15 @@ class TrajectoryEngine:
     def cache_stats(self) -> dict[str, int | bool]:
         """Result-cache counters (hits, misses, evictions, invalidations)."""
         return self._cache.stats()
+
+    def disable_cache(self) -> None:
+        """Turn the result cache off for the rest of this engine's lifetime.
+
+        The uniform cache-control entry point shared with
+        :class:`~repro.engine.sharding.ShardedTrajectoryEngine` (where it
+        disables every shard's cache) — the CLI's ``--no-cache``.
+        """
+        self._cache.disable()
 
     @property
     def temporal(self) -> TemporalIndex | None:
@@ -339,61 +462,8 @@ class TrajectoryEngine:
         self._cache.sync_epoch(self._epoch)
 
     # ------------------------------------------------------------------ #
-    # scalar queries (raw edge sequences in, plain values out)
-    # ------------------------------------------------------------------ #
-    def count(self, path: Sequence[Hashable]) -> int:
-        """Occurrences of the path across all indexed trajectories."""
-        result = self.run(CountQuery(path))
-        assert isinstance(result, CountResult)
-        return result.count
-
-    def contains(self, path: Sequence[Hashable]) -> bool:
-        """True when the path occurs at least once."""
-        result = self.run(ContainsQuery(path))
-        assert isinstance(result, ContainsResult)
-        return result.found
-
-    def count_many(self, paths: Sequence[Sequence[Hashable]]) -> list[int]:
-        """Batched :meth:`count` through the backend's vectorized path."""
-        results = self.run_many([CountQuery(path) for path in paths])
-        return [result.count for result in results]  # type: ignore[union-attr]
-
-    def locate(self, path: Sequence[Hashable]) -> list[StrictPathMatch]:
-        """Every occurrence of the path, resolved to trajectory coordinates."""
-        result = self.run(LocateQuery(path))
-        assert isinstance(result, LocateResult)
-        return list(result.matches)
-
-    def extract(self, row: int, length: int) -> list[Hashable]:
-        """Algorithm-4 extraction, decoded back to edge IDs (``#``/``$`` markers)."""
-        result = self.run(ExtractQuery(row=row, length=length))
-        assert isinstance(result, ExtractResult)
-        return list(result.edges)
-
-    def strict_path(
-        self,
-        path: Sequence[Hashable],
-        t_start: float | None = None,
-        t_end: float | None = None,
-    ) -> list[StrictPathMatch]:
-        """Strict path query: traversals of ``path`` within ``[t_start, t_end]``.
-
-        Mirrors :meth:`repro.StrictPathIndex.query` on every locate-capable
-        backend.  Both interval bounds must be given together.  Temporal
-        filtering is per match: a traversal qualifies when its own trajectory
-        carries timestamps and the traversal lies inside the window, so a
-        partially timestamped fleet still answers windowed queries —
-        occurrences on timestamp-less trajectories are simply dropped (they
-        cannot prove they happened inside the window).  Only when *no*
-        trajectory in the fleet carries timestamps is a windowed query
-        rejected with a :class:`~repro.exceptions.QueryError`.
-        """
-        result = self.run(StrictPathQuery(path, t_start, t_end))
-        assert isinstance(result, StrictPathResult)
-        return list(result.matches)
-
-    # ------------------------------------------------------------------ #
-    # typed query API (the staged pipeline)
+    # typed query API (the staged pipeline; scalar helpers come from
+    # ScalarQueryAPI)
     # ------------------------------------------------------------------ #
     def run(self, query: EngineQuery) -> EngineResult:
         """Answer one typed query through the plan -> execute pipeline."""
@@ -432,8 +502,9 @@ class TrajectoryEngine:
             assert isinstance(payload, int)
             return CountResult(query, payload)
         if isinstance(query, ContainsQuery):
-            assert isinstance(payload, int)
-            return ContainsResult(query, payload > 0)
+            # bool from the contains plan path, int when derived from a count.
+            assert isinstance(payload, (bool, int))
+            return ContainsResult(query, bool(payload))
         if isinstance(query, LocateQuery):
             assert isinstance(payload, tuple)
             return LocateResult(query, payload)
@@ -512,16 +583,7 @@ class TrajectoryEngine:
     def _validate_timestamps(
         timestamps: Sequence[list[float] | None], first_id: int
     ) -> None:
-        # The same construction-time check TemporalIndex.from_trajectories
-        # performs, applied only to newly arriving trajectories so streaming
-        # ingestion stays linear overall.
-        for offset, times in enumerate(timestamps):
-            if times is None:
-                continue
-            if np.any(np.diff(np.asarray(times, dtype=np.float64)) < 0):
-                raise ConstructionError(
-                    f"trajectory {first_id + offset} has decreasing timestamps"
-                )
+        validate_monotonic_timestamps(timestamps, first_id)
 
     def _build_temporal(self) -> TemporalIndex:
         decoded = [

@@ -14,10 +14,19 @@ the pipeline:
   third-party one) is already a plan executor;
 * :class:`ResultCache` — a bounded LRU keyed on canonical plans, invalidated
   by the engine's monotonically increasing **growth epoch** (bumped by
-  ``add_batch`` / ``consolidate`` and persisted by the index format);
+  ``add_batch`` / ``consolidate`` and persisted by the index format) and
+  additionally budgeted in approximate payload bytes (``cache_max_bytes``),
+  so high-frequency locate payloads cannot pin unbounded match sets;
 * :class:`QueryExecutor` — the **execute** stage: serve plans from the cache
   where possible, route the misses through the grouped vectorized paths, and
-  fill the cache with what they produce.
+  fill the cache with what they produce.  Contains plans probe their
+  :meth:`~repro.engine.plan.QueryPlan.count_twin` (same batch, then cache)
+  before falling back to the backend's early-exit ``contains`` path.
+
+On a sharded fleet (:mod:`repro.engine.sharding`) each shard owns one engine
+and therefore one cache and one growth epoch: growing a shard invalidates
+*that shard's* entries only, so answers cached for untouched shards survive
+`add_batch` on their neighbours.
 
 Cached payloads are plain values (occurrence counts, resolved match tuples,
 extracted symbol tuples), never result objects: the engine wraps them back
@@ -32,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 from ..queries.strict_path import StrictPathMatch
-from .plan import KIND_COUNT, KIND_EXTRACT, KIND_LOCATE, QueryPlan
+from .plan import KIND_CONTAINS, KIND_COUNT, KIND_EXTRACT, KIND_LOCATE, QueryPlan
 
 #: Resolves an encoded pattern to located, timestamp-annotated matches.
 #: Provided by the engine (it owns the timestamp store the matches borrow
@@ -55,6 +64,8 @@ class PlanExecutor(Protocol):
 
     def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]: ...
 
+    def contains(self, pattern: Sequence[int]) -> bool: ...
+
     def locate_matches(self, pattern: Sequence[int]) -> list[tuple[int, int, int]]: ...
 
     def extract(self, row: int, length: int) -> list[int]: ...
@@ -70,6 +81,7 @@ class PlanGroups:
     """Deduplicated plans grouped by (query type x capability)."""
 
     count: list[QueryPlan] = field(default_factory=list)
+    contains: list[QueryPlan] = field(default_factory=list)
     locate: list[QueryPlan] = field(default_factory=list)
     #: extraction plans share one ``extract_many`` batch per length
     extract: "OrderedDict[int, list[QueryPlan]]" = field(default_factory=OrderedDict)
@@ -79,6 +91,7 @@ class PlanGroups:
         """Total distinct plans across all groups."""
         return (
             len(self.count)
+            + len(self.contains)
             + len(self.locate)
             + sum(len(group) for group in self.extract.values())
         )
@@ -100,11 +113,13 @@ def optimize_plans(plans: Iterable[QueryPlan]) -> PlanGroups:
         seen.add(plan)
         if plan.kind == KIND_COUNT:
             groups.count.append(plan)
+        elif plan.kind == KIND_CONTAINS:
+            groups.contains.append(plan)
         elif plan.kind == KIND_LOCATE:
             groups.locate.append(plan)
         elif plan.kind == KIND_EXTRACT:
             groups.extract.setdefault(plan.length, []).append(plan)
-        else:  # pragma: no cover - the planner only emits the three kinds
+        else:  # pragma: no cover - the planner only emits the four kinds
             raise ValueError(f"unknown plan kind: {plan.kind!r}")
     return groups
 
@@ -114,25 +129,63 @@ def optimize_plans(plans: Iterable[QueryPlan]) -> PlanGroups:
 # --------------------------------------------------------------------------- #
 _MISS = object()
 
+#: Approximate CPython heap cost of a small int / bool payload element.
+_INT_BYTES = 28
+#: Approximate fixed overhead of a tuple payload (header, before 8B/slot).
+_TUPLE_BASE = 56
+#: Approximate heap cost of one resolved :class:`StrictPathMatch`.
+_MATCH_BYTES = 120
+
+
+def approximate_payload_bytes(payload: object) -> int:
+    """Deterministic size estimate (in bytes) of a cached plan payload.
+
+    Payloads are ints (counts), bools (contains), tuples of ints (extracted
+    symbols) or tuples of :class:`StrictPathMatch` (locate / strict-path).
+    The constants approximate CPython object sizes; what matters is that the
+    estimate is stable and roughly proportional to real memory, so a
+    ``cache_max_bytes`` budget evicts the big locate payloads first.
+    """
+    if isinstance(payload, (bool, int)):
+        return _INT_BYTES
+    if isinstance(payload, tuple):
+        total = _TUPLE_BASE + 8 * len(payload)
+        for item in payload:
+            total += _MATCH_BYTES if isinstance(item, StrictPathMatch) else _INT_BYTES
+        return total
+    return _TUPLE_BASE
+
 
 class ResultCache:
     """Bounded LRU of executed plan payloads, invalidated by growth epoch.
 
     Keys are canonical :class:`~repro.engine.plan.QueryPlan` records; values
-    are the executed payloads (ints, match tuples, symbol tuples).  The cache
-    belongs to one engine and tracks that engine's growth epoch: whenever the
-    epoch it is told about differs from the one its entries were computed
-    under, every entry is dropped (the index contents changed, so every
-    cached answer is potentially stale).
+    are the executed payloads (ints, bools, match tuples, symbol tuples).
+    The cache belongs to one engine and tracks that engine's growth epoch:
+    whenever the epoch it is told about differs from the one its entries were
+    computed under, every entry is dropped (the index contents changed, so
+    every cached answer is potentially stale).  On a sharded fleet each shard
+    engine owns its own cache, so this is exactly the shard-scoped
+    invalidation unit.
+
+    Two bounds apply together: ``capacity`` limits the *number* of cached
+    plans, ``max_bytes`` (when given) limits the approximate *payload bytes*
+    (see :func:`approximate_payload_bytes`) — locate payloads are full match
+    tuples, so a count bound alone lets high-frequency paths pin big result
+    sets.  A single payload larger than the whole byte budget is never
+    stored.
 
     ``capacity <= 0`` disables caching entirely (every lookup is a miss and
     nothing is stored), which is also what :meth:`disable` switches to at
     runtime — the CLI's ``--no-cache``.
     """
 
-    def __init__(self, capacity: int, epoch: int = 0):
+    def __init__(self, capacity: int, epoch: int = 0, max_bytes: int | None = None):
         self._capacity = max(int(capacity), 0)
+        self._max_bytes = None if max_bytes is None else max(int(max_bytes), 0)
         self._entries: "OrderedDict[QueryPlan, object]" = OrderedDict()
+        self._sizes: dict[QueryPlan, int] = {}
+        self._payload_bytes = 0
         self._epoch = int(epoch)
         self.hits = 0
         self.misses = 0
@@ -143,6 +196,16 @@ class ResultCache:
     def capacity(self) -> int:
         """Maximum number of cached plans (0 when disabled)."""
         return self._capacity
+
+    @property
+    def max_bytes(self) -> int | None:
+        """Approximate payload-byte budget (``None`` when unbounded)."""
+        return self._max_bytes
+
+    @property
+    def payload_bytes(self) -> int:
+        """Approximate bytes currently held across all cached payloads."""
+        return self._payload_bytes
 
     @property
     def enabled(self) -> bool:
@@ -164,7 +227,7 @@ class ResultCache:
             return
         if self._entries:
             self.invalidations += 1
-            self._entries.clear()
+            self._drop_entries()
         self._epoch = epoch
 
     def get(self, plan: QueryPlan) -> object:
@@ -177,25 +240,58 @@ class ResultCache:
         self.hits += 1
         return payload
 
+    def peek(self, plan: QueryPlan) -> object:
+        """Like :meth:`get`, but an absent key does not count as a miss.
+
+        Used for cross-plan sharing probes (a contains plan consulting its
+        count twin): finding the twin is a real hit, not finding it should
+        not distort the miss counter of the plan actually being executed.
+        """
+        payload = self._entries.get(plan, _MISS)
+        if payload is _MISS:
+            return _MISS
+        self._entries.move_to_end(plan)
+        self.hits += 1
+        return payload
+
     def put(self, plan: QueryPlan, payload: object) -> None:
-        """Store one executed payload, evicting the least recently used."""
+        """Store one executed payload, evicting the least recently used.
+
+        Eviction keeps going until both bounds hold: at most ``capacity``
+        entries and (when ``max_bytes`` is set) at most ``max_bytes``
+        approximate payload bytes.
+        """
         if self._capacity <= 0:
             return
+        nbytes = approximate_payload_bytes(payload)
+        if self._max_bytes is not None and nbytes > self._max_bytes:
+            return  # would evict everything and still not fit
         if plan in self._entries:
+            self._payload_bytes -= self._sizes[plan]
             self._entries.move_to_end(plan)
         self._entries[plan] = payload
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        self._sizes[plan] = nbytes
+        self._payload_bytes += nbytes
+        while len(self._entries) > self._capacity or (
+            self._max_bytes is not None and self._payload_bytes > self._max_bytes
+        ):
+            evicted, _ = self._entries.popitem(last=False)
+            self._payload_bytes -= self._sizes.pop(evicted)
             self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        self._drop_entries()
 
     def disable(self) -> None:
         """Turn the cache off for the rest of this engine's lifetime."""
         self._capacity = 0
+        self._drop_entries()
+
+    def _drop_entries(self) -> None:
         self._entries.clear()
+        self._sizes.clear()
+        self._payload_bytes = 0
 
     def stats(self) -> dict[str, int | bool]:
         """Counters for observability (CLI ``query --verbose``, benchmarks)."""
@@ -203,6 +299,8 @@ class ResultCache:
             "enabled": self.enabled,
             "capacity": self._capacity,
             "size": len(self._entries),
+            "payload_bytes": self._payload_bytes,
+            "max_bytes": self._max_bytes if self._max_bytes is not None else 0,
             "epoch": self._epoch,
             "hits": self.hits,
             "misses": self.misses,
@@ -259,6 +357,9 @@ class QueryExecutor:
 
         groups = optimize_plans(misses)
         self._execute_counts(groups.count, payloads)
+        # Contains after counts: a count over the same pattern computed in
+        # this very batch (or already cached) answers the contains for free.
+        self._execute_contains(groups.contains, payloads)
         self._execute_extracts(groups.extract, payloads)
         self._execute_locates(groups.locate, payloads)
         return payloads
@@ -274,6 +375,42 @@ class QueryExecutor:
         counts = self._backend.count_many([list(plan.pattern) for plan in plans])
         for plan, count in zip(plans, counts):
             payload = int(count)
+            payloads[plan] = payload
+            self._cache.put(plan, payload)
+
+    def _execute_contains(
+        self, plans: Sequence[QueryPlan], payloads: dict[QueryPlan, object]
+    ) -> None:
+        unresolved: list[QueryPlan] = []
+        for plan in plans:
+            twin = plan.count_twin()
+            count = payloads.get(twin, _MISS)
+            if count is _MISS:
+                count = self._cache.peek(twin)
+            if count is _MISS:
+                unresolved.append(plan)
+                continue
+            payload = int(count) > 0  # type: ignore[call-overload]
+            payloads[plan] = payload
+            self._cache.put(plan, payload)
+        if not unresolved:
+            return
+        if len(unresolved) == 1:
+            # The scalar path keeps the backend's early-exit contains
+            # specializations (partitioned any-partition short-circuit,
+            # linear-scan first-match stop), not a full count.
+            plan = unresolved[0]
+            payload = bool(self._backend.contains(list(plan.pattern)))
+            payloads[plan] = payload
+            self._cache.put(plan, payload)
+            return
+        # Several distinct contains misses run as one vectorized count_many
+        # pass instead of a scalar loop; the counts land in the cache under
+        # their count twins too, so later counts over the same paths are warm.
+        counts = self._backend.count_many([list(plan.pattern) for plan in unresolved])
+        for plan, count in zip(unresolved, counts):
+            self._cache.put(plan.count_twin(), int(count))
+            payload = int(count) > 0
             payloads[plan] = payload
             self._cache.put(plan, payload)
 
@@ -309,6 +446,7 @@ __all__ = [
     "MatchResolver",
     "PlanExecutor",
     "PlanGroups",
+    "approximate_payload_bytes",
     "optimize_plans",
     "ResultCache",
     "QueryExecutor",

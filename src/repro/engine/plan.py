@@ -16,16 +16,24 @@ module), **optimize** and **execute** (:mod:`repro.engine.executor`):
   fronted by an epoch-invalidated LRU result cache.
 
 Canonicalization is what makes the cache effective: a ``ContainsQuery``
-normalizes to the same count plan as a ``CountQuery`` over the same path, and
-a windowed ``StrictPathQuery`` shares its locate plan with ``LocateQuery`` —
-the window is carried on the plan but stripped from the cache key
-(:meth:`QueryPlan.canonical`), so time-window variations of one path hit one
-cached locate result.
+normalizes to a dedicated contains plan whose :meth:`QueryPlan.count_twin`
+names the count plan over the same path (so a cached count answers the
+contains without touching the backend), and a windowed ``StrictPathQuery``
+shares its locate plan with ``LocateQuery`` — the window is carried on the
+plan but stripped from the cache key (:meth:`QueryPlan.canonical`), so
+time-window variations of one path hit one cached locate result.
+
+Plans also carry a **shard-routing hint** (:attr:`QueryPlan.shard`): the
+sharded fleet layer (:mod:`repro.engine.sharding`) plans every query against
+the whole fleet first, then stamps single-shard-routable plans (extraction by
+global BWT row) with the shard that owns them; fan-out plans keep the
+:data:`ALL_SHARDS` default.  Unsharded engines never set the hint, so their
+cache keys are unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Hashable, Sequence
 
 from ..exceptions import EMPTY_INDEX_MESSAGE, EMPTY_PATH_MESSAGE, QueryError
@@ -43,12 +51,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .backends import EngineBackend
     from .registry import BackendSpec
 
-#: Capability kinds a plan can require from a backend.  ``count`` is answered
-#: by every backend; ``locate`` and ``extract`` map to the
-#: ``supports_locate`` / ``supports_extract`` flags on the backend spec.
+#: Capability kinds a plan can require from a backend.  ``count`` and
+#: ``contains`` are answered by every backend; ``locate`` and ``extract`` map
+#: to the ``supports_locate`` / ``supports_extract`` flags on the backend spec.
 KIND_COUNT = "count"
+KIND_CONTAINS = "contains"
 KIND_LOCATE = "locate"
 KIND_EXTRACT = "extract"
+
+#: Shard-routing hint for plans that must fan out to every shard (also the
+#: value every plan carries on an unsharded engine).
+ALL_SHARDS = -1
 
 
 @dataclass(frozen=True)
@@ -69,22 +82,44 @@ class QueryPlan:
     length: int = 0
     t_start: float | None = None
     t_end: float | None = None
+    shard: int = ALL_SHARDS
 
     @property
     def windowed(self) -> bool:
         """True when the plan carries strict-path window bounds."""
         return self.t_start is not None
 
+    @property
+    def routed(self) -> bool:
+        """True when the plan is pinned to a single shard of a sharded fleet."""
+        return self.shard != ALL_SHARDS
+
     def canonical(self) -> "QueryPlan":
         """The cache/execution key: this plan with the window stripped.
 
         Window filtering is a cheap post-processing step over the located
         matches, so every window variation of one path shares a single
-        executed (and cached) locate plan.
+        executed (and cached) locate plan.  The shard-routing hint is kept:
+        it is part of what the plan *is* on a sharded fleet.
         """
         if self.t_start is None and self.t_end is None:
             return self
-        return QueryPlan(kind=self.kind, pattern=self.pattern, row=self.row, length=self.length)
+        return QueryPlan(
+            kind=self.kind, pattern=self.pattern, row=self.row, length=self.length, shard=self.shard
+        )
+
+    def with_shard(self, shard: int) -> "QueryPlan":
+        """This plan stamped with a shard-routing hint (fleet layer only)."""
+        return replace(self, shard=int(shard))
+
+    def count_twin(self) -> "QueryPlan":
+        """The count plan a contains plan can be answered from.
+
+        A cached (or same-batch) occurrence count over the same pattern fully
+        determines the contains answer, so the executor probes this twin
+        before reaching the backend's early-exit ``contains`` path.
+        """
+        return QueryPlan(kind=KIND_COUNT, pattern=self.pattern, shard=self.shard)
 
 
 @dataclass(frozen=True)
@@ -112,8 +147,13 @@ class QueryPlanner:
 
     def plan(self, query: EngineQuery) -> PlannedQuery:
         """Normalize one query (raising here, never during execution)."""
-        if isinstance(query, (CountQuery, ContainsQuery)):
+        if isinstance(query, CountQuery):
             return PlannedQuery(query, QueryPlan(KIND_COUNT, pattern=self.encode(query.path)))
+        if isinstance(query, ContainsQuery):
+            # A dedicated kind (not a count plan) so execution can reach the
+            # backend's early-exit contains specializations; the executor
+            # still answers from a cached count via QueryPlan.count_twin.
+            return PlannedQuery(query, QueryPlan(KIND_CONTAINS, pattern=self.encode(query.path)))
         if isinstance(query, LocateQuery):
             self._require_locate()
             return PlannedQuery(query, QueryPlan(KIND_LOCATE, pattern=self.encode(query.path)))
@@ -181,7 +221,9 @@ class QueryPlanner:
 
 
 __all__ = [
+    "ALL_SHARDS",
     "KIND_COUNT",
+    "KIND_CONTAINS",
     "KIND_LOCATE",
     "KIND_EXTRACT",
     "QueryPlan",

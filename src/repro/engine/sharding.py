@@ -1,0 +1,732 @@
+"""Sharded fleet layer: shard-routed engines with concurrent fan-out/merge.
+
+One :class:`~repro.engine.TrajectoryEngine` owning an entire fleet stops
+scaling long before "millions of users": every ``add_batch`` invalidates one
+global result cache, and nothing executes across more than one index at a
+time.  This module shards the fleet instead:
+
+* :class:`ShardRouter` — a deterministic round-robin trajectory→shard
+  assignment.  Global trajectory ``g`` lives on shard ``g % num_shards`` as
+  that shard's local trajectory ``g // num_shards``; the mapping is a pure
+  function of the global id, so it is stable across growth (arrivals keep
+  their global order) and across save/reload (ids persist with the shards).
+* :class:`ShardedTrajectoryEngine` — owns ``num_shards`` inner
+  :class:`~repro.engine.TrajectoryEngine` shards behind the same query
+  surface.  Every query is planned once against the *whole* fleet (a
+  :class:`~repro.engine.plan.QueryPlanner` over a fleet view: global
+  alphabet, total length, total trajectory count), so validation raises the
+  exact errors an unsharded engine would; fan-out queries then run on every
+  eligible shard through a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+  (``EngineConfig.shard_workers``), and single-shard plans (extraction by
+  global BWT row) are routed straight to the owning shard via the plan's
+  shard hint.
+* merge rules that keep answers **bit-identical** to an unsharded engine on
+  the same fleet: counts sum, contains ORs, locate / strict-path matches are
+  remapped from local to global trajectory ids and re-sorted into the
+  canonical ``(trajectory, start, end)`` order, extraction payloads come back
+  from the routed shard unchanged.
+
+Because each shard is a full engine, each shard owns its own result cache and
+growth epoch: ``add_batch`` bumps only the shards that actually received
+trajectories, so cached answers for untouched shards survive growth — the
+shard-scoped cache invalidation the monolithic engine could not offer.
+
+Extraction rows on a sharded fleet address the **concatenation of the
+per-shard BWT row spaces** (shard 0's rows first, then shard 1's, ...); with
+``num_shards=1`` this coincides with the unsharded row space.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from itertools import accumulate
+import os
+import weakref
+from typing import Hashable, Iterable, Sequence
+
+from ..exceptions import EMPTY_INDEX_MESSAGE, ConstructionError, QueryError
+from ..queries.strict_path import StrictPathMatch
+from ..strings.alphabet import Alphabet
+from ..trajectories.model import Trajectory, TrajectoryDataset
+from .config import EngineConfig
+from .engine import (
+    ScalarQueryAPI,
+    TrajectoryEngine,
+    _normalise_trajectories,
+    validate_monotonic_timestamps,
+)
+from .plan import KIND_EXTRACT, QueryPlan, QueryPlanner
+from .queries import (
+    ContainsQuery,
+    ContainsResult,
+    CountQuery,
+    CountResult,
+    EngineQuery,
+    EngineResult,
+    ExtractQuery,
+    ExtractResult,
+    LocateQuery,
+    LocateResult,
+    StrictPathQuery,
+    StrictPathResult,
+)
+from .registry import BackendSpec, backend_spec
+
+
+class ShardRouter:
+    """Deterministic round-robin trajectory→shard assignment.
+
+    The mapping is a bijection between global ids and ``(shard, local id)``
+    pairs — ``global = local * num_shards + shard`` — computed from the id
+    alone.  Because the unsharded engine numbers trajectories by arrival
+    order and the router preserves arrival order within each shard, a match
+    found on shard ``s`` at local trajectory ``k`` is *the same trajectory*
+    the unsharded engine calls ``k * num_shards + s``; remapping ids is all
+    the merge stage needs to be bit-identical.
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ConstructionError(f"num_shards must be at least 1, got {num_shards}")
+        self._num_shards = int(num_shards)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards routed over."""
+        return self._num_shards
+
+    def shard_of(self, global_id: int) -> int:
+        """The shard owning a global trajectory id."""
+        return int(global_id) % self._num_shards
+
+    def local_of(self, global_id: int) -> int:
+        """The shard-local trajectory id of a global trajectory id."""
+        return int(global_id) // self._num_shards
+
+    def global_of(self, shard: int, local_id: int) -> int:
+        """The global trajectory id of shard-local trajectory ``local_id``."""
+        return int(local_id) * self._num_shards + int(shard)
+
+    def split(self, items: Sequence, first_global_id: int) -> list[list]:
+        """Partition arriving items (in global order) into per-shard lists.
+
+        ``first_global_id`` is the global id of ``items[0]`` (the fleet size
+        before this batch), so repeated calls route a growing stream exactly
+        like one big build would.
+        """
+        assigned: list[list] = [[] for _ in range(self._num_shards)]
+        for offset, item in enumerate(items):
+            assigned[self.shard_of(first_global_id + offset)].append(item)
+        return assigned
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ShardRouter(num_shards={self._num_shards})"
+
+
+class _FleetView:
+    """Planner-facing view of the whole sharded fleet.
+
+    Exposes exactly the surface :class:`~repro.engine.plan.QueryPlanner`
+    consults — global alphabet, total trajectory count, total string length —
+    so the sharded engine runs the *same* normalize stage (same checks, same
+    canonical messages, same order) as an unsharded engine over the union of
+    the shards.
+    """
+
+    def __init__(self, engine: "ShardedTrajectoryEngine"):
+        self._engine = engine
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._engine.alphabet
+
+    @property
+    def n_trajectories(self) -> int:
+        return self._engine.n_trajectories
+
+    @property
+    def length(self) -> int:
+        return self._engine.length
+
+
+class _FleetTimestampView:
+    """Read-only timestamp-store view over every shard's store.
+
+    Serves the planner (the ``any_timestamped`` window check) and callers of
+    the engine-level ``timestamp_store`` surface (e.g. the CLI's build
+    summary) with fleet-wide aggregates.
+    """
+
+    def __init__(self, engine: "ShardedTrajectoryEngine"):
+        self._engine = engine
+
+    @property
+    def any_timestamped(self) -> bool:
+        return any(
+            shard.timestamp_store.any_timestamped
+            for shard in self._engine.shards
+            if shard is not None
+        )
+
+    @property
+    def n_timestamped(self) -> int:
+        return sum(
+            shard.timestamp_store.n_timestamped
+            for shard in self._engine.shards
+            if shard is not None
+        )
+
+    @property
+    def n_trajectories(self) -> int:
+        return sum(
+            shard.timestamp_store.n_trajectories
+            for shard in self._engine.shards
+            if shard is not None
+        )
+
+    def size_in_bits(self) -> int:
+        return self._engine.temporal_size_in_bits()
+
+
+class ShardedTrajectoryEngine(ScalarQueryAPI):
+    """N shard-routed :class:`TrajectoryEngine` instances behind one facade.
+
+    Construction mirrors the unsharded engine (:meth:`build` / :meth:`load` /
+    :meth:`save`), queries mirror it too (scalar helpers, :meth:`run`,
+    :meth:`run_many`), and every answer is bit-identical to an unsharded
+    engine built over the same fleet in the same order — except extraction
+    row addressing, which concatenates the per-shard row spaces (see the
+    module docstring).
+
+    Shards for backends that cannot grow are only materialised when the
+    router assigns them at least one trajectory; growth-capable backends get
+    a (possibly empty) engine per shard up front so ``add_batch`` can route
+    into any of them.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[TrajectoryEngine | None],
+        config: EngineConfig,
+        alphabet: Alphabet,
+    ):
+        if len(shards) != config.num_shards:
+            raise ConstructionError(
+                f"config names {config.num_shards} shards but {len(shards)} were supplied"
+            )
+        self._shards: list[TrajectoryEngine | None] = list(shards)
+        self._config = config
+        self._spec = backend_spec(config.backend)
+        self._router = ShardRouter(config.num_shards)
+        self._alphabet = alphabet
+        self._store_view = _FleetTimestampView(self)
+        self._planner = QueryPlanner(
+            _FleetView(self),  # type: ignore[arg-type]
+            self._spec,
+            self._store_view,  # type: ignore[arg-type]
+        )
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        trajectories: TrajectoryDataset | Iterable[Trajectory | Sequence[Hashable]],
+        config: EngineConfig | None = None,
+    ) -> "ShardedTrajectoryEngine":
+        """Build a sharded fleet from raw trajectories and a config."""
+        config = config or EngineConfig()
+        spec = backend_spec(config.backend)
+        edges, timestamps = _normalise_trajectories(trajectories)
+        if not edges and not spec.supports_growth:
+            raise ConstructionError(
+                "cannot build a trajectory string from zero trajectories"
+            )
+        # Global validation first so error messages carry global ids.
+        validate_monotonic_timestamps(timestamps, first_id=0)
+        alphabet = Alphabet.from_trajectories(edges)
+        router = ShardRouter(config.num_shards)
+        assigned = router.split(list(zip(edges, timestamps)), first_global_id=0)
+        inner_config = replace(config, num_shards=1)
+        shards: list[TrajectoryEngine | None] = []
+        for batch in assigned:
+            if not batch and not spec.supports_growth:
+                shards.append(None)
+                continue
+            shards.append(
+                TrajectoryEngine.build(
+                    [Trajectory(edges=e, timestamps=t) for e, t in batch],
+                    inner_config,
+                )
+            )
+        return cls(shards, config, alphabet)
+
+    @classmethod
+    def load(cls, directory) -> "ShardedTrajectoryEngine":
+        """Reload a sharded fleet persisted with :meth:`save`."""
+        from ..io.index_io import load_index
+
+        engine = load_index(directory)
+        if not isinstance(engine, cls):
+            raise ConstructionError(
+                f"{directory} holds an unsharded engine; load it with "
+                "TrajectoryEngine.load (or repro.io.load_index)"
+            )
+        return engine
+
+    def save(self, directory) -> None:
+        """Persist the fleet: a shard manifest plus one subdirectory per shard."""
+        from ..io.index_io import save_index
+
+        save_index(self, directory)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> EngineConfig:
+        """The construction configuration (``num_shards`` > 1)."""
+        return self._config
+
+    @property
+    def spec(self) -> BackendSpec:
+        """The registry spec of the backend every shard runs."""
+        return self._spec
+
+    @property
+    def backend_name(self) -> str:
+        """Canonical registry key of the shards' backend."""
+        return self._spec.name
+
+    @property
+    def router(self) -> ShardRouter:
+        """The deterministic trajectory→shard router."""
+        return self._router
+
+    @property
+    def shards(self) -> tuple[TrajectoryEngine | None, ...]:
+        """The inner shard engines (``None`` for never-populated shards)."""
+        return tuple(self._shards)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of fleet shards."""
+        return self._router.num_shards
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """Global alphabet over every shard (arrival-ordered, persisted)."""
+        return self._alphabet
+
+    @property
+    def sigma(self) -> int:
+        """Global alphabet size (distinct edges + the two special symbols)."""
+        return self._alphabet.sigma
+
+    @property
+    def length(self) -> int:
+        """Total indexed trajectory-string length across all shards."""
+        return sum(shard.length for shard in self._present_shards())
+
+    @property
+    def n_trajectories(self) -> int:
+        """Total number of indexed trajectories across all shards."""
+        return sum(shard.n_trajectories for shard in self._present_shards())
+
+    @property
+    def n_partitions(self) -> int:
+        """Total backend partitions across all shards."""
+        return sum(shard.n_partitions for shard in self._present_shards())
+
+    @property
+    def epoch(self) -> int:
+        """Total growth across the fleet (the sum of per-shard epochs)."""
+        return sum(self.epochs)
+
+    @property
+    def epochs(self) -> tuple[int, ...]:
+        """Per-shard growth epochs (0 for never-populated shards)."""
+        return tuple(
+            0 if shard is None else shard.epoch for shard in self._shards
+        )
+
+    def size_in_bits(self) -> int:
+        """Total index size (including temporal storage) across all shards."""
+        return sum(shard.size_in_bits() for shard in self._present_shards())
+
+    def temporal_size_in_bits(self) -> int:
+        """Total exact timestamp-store size across all shards."""
+        return sum(shard.temporal_size_in_bits() for shard in self._present_shards())
+
+    def bits_per_symbol(self) -> float:
+        """Fleet index size divided by total trajectory-string length."""
+        length = self.length
+        if length == 0:
+            raise QueryError(EMPTY_INDEX_MESSAGE)
+        return self.size_in_bits() / length
+
+    def cache_stats(self) -> dict[str, int | bool]:
+        """Fleet-wide result-cache counters (summed over the shards)."""
+        merged: dict[str, int | bool] = {
+            "enabled": False,
+            "capacity": 0,
+            "size": 0,
+            "payload_bytes": 0,
+            "max_bytes": 0,
+            "epoch": self.epoch,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "invalidations": 0,
+        }
+        for stats in self.shard_cache_stats():
+            merged["enabled"] = bool(merged["enabled"]) or bool(stats["enabled"])
+            for key in (
+                "capacity",
+                "size",
+                "payload_bytes",
+                "max_bytes",
+                "hits",
+                "misses",
+                "evictions",
+                "invalidations",
+            ):
+                merged[key] = int(merged[key]) + int(stats[key])
+        return merged
+
+    def shard_cache_stats(self) -> list[dict[str, int | bool]]:
+        """Per-shard cache counters, in shard order (empty shards skipped)."""
+        return [shard.cache_stats() for shard in self._present_shards()]
+
+    def disable_cache(self) -> None:
+        """Turn every shard's result cache off (the CLI's ``--no-cache``)."""
+        for shard in self._present_shards():
+            shard.disable_cache()
+
+    @property
+    def timestamp_store(self) -> _FleetTimestampView:
+        """Fleet-wide aggregate view over the shards' timestamp stores."""
+        return self._store_view
+
+    def timestamps_of(self, trajectory_id: int) -> list[float] | None:
+        """Per-segment timestamps of one global trajectory id."""
+        if trajectory_id < 0 or trajectory_id >= self.n_trajectories:
+            return None
+        shard = self._shards[self._router.shard_of(trajectory_id)]
+        if shard is None:
+            return None
+        return shard.timestamps_of(self._router.local_of(trajectory_id))
+
+    @property
+    def timestamps(self) -> list[list[float] | None]:
+        """Per-trajectory timestamp lists in global id order."""
+        return [self.timestamps_of(g) for g in range(self.n_trajectories)]
+
+    # ------------------------------------------------------------------ #
+    # growth
+    # ------------------------------------------------------------------ #
+    def add_batch(
+        self,
+        trajectories: TrajectoryDataset | Iterable[Trajectory | Sequence[Hashable]],
+    ) -> None:
+        """Route newly arrived trajectories to their shards and index them.
+
+        Only shards that actually receive trajectories grow (and therefore
+        bump their epoch / invalidate their cache); a batch smaller than the
+        shard count leaves the remaining shards — and their cached answers —
+        untouched.
+        """
+        if not self._spec.supports_growth:
+            raise ConstructionError(
+                f"the {self._spec.name!r} backend is immutable once built; "
+                "use the 'partitioned-cinct' backend for growing collections"
+            )
+        edges, timestamps = _normalise_trajectories(trajectories)
+        # The whole batch is validated before any shard mutates, so a bad
+        # trajectory cannot leave the fleet partially grown.
+        if not edges:
+            raise ConstructionError("a batch must contain at least one trajectory")
+        for trajectory in edges:
+            if not trajectory:
+                raise ConstructionError("trajectories in a batch must be non-empty")
+        first_id = self.n_trajectories
+        validate_monotonic_timestamps(timestamps, first_id=first_id)
+        assigned = self._router.split(list(zip(edges, timestamps)), first_id)
+        for trajectory in edges:
+            for edge in trajectory:
+                self._alphabet.add(edge)
+        for shard, batch in zip(self._shards, assigned):
+            if not batch:
+                continue
+            assert shard is not None  # growth backends materialise all shards
+            shard.add_batch([Trajectory(edges=e, timestamps=t) for e, t in batch])
+
+    def consolidate(self) -> None:
+        """Consolidate every populated shard's partitions (fleet-wide)."""
+        if not self._spec.supports_growth:
+            raise ConstructionError(
+                f"the {self._spec.name!r} backend is monolithic and cannot be "
+                "consolidated; use the 'partitioned-cinct' backend for growing "
+                "collections"
+            )
+        if self.n_trajectories == 0:
+            raise ConstructionError(
+                "nothing to consolidate: no trajectories were added"
+            )
+        for shard in self._present_shards():
+            if shard.n_trajectories > 0:
+                shard.consolidate()
+
+    # ------------------------------------------------------------------ #
+    # typed query API (plan globally, fan out, merge; scalar helpers come
+    # from ScalarQueryAPI)
+    # ------------------------------------------------------------------ #
+    def run(self, query: EngineQuery) -> EngineResult:
+        """Answer one typed query through the fleet pipeline."""
+        return self.run_many([query])[0]
+
+    def run_many(self, queries: Sequence[EngineQuery]) -> list[EngineResult]:
+        """Answer a mixed workload across every shard, batch-first.
+
+        The batch is normalized against the fleet view first (all raising
+        happens here, with the same messages and ordering as an unsharded
+        engine), each query is routed — extraction to the single owning
+        shard, everything else to every shard that can contribute — the
+        per-shard sub-batches execute concurrently through each shard's own
+        ``run_many`` pipeline (grouping, vectorized paths, shard-scoped
+        cache), and the per-shard answers are merged into global results in
+        input order.
+        """
+        planned = self._planner.plan_many(queries)
+        shard_batches: list[list[EngineQuery]] = [[] for _ in self._shards]
+        refs: list[list[tuple[int, int]]] = []
+        row_offsets: list[int] | None = None  # built once per batch
+        for entry in planned:
+            # Routing consults the *windowed* plan (not the canonical cache
+            # key): a windowed strict-path must still skip timestamp-less
+            # shards, and the window only lives on the un-stripped plan.
+            plan = entry.plan
+            localised = entry.query
+            if plan.kind == KIND_EXTRACT:
+                if row_offsets is None:
+                    row_offsets = self._row_offsets()
+                shard_id, local_row = self._row_home(plan.row, row_offsets)
+                plan = plan.with_shard(shard_id)
+                localised = ExtractQuery(row=local_row, length=plan.length)
+            entry_refs: list[tuple[int, int]] = []
+            for shard_id in self._target_shards(plan, entry.query):
+                entry_refs.append((shard_id, len(shard_batches[shard_id])))
+                shard_batches[shard_id].append(localised)
+            refs.append(entry_refs)
+        shard_results = self._fan_out(shard_batches)
+        return [
+            self._merge(entry.query, entry_refs, shard_results)
+            for entry, entry_refs in zip(planned, refs)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def _row_offsets(self) -> list[int]:
+        """Cumulative start row of every shard in the concatenated row space."""
+        return list(accumulate(
+            (0 if shard is None else shard.length for shard in self._shards),
+            initial=0,
+        ))
+
+    def _row_home(self, row: int, offsets: list[int]) -> tuple[int, int]:
+        """Map a global BWT row to ``(shard, local row)``.
+
+        Global rows concatenate the per-shard row spaces in shard order; the
+        planner has already bounds-checked ``row`` against the total length.
+        """
+        for shard_id in range(self.num_shards):
+            if offsets[shard_id] <= row < offsets[shard_id + 1]:
+                return shard_id, row - offsets[shard_id]
+        raise QueryError(  # pragma: no cover - planner bounds-checks first
+            f"BWT position {row} out of range [0, {self.length})"
+        )
+
+    def _target_shards(self, plan: QueryPlan, query: EngineQuery) -> list[int]:
+        """Shards that can contribute to a plan's answer."""
+        if plan.routed:
+            return [plan.shard]
+        windowed = plan.windowed
+        path = query.path  # type: ignore[union-attr]  # every fan-out query has one
+        targets: list[int] = []
+        for shard_id, shard in enumerate(self._shards):
+            if shard is None or shard.n_trajectories == 0:
+                continue
+            # A pattern edge a shard never saw cannot occur on that shard;
+            # skipping it both avoids a spurious AlphabetError from the
+            # shard's own planner and contributes the correct zero/empty.
+            if any(edge not in shard.alphabet for edge in path):
+                continue
+            # Per-match window semantics drop every traversal on a
+            # timestamp-less shard anyway; skip it rather than trip the
+            # shard-local "no timestamps" rejection.
+            if windowed and not shard.timestamp_store.any_timestamped:
+                continue
+            targets.append(shard_id)
+        return targets
+
+    # ------------------------------------------------------------------ #
+    # fan-out / merge
+    # ------------------------------------------------------------------ #
+    def _fan_out(
+        self, shard_batches: list[list[EngineQuery]]
+    ) -> dict[int, list[EngineResult]]:
+        """Run every non-empty per-shard batch, concurrently when it pays."""
+        jobs = [
+            (shard_id, batch)
+            for shard_id, batch in enumerate(shard_batches)
+            if batch
+        ]
+        if len(jobs) <= 1 or self._max_workers() == 1:
+            return {
+                shard_id: self._shards[shard_id].run_many(batch)  # type: ignore[union-attr]
+                for shard_id, batch in jobs
+            }
+        pool = self._ensure_pool()
+        futures = {
+            shard_id: pool.submit(self._shards[shard_id].run_many, batch)  # type: ignore[union-attr]
+            for shard_id, batch in jobs
+        }
+        return {shard_id: future.result() for shard_id, future in futures.items()}
+
+    def _merge(
+        self,
+        query: EngineQuery,
+        refs: list[tuple[int, int]],
+        shard_results: dict[int, list[EngineResult]],
+    ) -> EngineResult:
+        """Combine per-shard answers into the global result for one query."""
+        results = [shard_results[shard_id][index] for shard_id, index in refs]
+        if isinstance(query, CountQuery):
+            return CountResult(query, sum(r.count for r in results))  # type: ignore[union-attr]
+        if isinstance(query, ContainsQuery):
+            return ContainsResult(query, any(r.found for r in results))  # type: ignore[union-attr]
+        if isinstance(query, ExtractQuery):
+            ((shard_id, _),) = refs
+            (routed,) = results
+            assert isinstance(routed, ExtractResult)
+            return ExtractResult(
+                query, self._globalise_symbols(shard_id, routed.symbols), routed.edges
+            )
+        matches = self._merge_matches(refs, results)
+        if isinstance(query, LocateQuery):
+            return LocateResult(query, matches)
+        assert isinstance(query, StrictPathQuery)
+        return StrictPathResult(query, matches)
+
+    def _globalise_symbols(
+        self, shard_id: int, symbols: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        """Re-encode a shard's extracted symbols against the global alphabet.
+
+        Each shard numbers edge symbols by its own first-appearance order, so
+        a shard-local symbol id would silently decode to a different edge
+        under :attr:`alphabet`.  The special symbols (``#``/``$``) are shared
+        by every alphabet and pass through unchanged.
+        """
+        shard = self._shards[shard_id]
+        assert shard is not None  # a routed row always lands on a real shard
+        local_alphabet = shard.alphabet
+        global_alphabet = self._alphabet
+        return tuple(
+            global_alphabet.encode(local_alphabet.decode(symbol))
+            if local_alphabet.is_edge_symbol(symbol)
+            else symbol
+            for symbol in symbols
+        )
+
+    def _merge_matches(
+        self,
+        refs: list[tuple[int, int]],
+        results: list[EngineResult],
+    ) -> tuple[StrictPathMatch, ...]:
+        """Remap shard-local matches to global ids and restore canonical order."""
+        router = self._router
+        merged: list[StrictPathMatch] = []
+        for (shard_id, _), result in zip(refs, results):
+            for match in result.matches:  # type: ignore[union-attr]
+                merged.append(
+                    StrictPathMatch(
+                        trajectory_id=router.global_of(shard_id, match.trajectory_id),
+                        start_edge_index=match.start_edge_index,
+                        end_edge_index=match.end_edge_index,
+                        start_time=match.start_time,
+                        end_time=match.end_time,
+                    )
+                )
+        merged.sort(
+            key=lambda m: (m.trajectory_id, m.start_edge_index, m.end_edge_index)
+        )
+        return tuple(merged)
+
+    # ------------------------------------------------------------------ #
+    # thread pool plumbing
+    # ------------------------------------------------------------------ #
+    def _max_workers(self) -> int:
+        if self._config.shard_workers is not None:
+            return max(1, int(self._config.shard_workers))
+        return max(1, min(self.num_shards, os.cpu_count() or 1))
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers(), thread_name_prefix="repro-shard"
+            )
+            # Engines are often loaded, used and dropped (services reloading
+            # their index); release the workers when the engine is collected
+            # rather than requiring an explicit close().
+            weakref.finalize(self, self._pool.shutdown, wait=False)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (engines remain queryable inline)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedTrajectoryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _present_shards(self) -> list[TrajectoryEngine]:
+        return [shard for shard in self._shards if shard is not None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ShardedTrajectoryEngine(backend={self.backend_name!r}, "
+            f"shards={self.num_shards}, trajectories={self.n_trajectories})"
+        )
+
+
+def build_engine(
+    trajectories: TrajectoryDataset | Iterable[Trajectory | Sequence[Hashable]],
+    config: EngineConfig | None = None,
+) -> TrajectoryEngine | ShardedTrajectoryEngine:
+    """Build the engine a config asks for: sharded when ``num_shards`` > 1.
+
+    The single construction entry point for callers that take the shard
+    count from configuration (the CLI, benchmarks, services): a plain
+    :class:`TrajectoryEngine` for ``num_shards=1``, a
+    :class:`ShardedTrajectoryEngine` otherwise.
+    """
+    config = config or EngineConfig()
+    if config.num_shards > 1:
+        return ShardedTrajectoryEngine.build(trajectories, config)
+    return TrajectoryEngine.build(trajectories, config)
+
+
+__all__ = [
+    "ShardRouter",
+    "ShardedTrajectoryEngine",
+    "build_engine",
+]

@@ -44,15 +44,19 @@ from .npzutil import ensure_npz_suffix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..engine.engine import TrajectoryEngine
+    from ..engine.sharding import ShardedTrajectoryEngine
 
 _FORMAT_VERSION = 1
 #: version 1 embedded raw timestamp lists in ``engine.json``; version 2 moved
 #: them to a compressed ``timestamps.npz`` artefact; version 3 adds the
 #: engine's growth ``epoch`` (the result-cache invalidation counter bumped by
-#: ``add_batch``/``consolidate``).  All three versions load — documents
-#: without an epoch come back at epoch 0.
-_ENGINE_FORMAT_VERSION = 3
-_SUPPORTED_ENGINE_VERSIONS = frozenset({1, 2, 3})
+#: ``add_batch``/``consolidate``); version 4 adds the sharded fleet layout —
+#: a top-level shard manifest (``"shards"`` key) whose entries name per-shard
+#: subdirectories, each holding an ordinary single-engine document.  All four
+#: versions load; v1–v3 documents (and v4 documents without a manifest) come
+#: back as a single unsharded engine, documents without an epoch at epoch 0.
+_ENGINE_FORMAT_VERSION = 4
+_SUPPORTED_ENGINE_VERSIONS = frozenset({1, 2, 3, 4})
 _TIMESTAMP_ARCHIVE = "timestamps.npz"
 
 
@@ -217,7 +221,9 @@ def load_cinct(directory: str | Path) -> SavedIndex:
 # --------------------------------------------------------------------------- #
 # universal engine persistence (registry-dispatched)
 # --------------------------------------------------------------------------- #
-def save_index(engine: "TrajectoryEngine", directory: str | Path) -> Path:
+def save_index(
+    engine: "TrajectoryEngine | ShardedTrajectoryEngine", directory: str | Path
+) -> Path:
     """Persist a :class:`~repro.engine.TrajectoryEngine` of *any* backend.
 
     The engine-level state (config, backend name, alphabet) lands in
@@ -230,9 +236,19 @@ def save_index(engine: "TrajectoryEngine", directory: str | Path) -> Path:
     through the registry, so any backend registered with
     :func:`repro.engine.register_backend` round-trips without touching this
     module.
+
+    A :class:`~repro.engine.sharding.ShardedTrajectoryEngine` persists as a
+    top-level shard manifest (``engine.json`` with a ``"shards"`` list and
+    the global alphabet) plus one ``shard_NN`` subdirectory per populated
+    shard, each written through this very function — so every shard
+    directory is itself a loadable single-engine index.
     """
+    from ..engine.sharding import ShardedTrajectoryEngine
+
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    if isinstance(engine, ShardedTrajectoryEngine):
+        return _save_sharded(engine, directory)
     backend_meta = engine.backend.save_state(directory)
     engine.timestamp_store.save(directory / _TIMESTAMP_ARCHIVE)
     document: dict[str, object] = {
@@ -249,13 +265,39 @@ def save_index(engine: "TrajectoryEngine", directory: str | Path) -> Path:
     return directory
 
 
-def load_index(directory: str | Path) -> "TrajectoryEngine":
+def _save_sharded(engine: "ShardedTrajectoryEngine", directory: Path) -> Path:
+    """Write the format-v4 sharded layout: manifest + per-shard subdirectories."""
+    shard_dirs: list[str | None] = []
+    for shard_id, shard in enumerate(engine.shards):
+        if shard is None:
+            shard_dirs.append(None)  # a shard the router never populated
+            continue
+        name = f"shard_{shard_id:02d}"
+        save_index(shard, directory / name)
+        shard_dirs.append(name)
+    document: dict[str, object] = {
+        "format_version": _ENGINE_FORMAT_VERSION,
+        "backend": engine.backend_name,
+        "config": engine.config.as_dict(),
+        "alphabet": _alphabet_to_json(engine.alphabet),
+        "num_shards": engine.num_shards,
+        "shards": shard_dirs,
+    }
+    with (directory / "engine.json").open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+    return directory
+
+
+def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEngine":
     """Reload an engine persisted by :func:`save_index` (any backend).
 
-    Both engine document generations load: version 2 reads the compressed
-    ``timestamps.npz`` artefact, version 1 (legacy) reads the raw timestamp
-    lists embedded in ``engine.json``.  Directories written by the legacy
-    :func:`save_cinct` are detected and rejected with a pointer to
+    Every engine document generation loads: version 4 shard manifests come
+    back as a :class:`~repro.engine.sharding.ShardedTrajectoryEngine` (each
+    shard subdirectory reloaded through this function), v1–v3 documents (and
+    v4 documents without a manifest) as a single unsharded engine — version 2
+    reads the compressed ``timestamps.npz`` artefact, version 1 (legacy) the
+    raw timestamp lists embedded in ``engine.json``.  Directories written by
+    the legacy :func:`save_cinct` are detected and rejected with a pointer to
     :func:`load_cinct`.
     """
     from ..engine.config import EngineConfig
@@ -280,6 +322,8 @@ def load_index(directory: str | Path) -> "TrajectoryEngine":
             f"unsupported engine format version {version} "
             f"(expected one of {sorted(_SUPPORTED_ENGINE_VERSIONS)})"
         )
+    if "shards" in document:
+        return _load_sharded(directory, document)
     config = EngineConfig.from_dict(document["config"])
     spec = backend_spec(document["backend"])
     alphabet = _alphabet_from_json(document["alphabet"])
@@ -295,3 +339,30 @@ def load_index(directory: str | Path) -> "TrajectoryEngine":
     # Version-1/2 documents predate growth epochs; they resume at epoch 0.
     epoch = int(document.get("epoch", 0))
     return TrajectoryEngine(backend, config, store, epoch=epoch)
+
+
+def _load_sharded(directory: Path, document: dict) -> "ShardedTrajectoryEngine":
+    """Reassemble a sharded fleet from a format-v4 shard manifest."""
+    from ..engine.config import EngineConfig
+    from ..engine.engine import TrajectoryEngine
+    from ..engine.sharding import ShardedTrajectoryEngine
+
+    config = EngineConfig.from_dict(document["config"])
+    alphabet = _alphabet_from_json(document["alphabet"])
+    shard_dirs = document["shards"]
+    if int(document.get("num_shards", len(shard_dirs))) != len(shard_dirs):
+        raise ConstructionError(
+            "corrupt shard manifest: num_shards does not match the shard list"
+        )
+    shards: list[TrajectoryEngine | None] = []
+    for entry in shard_dirs:
+        if entry is None:
+            shards.append(None)
+            continue
+        shard = load_index(directory / str(entry))
+        if not isinstance(shard, TrajectoryEngine):
+            raise ConstructionError(
+                f"shard directory {entry!r} does not hold a single-shard engine"
+            )
+        shards.append(shard)
+    return ShardedTrajectoryEngine(shards, config, alphabet)

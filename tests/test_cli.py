@@ -61,6 +61,35 @@ class TestBuildAndQuery:
         query_output = capsys.readouterr().out
         assert "matches   : 2" in query_output
 
+    def test_sharded_build_with_timestamps_then_query(self, tmp_path, capsys):
+        # The build summary reads engine.timestamp_store when timestamps are
+        # present; it must work on a sharded fleet too.
+        dataset = TrajectoryDataset(
+            name="cli-sharded",
+            trajectories=[
+                Trajectory(edges=["a", "b", "c"], timestamps=[0.0, 5.0, 10.0]),
+                Trajectory(edges=["b", "c", "d"], timestamps=[20.0, 25.0, 30.0]),
+                Trajectory(edges=["a", "b", "d"], timestamps=[40.0, 45.0, 50.0]),
+            ],
+        )
+        source = save_dataset_jsonl(dataset, tmp_path / "timed.jsonl")
+        output = tmp_path / "fleet"
+        assert main([
+            "build", "--input", str(source), "--backend", "partitioned-cinct",
+            "--sa-sample-rate", "4", "--num-shards", "2", "--output", str(output),
+        ]) == 0
+        build_output = capsys.readouterr().out
+        assert "shards            : 2" in build_output
+        assert "temporal store" in build_output
+        assert "3/3 trajectories timestamped" in build_output
+        assert main([
+            "query", "--index", str(output), "--t-start", "0", "--t-end", "60",
+            "--verbose", "b", "c",
+        ]) == 0
+        query_output = capsys.readouterr().out
+        assert "shards    : 2" in query_output
+        assert "matches   : 2" in query_output
+
     @pytest.mark.parametrize("backend", ["icb-huff", "linear-scan", "partitioned-cinct"])
     def test_build_and_query_other_backends(self, jsonl_dataset, tmp_path, capsys, backend):
         output = tmp_path / f"index-{backend}"

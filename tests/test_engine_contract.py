@@ -24,13 +24,16 @@ from repro.engine import (
     TrajectoryEngine,
     available_backends,
     backend_spec,
+    build_engine,
     sample_paths,
 )
 from repro.network import grid_network
 from repro.trajectories import TrajectoryDataset, straight_biased_walks
 
 BACKENDS = available_backends()
+LOCATE_BACKENDS = [name for name in BACKENDS if backend_spec(name).supports_locate]
 REFERENCE = "cinct"
+SHARD_COUNTS = (1, 3)
 
 
 @pytest.fixture(scope="module")
@@ -159,6 +162,54 @@ def test_locate_resolves_real_traversals(engines, fleet_dataset):
     for match in matches:
         edges = fleet_dataset.trajectories[match.trajectory_id].edges
         assert list(edges[match.start_edge_index : match.end_edge_index + 1]) == path
+
+
+@pytest.fixture(scope="module")
+def sharded_engines(fleet_dataset):
+    """Sharded fleets per (locate-capable backend, shard count)."""
+    return {
+        (name, num_shards): build_engine(
+            fleet_dataset,
+            EngineConfig(
+                backend=name, block_size=31, sa_sample_rate=8, num_shards=num_shards
+            ),
+        )
+        for name in LOCATE_BACKENDS
+        for num_shards in SHARD_COUNTS
+    }
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("backend", LOCATE_BACKENDS)
+class TestShardedContract:
+    """A sharded fleet answers bit-identically to the unsharded engines."""
+
+    def test_scalar_queries_match_unsharded(
+        self, engines, sharded_engines, probe_paths, backend, num_shards
+    ):
+        reference = engines[backend]
+        sharded = sharded_engines[(backend, num_shards)]
+        for path in probe_paths:
+            assert sharded.count(path) == reference.count(path), path
+            assert sharded.contains(path) == reference.contains(path), path
+            assert sharded.locate(path) == reference.locate(path), path
+        for path in probe_paths[:6]:
+            assert sharded.strict_path(path) == reference.strict_path(path), path
+
+    def test_run_many_matches_unsharded(
+        self, engines, sharded_engines, probe_paths, backend, num_shards
+    ):
+        reference = engines[backend]
+        sharded = sharded_engines[(backend, num_shards)]
+        queries = [
+            CountQuery(probe_paths[0]),
+            ContainsQuery(probe_paths[1]),
+            LocateQuery(probe_paths[2]),
+            StrictPathQuery(probe_paths[3]),
+            CountQuery(probe_paths[0]),  # duplicate
+            StrictPathQuery(probe_paths[2], 0.0, 1e9),
+        ]
+        assert sharded.run_many(queries) == reference.run_many(queries)
 
 
 def test_temporal_index_built_for_timestamped_fleet(engines):

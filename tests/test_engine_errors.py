@@ -11,7 +11,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core import CiNCT, PartitionedCiNCT
-from repro.engine import EngineConfig, TrajectoryEngine, available_backends, backend_spec
+from repro.engine import (
+    EngineConfig,
+    TrajectoryEngine,
+    available_backends,
+    backend_spec,
+    build_engine,
+)
 from repro.exceptions import (
     EMPTY_INDEX_MESSAGE,
     EMPTY_PATH_MESSAGE,
@@ -99,6 +105,58 @@ class TestEngineNormalization:
         bad = [Trajectory(edges=["A", "B", "C"], timestamps=[10.0, 5.0, 0.0])]
         with pytest.raises(ConstructionError, match="decreasing timestamps"):
             TrajectoryEngine.build(bad, EngineConfig(backend=backend, block_size=15))
+
+
+class TestShardedNormalization(TestEngineNormalization):
+    """A sharded fleet raises the identical canonical errors.
+
+    Inherits every normalization case of :class:`TestEngineNormalization`
+    and runs it against 3-shard fleets; the capability/growth/zero cases
+    whose expectations are shard-aware are overridden below.
+    """
+
+    @pytest.fixture(scope="class")
+    def engines(self):
+        return {
+            name: build_engine(
+                TRAJECTORIES,
+                EngineConfig(backend=name, block_size=15, sa_sample_rate=4, num_shards=3),
+            )
+            for name in BACKENDS
+        }
+
+    def test_building_from_zero_trajectories(self, backend):
+        config = EngineConfig(backend=backend, block_size=15, num_shards=3)
+        if backend_spec(backend).supports_growth:
+            engine = build_engine([], config)
+            with pytest.raises(QueryError, match=EMPTY_INDEX_MESSAGE):
+                engine.count(["A"])
+        else:
+            with pytest.raises(ConstructionError, match="zero trajectories"):
+                build_engine([], config)
+
+    def test_growth_capability_is_enforced(self, engines, backend):
+        engine = engines[backend]
+        if backend_spec(backend).supports_growth:
+            assert engine.n_partitions >= 1
+        else:
+            # One backend partition per populated shard.
+            assert engine.n_partitions == 3
+            with pytest.raises(ConstructionError, match="immutable once built"):
+                engine.add_batch([["A", "B"]])
+            with pytest.raises(ConstructionError, match="monolithic"):
+                engine.consolidate()
+
+    def test_decreasing_timestamps_rejected(self, backend):
+        from repro.trajectories import Trajectory
+
+        bad = [
+            Trajectory(edges=["A", "B"], timestamps=[0.0, 1.0]),
+            Trajectory(edges=["A", "B", "C"], timestamps=[10.0, 5.0, 0.0]),
+        ]
+        # The message carries the *global* trajectory id, not a shard-local one.
+        with pytest.raises(ConstructionError, match="trajectory 1 has decreasing"):
+            build_engine(bad, EngineConfig(backend=backend, block_size=15, num_shards=3))
 
 
 class TestDirectEntryPointNormalization:

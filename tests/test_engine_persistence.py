@@ -7,13 +7,21 @@ import json
 import numpy as np
 import pytest
 
-from repro.engine import EngineConfig, TrajectoryEngine, available_backends, sample_paths
+from repro.engine import (
+    EngineConfig,
+    TrajectoryEngine,
+    available_backends,
+    backend_spec,
+    build_engine,
+    sample_paths,
+)
 from repro.exceptions import ConstructionError, DatasetError
 from repro.io import load_index, save_cinct, save_index
 from repro.network import grid_network
 from repro.trajectories import TrajectoryDataset, straight_biased_walks
 
 BACKENDS = available_backends()
+LOCATE_BACKENDS = [name for name in BACKENDS if backend_spec(name).supports_locate]
 
 
 @pytest.fixture(scope="module")
@@ -58,6 +66,51 @@ class TestRoundTrip:
         assert reloaded.temporal is not None
         for path in probe_paths[:4]:
             assert reloaded.strict_path(path, 0.0, 1e9) == engine.strict_path(path, 0.0, 1e9)
+
+
+@pytest.mark.parametrize("num_shards", (1, 3))
+@pytest.mark.parametrize("backend", LOCATE_BACKENDS)
+def test_sharded_queries_survive_roundtrip(
+    fleet_dataset, probe_paths, tmp_path, backend, num_shards
+):
+    config = EngineConfig(
+        backend=backend, block_size=31, sa_sample_rate=8, num_shards=num_shards
+    )
+    engine = build_engine(fleet_dataset, config)
+    engine.save(tmp_path / "fleet")
+    reloaded = load_index(tmp_path / "fleet")
+    assert type(reloaded) is type(engine)
+    assert reloaded.config == config
+    assert reloaded.n_trajectories == engine.n_trajectories
+    assert reloaded.size_in_bits() == engine.size_in_bits()
+    for path in probe_paths:
+        assert reloaded.count(path) == engine.count(path)
+        assert reloaded.locate(path) == engine.locate(path)
+    for path in probe_paths[:4]:
+        assert reloaded.strict_path(path, 0.0, 1e9) == engine.strict_path(path, 0.0, 1e9)
+
+
+def test_sharded_partitioned_growth_survives_roundtrip(fleet_dataset, tmp_path):
+    config = EngineConfig(
+        backend="partitioned-cinct", block_size=31, sa_sample_rate=8, num_shards=3
+    )
+    engine = build_engine([], config)
+    trajectories = fleet_dataset.trajectories
+    engine.add_batch(trajectories[:8])
+    engine.add_batch(trajectories[8:])
+    engine.save(tmp_path / "fleet")
+    reloaded = load_index(tmp_path / "fleet")
+    assert reloaded.num_shards == 3
+    assert reloaded.epochs == engine.epochs
+    probe = list(trajectories[10].edges[:3])
+    assert reloaded.count(probe) == engine.count(probe)
+    assert reloaded.locate(probe) == engine.locate(probe)
+    # The reloaded fleet keeps growing with stable round-robin routing.
+    reloaded.add_batch([["x1", "x2", "x3"]])
+    assert reloaded.count(["x1", "x2"]) == 1
+    assert reloaded.locate(["x1", "x2"])[0].trajectory_id == len(trajectories)
+    reloaded.consolidate()
+    assert reloaded.count(probe) == engine.count(probe)
 
 
 def test_partitioned_growth_survives_roundtrip(fleet_dataset, tmp_path):

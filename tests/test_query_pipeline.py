@@ -197,6 +197,141 @@ class TestCacheSemantics:
         engine.count(path)
         assert engine.cache_stats()["hits"] == hits_before
 
+    def test_byte_budget_bounds_payload_bytes(self, fleet_dataset):
+        # A budget that fits a couple of locate payloads but not many: the
+        # byte dimension must evict even though the entry count is nowhere
+        # near the cache_size bound.
+        engine = TrajectoryEngine.build(
+            fleet_dataset,
+            EngineConfig(
+                backend="cinct", sa_sample_rate=8, cache_size=1024, cache_max_bytes=600
+            ),
+        )
+        for path in sample_paths(fleet_dataset, 2, 10, seed=12):
+            engine.locate(path)
+        stats = engine.cache_stats()
+        assert stats["max_bytes"] == 600
+        assert stats["payload_bytes"] <= 600
+        assert stats["size"] < 10  # far below the entry bound, bytes evicted
+        assert stats["evictions"] >= 1
+
+    def test_oversized_payload_is_never_stored(self, fleet_dataset):
+        # A single payload bigger than the whole budget is not cached at all
+        # (storing it would evict everything and still not fit).
+        engine = TrajectoryEngine.build(
+            fleet_dataset,
+            EngineConfig(
+                backend="cinct", sa_sample_rate=8, cache_size=1024, cache_max_bytes=100
+            ),
+        )
+        path = sample_paths(fleet_dataset, 2, 1, seed=13)[0]
+        assert engine.count(path) >= 0  # an int payload fits the budget
+        assert engine.cache_stats()["size"] == 1
+        matches = engine.locate(path)
+        assert len(matches) >= 1  # big match-tuple payload exceeds the budget
+        assert engine.cache_stats()["size"] == 1
+        assert engine.locate(path) == matches  # still correct, just uncached
+
+    def test_byte_accounting_returns_to_zero_on_invalidation(self, fleet_dataset):
+        engine = TrajectoryEngine.build(
+            fleet_dataset,
+            EngineConfig(
+                backend="partitioned-cinct",
+                sa_sample_rate=8,
+                cache_max_bytes=1 << 20,
+            ),
+        )
+        for path in sample_paths(fleet_dataset, 3, 4, seed=14):
+            engine.locate(path)
+        assert engine.cache_stats()["payload_bytes"] > 0
+        engine.add_batch([["y1", "y2", "y3"]])
+        assert engine.cache_stats()["payload_bytes"] == 0
+        assert engine.cache_stats()["size"] == 0
+
+
+class TestContainsKind:
+    """The dedicated contains plan reaches backend early-exit paths."""
+
+    @pytest.fixture()
+    def engine(self, fleet_dataset):
+        engine = TrajectoryEngine.build(
+            fleet_dataset,
+            EngineConfig(backend="partitioned-cinct", block_size=31, sa_sample_rate=8),
+        )
+        engine.add_batch(fleet_dataset.trajectories[:4])  # a second partition
+        return engine
+
+    @pytest.fixture()
+    def spy(self, engine, monkeypatch):
+        calls = {"contains": 0, "count_many": 0}
+        backend = engine.backend
+        real_contains, real_count_many = backend.contains, backend.count_many
+
+        def spy_contains(pattern):
+            calls["contains"] += 1
+            return real_contains(pattern)
+
+        def spy_count_many(patterns):
+            calls["count_many"] += 1
+            return real_count_many(patterns)
+
+        monkeypatch.setattr(backend, "contains", spy_contains)
+        monkeypatch.setattr(backend, "count_many", spy_count_many)
+        return calls
+
+    def test_contains_executes_backend_contains_not_count(
+        self, engine, fleet_dataset, spy
+    ):
+        path = sample_paths(fleet_dataset, 3, 1, seed=15)[0]
+        assert engine.contains(path)
+        assert spy == {"contains": 1, "count_many": 0}
+
+    def test_cached_count_answers_contains_without_backend(
+        self, engine, fleet_dataset, spy
+    ):
+        path = sample_paths(fleet_dataset, 3, 1, seed=16)[0]
+        count = engine.count(path)
+        assert engine.contains(path) == (count > 0)
+        assert spy["contains"] == 0  # served from the count twin in the cache
+
+    def test_same_batch_count_shares_with_contains(self, engine, fleet_dataset, spy):
+        path = sample_paths(fleet_dataset, 3, 1, seed=17)[0]
+        results = engine.run_many([ContainsQuery(path), CountQuery(path)])
+        assert results[0].found == (results[1].count > 0)
+        assert spy == {"contains": 0, "count_many": 1}
+
+    def test_contains_batch_runs_one_vectorized_pass(self, engine, fleet_dataset, spy):
+        # Several distinct contains misses become one count_many call (not a
+        # scalar loop), and the computed counts warm the count twins.
+        paths = sample_paths(fleet_dataset, 3, 4, seed=18)
+        results = engine.run_many([ContainsQuery(path) for path in paths])
+        assert spy == {"contains": 0, "count_many": 1}
+        counts = engine.count_many(paths)
+        assert spy["count_many"] == 1  # served from the cached count twins
+        assert [r.found for r in results] == [count > 0 for count in counts]
+
+    def test_partitioned_contains_encoded_short_circuits(self, engine, fleet_dataset):
+        # The any-partition short-circuit: a pattern present in the first
+        # partition must never consult the second.
+        partitioned = engine.backend.partitioned
+        consulted = []
+
+        def instrument(partition):
+            original = partition.index.contains
+
+            def spy_contains(symbols):
+                consulted.append(partition.first_trajectory_id)
+                return original(symbols)
+
+            partition.index.contains = spy_contains
+
+        for partition in partitioned.partitions():
+            instrument(partition)
+        path = list(fleet_dataset.trajectories[0].edges[:2])
+        pattern = partitioned.alphabet.encode_path(path)
+        assert partitioned.contains_encoded(pattern)
+        assert consulted == [0]
+
 
 class TestEpochs:
     def test_growth_bumps_epoch_and_invalidates(self, fleet_dataset, growth_batch):
@@ -216,7 +351,9 @@ class TestEpochs:
         engine.consolidate()
         assert engine.epoch == 2
 
-    def test_epoch_persists_at_format_version_3(self, fleet_dataset, growth_batch, tmp_path):
+    def test_epoch_persists_at_current_format_version(
+        self, fleet_dataset, growth_batch, tmp_path
+    ):
         engine = TrajectoryEngine.build(
             fleet_dataset,
             EngineConfig(backend="partitioned-cinct", block_size=31, sa_sample_rate=8),
@@ -225,7 +362,7 @@ class TestEpochs:
         engine.consolidate()
         engine.save(tmp_path / "fleet")
         document = json.loads((tmp_path / "fleet" / "engine.json").read_text(encoding="utf-8"))
-        assert document["format_version"] == 3
+        assert document["format_version"] == 4
         assert document["epoch"] == 2
         reloaded = TrajectoryEngine.load(tmp_path / "fleet")
         assert reloaded.epoch == 2
@@ -247,13 +384,18 @@ class TestEpochs:
 
 
 class TestPlanLayer:
-    def test_contains_and_count_normalize_to_one_plan(self, fleet_dataset):
+    def test_contains_plans_to_dedicated_kind_with_count_twin(self, fleet_dataset):
         engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
         planner = engine._planner
         path = sample_paths(fleet_dataset, 3, 1, seed=9)[0]
         count_plan = planner.plan(CountQuery(path)).plan
         contains_plan = planner.plan(ContainsQuery(path)).plan
-        assert count_plan == contains_plan
+        # A dedicated kind (reaching backend early-exit contains paths) whose
+        # count twin names the count plan for cache sharing.
+        assert contains_plan.kind == "contains"
+        assert contains_plan != count_plan
+        assert contains_plan.pattern == count_plan.pattern
+        assert contains_plan.count_twin() == count_plan
 
     def test_strict_path_canonicalizes_to_locate(self, fleet_dataset):
         engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
@@ -285,18 +427,31 @@ class TestPlanLayer:
     def test_optimize_groups_and_dedupes(self):
         count_a = QueryPlan("count", pattern=(2, 3))
         count_b = QueryPlan("count", pattern=(3, 4))
+        contains_a = QueryPlan("contains", pattern=(2, 3))
         locate = QueryPlan("locate", pattern=(2, 3))
         extract_4 = QueryPlan("extract", row=0, length=4)
         extract_4b = QueryPlan("extract", row=1, length=4)
         extract_2 = QueryPlan("extract", row=0, length=2)
         groups = optimize_plans(
-            [count_a, count_b, count_a, locate, extract_4, extract_4b, extract_4, extract_2]
+            [
+                count_a,
+                count_b,
+                count_a,
+                contains_a,
+                contains_a,
+                locate,
+                extract_4,
+                extract_4b,
+                extract_4,
+                extract_2,
+            ]
         )
         assert groups.count == [count_a, count_b]
+        assert groups.contains == [contains_a]
         assert groups.locate == [locate]
         assert list(groups.extract) == [4, 2]
         assert groups.extract[4] == [extract_4, extract_4b]
-        assert groups.n_plans == 6
+        assert groups.n_plans == 7
 
     def test_backends_satisfy_the_plan_executor_protocol(self, fleet_dataset):
         for backend in BACKENDS:
