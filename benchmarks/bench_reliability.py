@@ -1,0 +1,175 @@
+"""Reliability layer benchmark: policy overhead and degraded-mode latency.
+
+Pins the two costs of the fan-out reliability layer
+(:mod:`repro.engine.reliability`):
+
+* **Policy overhead on the happy path** — the same mixed count/contains
+  batch answered by a 4-shard fleet with no policy (the default no-op
+  :class:`~repro.engine.ShardPolicy`) and with a deadline + retry budget
+  armed.  With a deadline configured every attempt runs through a dedicated
+  watcher thread, so this is the honest price of enforcement; the <5%
+  overhead target is asserted at full scale (CI smoke runs at 0.05 only
+  check plumbing — thread dispatch is a fixed cost that dominates
+  microscopic batches).
+* **Degraded-mode latency under a hung shard** — one shard armed to hang
+  well past the deadline (:mod:`repro.reliability.faults`); with
+  ``degraded_results`` on, the batch must still answer in roughly one
+  deadline rather than one hang, and come back flagged with the failed
+  shard listed.
+
+Results land in ``benchmarks/BENCH_reliability.json`` through
+:func:`repro.bench.write_bench_baseline`.  Dataset size follows
+``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_PATTERNS``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import BENCH_SCALE, N_PATTERNS, get_bundle
+from repro.bench import format_table, write_bench_baseline
+from repro.engine import (
+    ContainsQuery,
+    CountQuery,
+    EngineConfig,
+    build_engine,
+    sample_paths,
+)
+from repro.reliability import faults
+
+DATASET = "Singapore"
+BLOCK_SIZE = 63
+NUM_SHARDS = 4
+PATTERN_LENGTH = 8
+N_DISTINCT = max(int(200 * min(BENCH_SCALE, 1.0)), N_PATTERNS, 10)
+#: Replays per configuration; the median wall-clock is reported.
+N_ROUNDS = 5
+#: Per-attempt deadline armed for the policy/degraded runs (seconds).
+DEADLINE = 2.0
+#: How long the hung shard sleeps — far past the deadline.
+HANG_MS = 10_000.0
+OVERHEAD_TARGET = 0.05
+
+
+def _trajectories():
+    return [list(t) for t in get_bundle(DATASET).symbol_trajectories]
+
+
+def build_fleet(**overrides):
+    return build_engine(
+        _trajectories(),
+        EngineConfig(
+            backend="cinct",
+            block_size=BLOCK_SIZE,
+            cache_size=0,  # every replay must actually fan out
+            num_shards=NUM_SHARDS,
+            **overrides,
+        ),
+    )
+
+
+def mixed_batch(paths, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(2 * len(paths)):
+        path = paths[int(rng.integers(len(paths)))]
+        queries.append(CountQuery(path) if rng.uniform() < 0.7 else ContainsQuery(path))
+    return queries
+
+
+def median_seconds(engine, batch) -> tuple[float, list]:
+    engine.run_many(batch[: max(len(batch) // 8, 1)])  # warm code paths
+    samples = []
+    results = None
+    for _ in range(N_ROUNDS):
+        started = time.perf_counter()
+        results = engine.run_many(batch)
+        samples.append(time.perf_counter() - started)
+    return float(np.median(samples)), results
+
+
+def test_reliability(report) -> None:
+    faults.clear_faults()
+    trajectories = _trajectories()
+    paths = sample_paths(trajectories, PATTERN_LENGTH, N_DISTINCT, seed=7)
+    batch = mixed_batch(paths)
+
+    # --- policy overhead on the happy path ------------------------------- #
+    bare = build_fleet()
+    assert bare.policy.is_noop
+    bare_seconds, bare_results = median_seconds(bare, batch)
+
+    policed = build_fleet(shard_deadline=DEADLINE, shard_retries=2)
+    assert not policed.policy.is_noop
+    policed_seconds, policed_results = median_seconds(policed, batch)
+    assert policed_results == bare_results  # the policy never changes answers
+
+    overhead = policed_seconds / bare_seconds - 1.0
+
+    # --- degraded-mode latency under one hung shard ----------------------- #
+    degraded_engine = build_fleet(
+        shard_deadline=0.25, degraded_results=True
+    )
+    hang_shard = 1
+    with faults.shard_fault(hang_shard, "hang", delay_ms=HANG_MS):
+        started = time.perf_counter()
+        degraded_results = degraded_engine.run_many(batch)
+        degraded_seconds = time.perf_counter() - started
+    flagged = [r for r in degraded_results if r.degraded]
+    assert flagged, "a hung shard must flag the merged results"
+    assert all(r.failed_shards == (hang_shard,) for r in flagged)
+    # The batch answers in deadline time, not hang time.
+    assert degraded_seconds < HANG_MS / 1e3 / 2, (
+        f"degraded batch took {degraded_seconds:.2f}s — the hang leaked through"
+    )
+
+    rows = [
+        {
+            "configuration": "no policy",
+            "batch (ms)": round(bare_seconds * 1e3, 2),
+        },
+        {
+            "configuration": f"deadline {DEADLINE:g}s + 2 retries",
+            "batch (ms)": round(policed_seconds * 1e3, 2),
+        },
+        {
+            "configuration": "degraded (1 shard hung)",
+            "batch (ms)": round(degraded_seconds * 1e3, 2),
+        },
+    ]
+    table = format_table(rows, title=f"{DATASET} — fan-out reliability")
+    report.add(
+        "Reliability (policy overhead, degraded merges)",
+        table + f"\npolicy overhead: {overhead:+.1%} (target < {OVERHEAD_TARGET:.0%})",
+    )
+
+    write_bench_baseline(
+        "reliability",
+        {
+            "scale": BENCH_SCALE,
+            "dataset": DATASET,
+            "cpu_count": os.cpu_count() or 1,
+            "num_shards": NUM_SHARDS,
+            "n_patterns": N_DISTINCT,
+            "batch_queries": len(batch),
+            "bare_seconds": bare_seconds,
+            "policed_seconds": policed_seconds,
+            "policy_overhead": overhead,
+            "degraded_seconds": degraded_seconds,
+            "deadline_seconds": DEADLINE,
+            "hang_ms": HANG_MS,
+        },
+        directory=Path(__file__).parent,
+    )
+    assert (Path(__file__).parent / "BENCH_reliability.json").exists()
+
+    # Thread dispatch per attempt is a fixed cost; only a full-scale batch
+    # amortises it enough for the percentage target to be meaningful.
+    if BENCH_SCALE >= 1.0:
+        assert overhead < OVERHEAD_TARGET, (
+            f"reliability policy costs {overhead:.1%} on the happy path"
+        )

@@ -54,9 +54,11 @@ from .exceptions import (
     AlphabetError,
     ConstructionError,
     DatasetError,
+    IndexCorruptionError,
     NetworkError,
     QueryError,
     ReproError,
+    ShardExecutionError,
 )
 from .fmindex import (
     AlphabetPartitionedFMIndex,
@@ -170,4 +172,6 @@ __all__ = [
     "AlphabetError",
     "DatasetError",
     "NetworkError",
+    "IndexCorruptionError",
+    "ShardExecutionError",
 ]

@@ -79,6 +79,46 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="bound on the sharded fan-out thread pool (default: min(shards, CPUs))",
     )
+    _add_reliability_arguments(parser)
+
+
+def _add_reliability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=None,
+        help="seconds one per-shard fan-out attempt may run before timing out",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=None,
+        help="extra fan-out attempts per shard after a retryable failure",
+    )
+    parser.add_argument(
+        "--degraded-results",
+        action="store_true",
+        help="merge surviving shards when a shard fails (results flagged degraded)",
+    )
+
+
+def _apply_reliability_overrides(engine, args: argparse.Namespace) -> None:
+    """Apply query-time reliability flags to a freshly loaded fleet."""
+    wants_override = (
+        args.shard_deadline is not None
+        or args.shard_retries is not None
+        or args.degraded_results
+    )
+    if not wants_override:
+        return
+    if not hasattr(engine, "configure_reliability"):
+        # Single-engine index: there is no fan-out to police.
+        return
+    engine.configure_reliability(
+        deadline=args.shard_deadline,
+        retries=args.shard_retries,
+        degraded_results=True if args.degraded_results else None,
+    )
 
 
 def _load_trajectories(args: argparse.Namespace):
@@ -105,6 +145,9 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         sa_sample_rate=args.sa_sample_rate,
         num_shards=args.num_shards,
         shard_workers=args.shard_workers,
+        shard_deadline=args.shard_deadline,
+        shard_retries=args.shard_retries or 0,
+        degraded_results=bool(args.degraded_results),
     )
 
 
@@ -153,6 +196,7 @@ def _command_query(args: argparse.Namespace) -> int:
         # A directory written by the legacy save_cinct format.
         return _query_legacy(args, path)
     engine = load_index(index_dir)
+    _apply_reliability_overrides(engine, args)
     if args.no_cache:
         engine.disable_cache()
     started = time.perf_counter()
@@ -184,6 +228,14 @@ def _command_query(args: argparse.Namespace) -> int:
             f"evictions={stats['evictions']})"
         )
         print(f"epoch     : {engine.epoch}")
+        health = engine.health()
+        print(
+            f"health    : {health['status']} "
+            f"({health['failing_shards']}/{health['num_shards']} shards failing)"
+        )
+        if "policy" in health:
+            print(f"policy    : {health['policy']}")
+            print(f"degraded  : {'on' if health['degraded_results'] else 'off'}")
     if matches is not None:
         for match in matches[:10]:
             window = ""
@@ -309,8 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--verbose",
         action="store_true",
-        help="also print result-cache statistics and the growth epoch",
+        help="also print result-cache statistics, the growth epoch, and engine health",
     )
+    _add_reliability_arguments(query)
     query.add_argument("path", nargs="+", help="road segments of the query path, in travel order")
     query.set_defaults(handler=_command_query)
 

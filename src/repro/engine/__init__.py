@@ -37,6 +37,13 @@ from .executor import (
     optimize_plans,
 )
 from .plan import ALL_SHARDS, PlannedQuery, QueryPlan, QueryPlanner
+from .reliability import (
+    ShardAttempt,
+    ShardHealth,
+    ShardPolicy,
+    ShardTimeoutError,
+    run_shard_attempts,
+)
 from .sharding import ShardRouter, ShardedTrajectoryEngine, build_engine
 from .queries import (
     ContainsQuery,
@@ -62,6 +69,12 @@ __all__ = [
     "ShardRouter",
     "ShardedTrajectoryEngine",
     "build_engine",
+    # reliability layer
+    "ShardPolicy",
+    "ShardAttempt",
+    "ShardHealth",
+    "ShardTimeoutError",
+    "run_shard_attempts",
     # registry
     "BackendSpec",
     "register_backend",

@@ -67,6 +67,23 @@ class EngineConfig:
         Bound on the fleet layer's fan-out thread pool.  ``None`` (default)
         uses ``min(num_shards, cpu_count)`` workers; ``1`` forces sequential
         fan-out.  Ignored by unsharded engines.
+    shard_deadline:
+        Seconds one per-shard fan-out attempt may run before it is abandoned
+        with a timeout (and retried if budget remains).  ``None`` (default)
+        disables deadline enforcement.  Ignored by unsharded engines.
+    shard_retries:
+        Extra fan-out attempts per shard after the first fails with a
+        retryable error (timeout or unexpected backend exception), with
+        exponential backoff and jitter between attempts.  ``0`` (default)
+        fails on the first error.  Ignored by unsharded engines.
+    degraded_results:
+        When ``True``, a shard that exhausts its retry budget is dropped and
+        the surviving shards' answers are merged into results flagged
+        ``degraded=True`` with the failed shards listed — callers can
+        distinguish partial from complete answers.  ``False`` (default)
+        fails fast with one :class:`~repro.exceptions.ShardExecutionError`
+        naming the shard and its attempt history.  Ignored by unsharded
+        engines.
     """
 
     backend: str = DEFAULT_BACKEND
@@ -79,6 +96,9 @@ class EngineConfig:
     cache_max_bytes: int | None = None
     num_shards: int = 1
     shard_workers: int | None = None
+    shard_deadline: float | None = None
+    shard_retries: int = 0
+    degraded_results: bool = False
 
     def __post_init__(self) -> None:
         if not self.backend or not str(self.backend).strip():
@@ -108,6 +128,14 @@ class EngineConfig:
         if self.shard_workers is not None and self.shard_workers < 1:
             raise ConstructionError(
                 f"shard_workers must be at least 1 when given, got {self.shard_workers}"
+            )
+        if self.shard_deadline is not None and self.shard_deadline <= 0:
+            raise ConstructionError(
+                f"shard_deadline must be positive when given, got {self.shard_deadline}"
+            )
+        if self.shard_retries < 0:
+            raise ConstructionError(
+                f"shard_retries must be non-negative, got {self.shard_retries}"
             )
 
     def as_dict(self) -> dict[str, object]:

@@ -384,6 +384,26 @@ class TrajectoryEngine(ScalarQueryAPI):
         """
         self._cache.disable()
 
+    def health(self) -> dict[str, object]:
+        """Single-engine health: the unsharded counterpart of the fleet's
+        :meth:`~repro.engine.sharding.ShardedTrajectoryEngine.health`.
+
+        A monolithic engine has no fan-out to fail partially, so its status
+        is always ``"ok"``; the surface exists so callers (the CLI's
+        ``query --verbose``, the future service tier) can poll one shape
+        regardless of the engine class.
+        """
+        return {
+            "engine": "single",
+            "status": "ok",
+            "num_shards": 1,
+            "failing_shards": 0,
+            "degraded_results": False,
+            "epoch": self._epoch,
+            "n_trajectories": self.n_trajectories,
+            "cache": self.cache_stats(),
+        }
+
     @property
     def temporal(self) -> TemporalIndex | None:
         """The temporal companion index (``None`` when disabled/unavailable)."""

@@ -103,6 +103,12 @@ class CountResult:
 
     query: CountQuery
     count: int
+    #: ``True`` when a failed shard was dropped from this answer (only with
+    #: ``EngineConfig.degraded_results``); the shards dropped are listed in
+    #: :attr:`failed_shards`.  Complete answers carry the defaults, so
+    #: equality with non-degraded results is unaffected.
+    degraded: bool = False
+    failed_shards: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -111,6 +117,8 @@ class ContainsResult:
 
     query: ContainsQuery
     found: bool
+    degraded: bool = False
+    failed_shards: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -119,6 +127,8 @@ class LocateResult:
 
     query: LocateQuery
     matches: tuple[StrictPathMatch, ...] = field(default=())
+    degraded: bool = False
+    failed_shards: tuple[int, ...] = ()
 
     @property
     def count(self) -> int:
@@ -142,6 +152,8 @@ class ExtractResult:
     query: ExtractQuery
     symbols: tuple[int, ...]
     edges: tuple[Hashable, ...]
+    degraded: bool = False
+    failed_shards: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -150,6 +162,8 @@ class StrictPathResult:
 
     query: StrictPathQuery
     matches: tuple[StrictPathMatch, ...] = field(default=())
+    degraded: bool = False
+    failed_shards: tuple[int, ...] = ()
 
     @property
     def count(self) -> int:

@@ -38,6 +38,7 @@ per-shard BWT row spaces** (shard 0's rows first, then shard 1's, ...); with
 
 from __future__ import annotations
 
+import random
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from itertools import accumulate
@@ -45,8 +46,14 @@ import os
 import weakref
 from typing import Hashable, Iterable, Sequence
 
-from ..exceptions import EMPTY_INDEX_MESSAGE, ConstructionError, QueryError
+from ..exceptions import (
+    EMPTY_INDEX_MESSAGE,
+    ConstructionError,
+    QueryError,
+    ShardExecutionError,
+)
 from ..queries.strict_path import StrictPathMatch
+from ..reliability import faults
 from ..strings.alphabet import Alphabet
 from ..trajectories.model import Trajectory, TrajectoryDataset
 from .config import EngineConfig
@@ -57,6 +64,12 @@ from .engine import (
     validate_monotonic_timestamps,
 )
 from .plan import KIND_EXTRACT, QueryPlan, QueryPlanner
+from .reliability import (
+    ShardHealth,
+    ShardPolicy,
+    attempt_from_error,
+    run_shard_attempts,
+)
 from .queries import (
     ContainsQuery,
     ContainsResult,
@@ -227,6 +240,9 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             self._store_view,  # type: ignore[arg-type]
         )
         self._pool: ThreadPoolExecutor | None = None
+        self._policy = ShardPolicy.from_config(config)
+        self._health = ShardHealth(config.num_shards)
+        self._rng = random.Random()  # backoff jitter only; never affects answers
 
     # ------------------------------------------------------------------ #
     # construction
@@ -407,6 +423,71 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             shard.disable_cache()
 
     @property
+    def policy(self) -> ShardPolicy:
+        """The per-shard execution policy the fan-out runs under."""
+        return self._policy
+
+    def configure_reliability(
+        self,
+        *,
+        deadline: float | None = None,
+        retries: int | None = None,
+        degraded_results: bool | None = None,
+    ) -> None:
+        """Override fan-out reliability knobs on a live fleet.
+
+        The query-time counterpart of the build-time
+        :class:`~repro.engine.config.EngineConfig` fields (a reloaded index
+        carries the config it was built with; the CLI's ``query`` flags land
+        here).  ``None`` leaves a knob unchanged; validation runs through the
+        config's own ``__post_init__``.
+        """
+        updates: dict[str, object] = {}
+        if deadline is not None:
+            updates["shard_deadline"] = deadline
+        if retries is not None:
+            updates["shard_retries"] = retries
+        if degraded_results is not None:
+            updates["degraded_results"] = degraded_results
+        if not updates:
+            return
+        self._config = replace(self._config, **updates)
+        self._policy = ShardPolicy.from_config(self._config)
+
+    def health(self) -> dict[str, object]:
+        """Fleet health: per-shard status, failure streaks, epochs, caches.
+
+        The surface a service tier polls to decide routing/alerting: each
+        shard row carries its reliability counters (from the fan-out's
+        success/failure bookkeeping), its growth epoch, population, and its
+        result-cache stats; the top level echoes the active policy and
+        whether degraded merges are enabled.
+        """
+        rows: list[dict[str, object]] = []
+        for shard_id, (shard, stats) in enumerate(
+            zip(self._shards, self._health.snapshot())
+        ):
+            row: dict[str, object] = {"shard": shard_id}
+            row.update(stats)
+            row["populated"] = shard is not None
+            row["epoch"] = 0 if shard is None else shard.epoch
+            row["n_trajectories"] = 0 if shard is None else shard.n_trajectories
+            row["cache"] = None if shard is None else shard.cache_stats()
+            rows.append(row)
+        failing = sum(1 for row in rows if row["status"] == "failing")
+        return {
+            "engine": "sharded",
+            "status": "failing" if failing else "ok",
+            "num_shards": self.num_shards,
+            "failing_shards": failing,
+            "degraded_results": self._config.degraded_results,
+            "policy": self._policy.describe(),
+            "epoch": self.epoch,
+            "n_trajectories": self.n_trajectories,
+            "shards": rows,
+        }
+
+    @property
     def timestamp_store(self) -> _FleetTimestampView:
         """Fleet-wide aggregate view over the shards' timestamp stores."""
         return self._store_view
@@ -458,11 +539,22 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
         for trajectory in edges:
             for edge in trajectory:
                 self._alphabet.add(edge)
-        for shard, batch in zip(self._shards, assigned):
+        for shard_id, (shard, batch) in enumerate(zip(self._shards, assigned)):
             if not batch:
                 continue
             assert shard is not None  # growth backends materialise all shards
-            shard.add_batch([Trajectory(edges=e, timestamps=t) for e, t in batch])
+            try:
+                shard.add_batch(
+                    [Trajectory(edges=e, timestamps=t) for e, t in batch]
+                )
+            except Exception as error:
+                # The batch was validated up front, so this is a backend
+                # fault mid-growth: name the shard (earlier shards in the
+                # loop have already grown; the error makes that auditable).
+                self._health.record_failure(shard_id, error)
+                raise ShardExecutionError(
+                    shard_id, "add_batch", (attempt_from_error(error),)
+                ) from error
 
     def consolidate(self) -> None:
         """Consolidate every populated shard's partitions (fleet-wide)."""
@@ -476,9 +568,16 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             raise ConstructionError(
                 "nothing to consolidate: no trajectories were added"
             )
-        for shard in self._present_shards():
-            if shard.n_trajectories > 0:
+        for shard_id, shard in enumerate(self._shards):
+            if shard is None or shard.n_trajectories == 0:
+                continue
+            try:
                 shard.consolidate()
+            except Exception as error:
+                self._health.record_failure(shard_id, error)
+                raise ShardExecutionError(
+                    shard_id, "consolidate", (attempt_from_error(error),)
+                ) from error
 
     # ------------------------------------------------------------------ #
     # typed query API (plan globally, fan out, merge; scalar helpers come
@@ -521,9 +620,9 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
                 entry_refs.append((shard_id, len(shard_batches[shard_id])))
                 shard_batches[shard_id].append(localised)
             refs.append(entry_refs)
-        shard_results = self._fan_out(shard_batches)
+        shard_results, failed_shards = self._fan_out(shard_batches)
         return [
-            self._merge(entry.query, entry_refs, shard_results)
+            self._merge(entry.query, entry_refs, shard_results, failed_shards)
             for entry, entry_refs in zip(planned, refs)
         ]
 
@@ -576,40 +675,109 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
     # ------------------------------------------------------------------ #
     # fan-out / merge
     # ------------------------------------------------------------------ #
+    def _call_shard(self, shard_id: int, batch: list[EngineQuery]) -> list[EngineResult]:
+        """One fan-out attempt on one shard (the fault-injection point)."""
+        faults.maybe_inject_shard_fault(shard_id)
+        return self._shards[shard_id].run_many(batch)  # type: ignore[union-attr]
+
+    def _run_shard(self, shard_id: int, batch: list[EngineQuery]) -> list[EngineResult]:
+        """Execute one shard's sub-batch under the engine's reliability policy."""
+        return run_shard_attempts(
+            shard_id,
+            lambda: self._call_shard(shard_id, batch),
+            self._policy,
+            operation="fan-out",
+            rng=self._rng,
+        )
+
     def _fan_out(
         self, shard_batches: list[list[EngineQuery]]
-    ) -> dict[int, list[EngineResult]]:
-        """Run every non-empty per-shard batch, concurrently when it pays."""
+    ) -> tuple[dict[int, list[EngineResult]], frozenset[int]]:
+        """Run every non-empty per-shard batch, concurrently when it pays.
+
+        Each sub-batch runs under the engine's :class:`ShardPolicy` (deadline,
+        bounded retries).  Returns the surviving shards' results plus the set
+        of shards that exhausted their budget — non-empty only when
+        ``EngineConfig.degraded_results`` is on; the default configuration
+        fails fast by re-raising the first (lowest shard id) canonical
+        :class:`~repro.exceptions.ShardExecutionError`.
+        """
         jobs = [
             (shard_id, batch)
             for shard_id, batch in enumerate(shard_batches)
             if batch
         ]
+        shard_results: dict[int, list[EngineResult]] = {}
+        failures: dict[int, ShardExecutionError] = {}
         if len(jobs) <= 1 or self._max_workers() == 1:
-            return {
-                shard_id: self._shards[shard_id].run_many(batch)  # type: ignore[union-attr]
+            for shard_id, batch in jobs:
+                try:
+                    shard_results[shard_id] = self._run_shard(shard_id, batch)
+                except ShardExecutionError as error:
+                    failures[shard_id] = error
+                    if not self._config.degraded_results:
+                        break  # fail fast; later shards are not consulted
+        else:
+            pool = self._ensure_pool()
+            futures = {
+                shard_id: pool.submit(self._run_shard, shard_id, batch)
                 for shard_id, batch in jobs
             }
-        pool = self._ensure_pool()
-        futures = {
-            shard_id: pool.submit(self._shards[shard_id].run_many, batch)  # type: ignore[union-attr]
-            for shard_id, batch in jobs
-        }
-        return {shard_id: future.result() for shard_id, future in futures.items()}
+            for shard_id, future in futures.items():
+                try:
+                    shard_results[shard_id] = future.result()
+                except ShardExecutionError as error:
+                    failures[shard_id] = error
+        for shard_id in shard_results:
+            self._health.record_success(shard_id)
+        for shard_id, error in failures.items():
+            self._health.record_failure(shard_id, error)
+        if failures and not self._config.degraded_results:
+            raise failures[min(failures)]
+        return shard_results, frozenset(failures)
 
     def _merge(
         self,
         query: EngineQuery,
         refs: list[tuple[int, int]],
         shard_results: dict[int, list[EngineResult]],
+        failed_shards: frozenset[int],
     ) -> EngineResult:
-        """Combine per-shard answers into the global result for one query."""
+        """Combine per-shard answers into the global result for one query.
+
+        With ``degraded_results`` on and one or more of this query's target
+        shards failed, the surviving shards' answers are merged anyway and
+        the result is flagged ``degraded=True`` with those shards listed —
+        an extraction routed to a failed shard has no surviving data and
+        comes back empty (but flagged).
+        """
+        dropped: tuple[int, ...] = ()
+        if failed_shards:
+            dropped = tuple(
+                sorted({shard_id for shard_id, _ in refs} & failed_shards)
+            )
+            refs = [(s, i) for s, i in refs if s not in failed_shards]
+        degraded = bool(dropped)
         results = [shard_results[shard_id][index] for shard_id, index in refs]
         if isinstance(query, CountQuery):
-            return CountResult(query, sum(r.count for r in results))  # type: ignore[union-attr]
+            return CountResult(
+                query,
+                sum(r.count for r in results),  # type: ignore[union-attr]
+                degraded=degraded,
+                failed_shards=dropped,
+            )
         if isinstance(query, ContainsQuery):
-            return ContainsResult(query, any(r.found for r in results))  # type: ignore[union-attr]
+            return ContainsResult(
+                query,
+                any(r.found for r in results),  # type: ignore[union-attr]
+                degraded=degraded,
+                failed_shards=dropped,
+            )
         if isinstance(query, ExtractQuery):
+            if not refs:  # the single owning shard failed (degraded mode)
+                return ExtractResult(
+                    query, (), (), degraded=True, failed_shards=dropped
+                )
             ((shard_id, _),) = refs
             (routed,) = results
             assert isinstance(routed, ExtractResult)
@@ -618,9 +786,13 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             )
         matches = self._merge_matches(refs, results)
         if isinstance(query, LocateQuery):
-            return LocateResult(query, matches)
+            return LocateResult(
+                query, matches, degraded=degraded, failed_shards=dropped
+            )
         assert isinstance(query, StrictPathQuery)
-        return StrictPathResult(query, matches)
+        return StrictPathResult(
+            query, matches, degraded=degraded, failed_shards=dropped
+        )
 
     def _globalise_symbols(
         self, shard_id: int, symbols: tuple[int, ...]

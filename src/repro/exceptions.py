@@ -56,3 +56,44 @@ class DatasetError(ReproError):
 
 class NetworkError(ReproError):
     """Raised for invalid road-network operations (unknown edges, no path, ...)."""
+
+
+class IndexCorruptionError(DatasetError):
+    """Raised when a persisted index fails integrity verification on load.
+
+    Torn writes, truncated/corrupted ``.npz`` archives, and shard
+    subdirectories missing from a manifest all surface as this one error,
+    whose message names the offending artefact.  It subclasses
+    :class:`DatasetError` so callers already catching load failures keep
+    working.
+    """
+
+
+class ShardExecutionError(ReproError):
+    """A shard operation failed after exhausting its retry budget.
+
+    Carries the shard id, the operation that failed (``"fan-out"``,
+    ``"add_batch"``, ``"consolidate"``), and the per-attempt history (any
+    objects with a useful ``str()``, typically
+    :class:`repro.engine.reliability.ShardAttempt` records), so one canonical
+    error names the shard instead of a bare backend traceback surfacing
+    mid-batch.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        operation: str = "fan-out",
+        attempts: tuple = (),
+    ):
+        self.shard_id = int(shard_id)
+        self.operation = operation
+        self.attempts = tuple(attempts)
+        detail = "; ".join(str(attempt) for attempt in self.attempts)
+        message = (
+            f"shard {self.shard_id} failed during {operation} "
+            f"after {max(len(self.attempts), 1)} attempt(s)"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)

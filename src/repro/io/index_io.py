@@ -28,7 +28,11 @@ Two generations of index persistence live here:
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import shutil
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Hashable
@@ -36,7 +40,13 @@ from typing import TYPE_CHECKING, Hashable
 import numpy as np
 
 from ..core.cinct import CiNCT
-from ..exceptions import ConstructionError, DatasetError
+from ..exceptions import (
+    ConstructionError,
+    DatasetError,
+    IndexCorruptionError,
+    ReproError,
+)
+from ..reliability import faults
 from ..strings.alphabet import Alphabet
 from ..strings.bwt import BWTResult
 from ..strings.trajectory_string import TrajectoryString
@@ -52,12 +62,29 @@ _FORMAT_VERSION = 1
 #: engine's growth ``epoch`` (the result-cache invalidation counter bumped by
 #: ``add_batch``/``consolidate``); version 4 adds the sharded fleet layout —
 #: a top-level shard manifest (``"shards"`` key) whose entries name per-shard
-#: subdirectories, each holding an ordinary single-engine document.  All four
-#: versions load; v1–v3 documents (and v4 documents without a manifest) come
-#: back as a single unsharded engine, documents without an epoch at epoch 0.
-_ENGINE_FORMAT_VERSION = 4
-_SUPPORTED_ENGINE_VERSIONS = frozenset({1, 2, 3, 4})
+#: subdirectories, each holding an ordinary single-engine document; version 5
+#: adds crash safety and integrity: saves stage into a ``.tmp-<pid>`` sibling
+#: directory promoted wholesale via rename, and ``engine.json`` carries a
+#: ``"manifest"`` of per-artefact SHA-256 checksums and byte sizes that
+#: :func:`load_index` verifies, raising
+#: :class:`~repro.exceptions.IndexCorruptionError` naming any torn artefact.
+#: All five versions load; v1–v4 documents load without checksum
+#: verification and come back at their recorded (or zero) epoch.
+_ENGINE_FORMAT_VERSION = 5
+_SUPPORTED_ENGINE_VERSIONS = frozenset({1, 2, 3, 4, 5})
 _TIMESTAMP_ARCHIVE = "timestamps.npz"
+_ENGINE_DOCUMENT = "engine.json"
+
+#: Exceptions a torn/truncated ``.npz`` (or json) artefact can raise when
+#: parsed; the persistence layer normalizes every one of them into
+#: :class:`IndexCorruptionError` naming the artefact.
+_ARTEFACT_PARSE_ERRORS = (
+    zipfile.BadZipFile,
+    OSError,
+    EOFError,
+    KeyError,
+    ValueError,
+)
 
 
 # --------------------------------------------------------------------------- #
@@ -84,19 +111,28 @@ def load_bwt_result(path: str | Path) -> BWTResult:
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"BWT archive not found: {path}")
-    with np.load(path) as archive:
-        version = int(archive["format_version"][0])
-        if version != _FORMAT_VERSION:
-            raise ConstructionError(
-                f"unsupported BWT archive version {version} (expected {_FORMAT_VERSION})"
+    try:
+        with np.load(path) as archive:
+            version = int(archive["format_version"][0])
+            if version != _FORMAT_VERSION:
+                raise ConstructionError(
+                    f"unsupported BWT archive version {version} (expected {_FORMAT_VERSION})"
+                )
+            return BWTResult(
+                text=archive["text"].astype(np.int64),
+                bwt=archive["bwt"].astype(np.int64),
+                suffix_array=archive["suffix_array"].astype(np.int64),
+                counts=archive["counts"].astype(np.int64),
+                c_array=archive["c_array"].astype(np.int64),
             )
-        return BWTResult(
-            text=archive["text"].astype(np.int64),
-            bwt=archive["bwt"].astype(np.int64),
-            suffix_array=archive["suffix_array"].astype(np.int64),
-            counts=archive["counts"].astype(np.int64),
-            c_array=archive["c_array"].astype(np.int64),
-        )
+    except _ARTEFACT_PARSE_ERRORS as error:
+        # A torn/truncated archive surfaces as BadZipFile / KeyError /
+        # ValueError depending on where the bytes were cut; normalize all of
+        # them into the one canonical corruption error naming the artefact.
+        raise IndexCorruptionError(
+            f"index artefact {path.name!r} is corrupt or truncated "
+            f"({type(error).__name__}: {error}) at {path}"
+        ) from error
 
 
 # --------------------------------------------------------------------------- #
@@ -219,8 +255,50 @@ def load_cinct(directory: str | Path) -> SavedIndex:
 
 
 # --------------------------------------------------------------------------- #
-# universal engine persistence (registry-dispatched)
+# universal engine persistence (registry-dispatched, crash-safe)
 # --------------------------------------------------------------------------- #
+def _sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _manifest_of(directory: Path, files: list[Path]) -> dict[str, dict[str, object]]:
+    """Per-artefact integrity records, keyed by path relative to the index."""
+    manifest: dict[str, dict[str, object]] = {}
+    for path in sorted(files):
+        manifest[path.relative_to(directory).as_posix()] = {
+            "sha256": _sha256_of(path),
+            "bytes": path.stat().st_size,
+        }
+    return manifest
+
+
+def _verify_manifest(directory: Path, manifest: dict) -> None:
+    """Check every manifest entry; raise naming the first torn artefact."""
+    for name, entry in manifest.items():
+        path = directory / name
+        if not path.exists():
+            raise IndexCorruptionError(
+                f"index artefact {name!r} is missing from {directory}"
+            )
+        expected_bytes = int(entry["bytes"])
+        actual_bytes = path.stat().st_size
+        if actual_bytes != expected_bytes:
+            raise IndexCorruptionError(
+                f"index artefact {name!r} is truncated or padded "
+                f"(expected {expected_bytes} bytes, found {actual_bytes}) "
+                f"at {directory}"
+            )
+        if _sha256_of(path) != str(entry["sha256"]):
+            raise IndexCorruptionError(
+                f"index artefact {name!r} failed SHA-256 verification "
+                f"at {directory}"
+            )
+
+
 def save_index(
     engine: "TrajectoryEngine | ShardedTrajectoryEngine", directory: str | Path
 ) -> Path:
@@ -237,20 +315,81 @@ def save_index(
     :func:`repro.engine.register_backend` round-trips without touching this
     module.
 
+    Saves are **crash-safe**: everything is written into a
+    ``<name>.tmp-<pid>`` sibling directory first and promoted into place by
+    directory rename only once complete, so a crash at any artefact-write
+    boundary leaves a previously saved index bit-identically loadable.  The
+    promote replaces the target directory *wholesale* — artefacts from an
+    earlier save with a different layout (more shards, more partitions)
+    cannot linger.  ``engine.json`` carries a ``"manifest"`` of per-artefact
+    SHA-256 checksums and byte sizes (format v5) that :func:`load_index`
+    verifies.
+
     A :class:`~repro.engine.sharding.ShardedTrajectoryEngine` persists as a
     top-level shard manifest (``engine.json`` with a ``"shards"`` list and
     the global alphabet) plus one ``shard_NN`` subdirectory per populated
-    shard, each written through this very function — so every shard
-    directory is itself a loadable single-engine index.
+    shard, each itself a loadable single-engine index; the fleet manifest
+    checksums each shard's ``engine.json``, whose own manifest covers that
+    shard's artefacts.
+    """
+    directory = Path(directory)
+    if not directory.name:  # e.g. Path(".") — rename needs a real leaf name
+        directory = directory.resolve()
+    directory.parent.mkdir(parents=True, exist_ok=True)
+    staging = directory.parent / f"{directory.name}.tmp-{os.getpid()}"
+    if staging.exists():  # a stale staging dir from a crashed previous save
+        shutil.rmtree(staging)
+    try:
+        _write_index(engine, staging)
+        _promote(staging, directory)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return directory
+
+
+def _promote(staging: Path, directory: Path) -> None:
+    """Atomically swap the fully written staging directory into place.
+
+    ``os.replace`` cannot overwrite a non-empty directory, so an existing
+    index is renamed aside first and removed after the swap; every artefact
+    write happened inside ``staging``, so no crash point here can tear the
+    index itself (the narrow rename-aside window can at worst leave the new
+    index under the retired name, never a half-written mixture).
+    """
+    if directory.exists():
+        retired = directory.parent / f"{directory.name}.tmp-{os.getpid()}-old"
+        if retired.exists():
+            shutil.rmtree(retired)
+        os.rename(directory, retired)
+        os.rename(staging, directory)
+        shutil.rmtree(retired)
+    else:
+        os.rename(staging, directory)
+
+
+def _write_index(
+    engine: "TrajectoryEngine | ShardedTrajectoryEngine",
+    directory: Path,
+    stage_prefix: str = "",
+) -> None:
+    """Write one engine's complete artefact set + manifest into ``directory``.
+
+    ``stage_prefix`` namespaces the crash-injection stages
+    (:func:`repro.reliability.faults.maybe_crash_save`) so tests can target
+    a boundary inside a specific shard (``"shard_01/backend"``).
     """
     from ..engine.sharding import ShardedTrajectoryEngine
 
-    directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     if isinstance(engine, ShardedTrajectoryEngine):
-        return _save_sharded(engine, directory)
+        _write_sharded(engine, directory, stage_prefix)
+        return
     backend_meta = engine.backend.save_state(directory)
+    faults.maybe_crash_save(f"{stage_prefix}backend")
     engine.timestamp_store.save(directory / _TIMESTAMP_ARCHIVE)
+    faults.maybe_crash_save(f"{stage_prefix}timestamps")
+    artefacts = [path for path in directory.rglob("*") if path.is_file()]
     document: dict[str, object] = {
         "format_version": _ENGINE_FORMAT_VERSION,
         "backend": engine.backend_name,
@@ -259,22 +398,27 @@ def save_index(
         "timestamps_file": _TIMESTAMP_ARCHIVE,
         "epoch": int(engine.epoch),
         "backend_meta": backend_meta,
+        "manifest": _manifest_of(directory, artefacts),
     }
-    with (directory / "engine.json").open("w", encoding="utf-8") as handle:
+    with (directory / _ENGINE_DOCUMENT).open("w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
-    return directory
+    faults.maybe_crash_save(f"{stage_prefix}document")
 
 
-def _save_sharded(engine: "ShardedTrajectoryEngine", directory: Path) -> Path:
-    """Write the format-v4 sharded layout: manifest + per-shard subdirectories."""
+def _write_sharded(
+    engine: "ShardedTrajectoryEngine", directory: Path, stage_prefix: str
+) -> None:
+    """Write the sharded layout: fleet manifest + per-shard subdirectories."""
     shard_dirs: list[str | None] = []
+    shard_documents: list[Path] = []
     for shard_id, shard in enumerate(engine.shards):
         if shard is None:
             shard_dirs.append(None)  # a shard the router never populated
             continue
         name = f"shard_{shard_id:02d}"
-        save_index(shard, directory / name)
+        _write_index(shard, directory / name, stage_prefix=f"{stage_prefix}{name}/")
         shard_dirs.append(name)
+        shard_documents.append(directory / name / _ENGINE_DOCUMENT)
     document: dict[str, object] = {
         "format_version": _ENGINE_FORMAT_VERSION,
         "backend": engine.backend_name,
@@ -282,22 +426,32 @@ def _save_sharded(engine: "ShardedTrajectoryEngine", directory: Path) -> Path:
         "alphabet": _alphabet_to_json(engine.alphabet),
         "num_shards": engine.num_shards,
         "shards": shard_dirs,
+        # Chain of trust: the fleet document checksums each shard's
+        # engine.json; the shard documents' own manifests cover their
+        # artefacts, so every file is hashed exactly once.
+        "manifest": _manifest_of(directory, shard_documents),
     }
-    with (directory / "engine.json").open("w", encoding="utf-8") as handle:
+    with (directory / _ENGINE_DOCUMENT).open("w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
-    return directory
+    faults.maybe_crash_save(f"{stage_prefix}document")
 
 
 def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEngine":
     """Reload an engine persisted by :func:`save_index` (any backend).
 
-    Every engine document generation loads: version 4 shard manifests come
+    Every engine document generation loads: version 4+ shard manifests come
     back as a :class:`~repro.engine.sharding.ShardedTrajectoryEngine` (each
     shard subdirectory reloaded through this function), v1–v3 documents (and
-    v4 documents without a manifest) as a single unsharded engine — version 2
-    reads the compressed ``timestamps.npz`` artefact, version 1 (legacy) the
-    raw timestamp lists embedded in ``engine.json``.  Directories written by
-    the legacy :func:`save_cinct` are detected and rejected with a pointer to
+    v4 documents without a shard list) as a single unsharded engine —
+    version 2 reads the compressed ``timestamps.npz`` artefact, version 1
+    (legacy) the raw timestamp lists embedded in ``engine.json``.  Version-5
+    documents carry an artefact ``manifest`` that is verified (existence,
+    byte size, SHA-256) before anything is parsed; any mismatch, missing
+    artefact or torn archive raises
+    :class:`~repro.exceptions.IndexCorruptionError` naming the offending
+    file.  Older documents load unchecksummed and upgrade to v5 on the next
+    :func:`save_index`.  Directories written by the legacy
+    :func:`save_cinct` are detected and rejected with a pointer to
     :func:`load_cinct`.
     """
     from ..engine.config import EngineConfig
@@ -306,7 +460,7 @@ def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEn
     from ..temporal.store import TimestampStore
 
     directory = Path(directory)
-    document_path = directory / "engine.json"
+    document_path = directory / _ENGINE_DOCUMENT
     if not document_path.exists():
         if (directory / "index.json").exists():
             raise DatasetError(
@@ -314,22 +468,54 @@ def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEn
                 "repro.load_cinct instead"
             )
         raise DatasetError(f"engine metadata not found: {document_path}")
-    with document_path.open("r", encoding="utf-8") as handle:
-        document = json.load(handle)
+    try:
+        with document_path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+        raise IndexCorruptionError(
+            f"index artefact {_ENGINE_DOCUMENT!r} is corrupt or truncated "
+            f"({type(error).__name__}: {error}) at {document_path}"
+        ) from error
     version = int(document.get("format_version", -1))
     if version not in _SUPPORTED_ENGINE_VERSIONS:
         raise ConstructionError(
             f"unsupported engine format version {version} "
             f"(expected one of {sorted(_SUPPORTED_ENGINE_VERSIONS)})"
         )
+    if version >= 5 and "manifest" in document:
+        _verify_manifest(directory, document["manifest"])
     if "shards" in document:
         return _load_sharded(directory, document)
     config = EngineConfig.from_dict(document["config"])
     spec = backend_spec(document["backend"])
     alphabet = _alphabet_from_json(document["alphabet"])
-    backend = spec.loader(directory, document.get("backend_meta", {}), config, alphabet)
+    try:
+        backend = spec.loader(
+            directory, document.get("backend_meta", {}), config, alphabet
+        )
+    except ReproError:
+        raise
+    except _ARTEFACT_PARSE_ERRORS as error:
+        raise IndexCorruptionError(
+            f"backend {document['backend']!r} artefacts are corrupt or "
+            f"incomplete ({type(error).__name__}: {error}) at {directory}"
+        ) from error
     if "timestamps_file" in document:
-        store = TimestampStore.load(directory / str(document["timestamps_file"]))
+        timestamps_path = directory / str(document["timestamps_file"])
+        if not timestamps_path.exists():
+            raise IndexCorruptionError(
+                f"index artefact {timestamps_path.name!r} is missing "
+                f"from {directory}"
+            )
+        try:
+            store = TimestampStore.load(timestamps_path)
+        except ReproError:
+            raise
+        except _ARTEFACT_PARSE_ERRORS as error:
+            raise IndexCorruptionError(
+                f"index artefact {timestamps_path.name!r} is corrupt or "
+                f"truncated ({type(error).__name__}: {error}) at {timestamps_path}"
+            ) from error
     else:
         # Legacy version-1 documents embed raw per-trajectory lists.
         store = TimestampStore(
@@ -342,7 +528,7 @@ def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEn
 
 
 def _load_sharded(directory: Path, document: dict) -> "ShardedTrajectoryEngine":
-    """Reassemble a sharded fleet from a format-v4 shard manifest."""
+    """Reassemble a sharded fleet from a format-v4/v5 shard manifest."""
     from ..engine.config import EngineConfig
     from ..engine.engine import TrajectoryEngine
     from ..engine.sharding import ShardedTrajectoryEngine
@@ -359,7 +545,13 @@ def _load_sharded(directory: Path, document: dict) -> "ShardedTrajectoryEngine":
         if entry is None:
             shards.append(None)
             continue
-        shard = load_index(directory / str(entry))
+        shard_dir = directory / str(entry)
+        if not (shard_dir / _ENGINE_DOCUMENT).exists():
+            raise IndexCorruptionError(
+                f"shard directory {entry!r} is missing or incomplete "
+                f"(no {_ENGINE_DOCUMENT}) at {directory}"
+            )
+        shard = load_index(shard_dir)
         if not isinstance(shard, TrajectoryEngine):
             raise ConstructionError(
                 f"shard directory {entry!r} does not hold a single-shard engine"

@@ -1,0 +1,40 @@
+"""Reliability test tooling: fault injection for shards and persistence.
+
+The production-side reliability machinery (shard deadlines, retries, degraded
+merges, health) lives in :mod:`repro.engine.reliability`; this package holds
+the *fault side* — the hooks that make a named shard raise, hang, or delay,
+crash a save between artefact writes, and corrupt artefacts on disk — kept
+separate so the engine never imports test tooling beyond two cheap probes.
+"""
+
+from .faults import (
+    FAULT_MODES,
+    FaultInjected,
+    SimulatedCrash,
+    clear_faults,
+    corrupt_artifact,
+    faults_active,
+    inject_save_crash,
+    inject_shard_fault,
+    maybe_crash_save,
+    maybe_inject_shard_fault,
+    reload_env,
+    save_crash,
+    shard_fault,
+)
+
+__all__ = [
+    "FAULT_MODES",
+    "FaultInjected",
+    "SimulatedCrash",
+    "clear_faults",
+    "corrupt_artifact",
+    "faults_active",
+    "inject_save_crash",
+    "inject_shard_fault",
+    "maybe_crash_save",
+    "maybe_inject_shard_fault",
+    "reload_env",
+    "save_crash",
+    "shard_fault",
+]

@@ -1,0 +1,264 @@
+"""Fault injection hooks for reliability testing and benchmarking.
+
+Production code paths call two cheap probes — :func:`maybe_inject_shard_fault`
+at the start of every shard attempt and :func:`maybe_crash_save` at every
+artefact-write boundary of the persistence layer — which are no-ops unless a
+fault has been armed.  Tests, benchmarks, and CI arm faults either through the
+API (:func:`inject_shard_fault` / :func:`inject_save_crash`, or the
+``shard_fault`` / ``save_crash`` context managers) or through environment
+variables, so a CLI smoke can exercise failure paths without touching code:
+
+``REPRO_SHARD_FAULT=<shard>:<mode>[:<delay_ms>[:<times>]]``
+    Make shard ``<shard>`` misbehave on its next ``<times>`` attempts (all
+    attempts when omitted).  Modes: ``raise`` (raise :class:`FaultInjected`),
+    ``hang`` (sleep ``delay_ms``, default 30000 — long enough to blow any
+    sane per-shard deadline), ``delay`` (sleep ``delay_ms``, default 50,
+    then proceed normally).
+
+``REPRO_SAVE_CRASH=<stage>``
+    Raise :class:`SimulatedCrash` immediately after the named artefact-write
+    stage of ``save_index`` (``backend``, ``timestamps``, ``document``, or a
+    shard-prefixed stage such as ``shard_01/backend``), leaving the staging
+    directory torn and the previously promoted index untouched.
+
+On-disk corruption is injected directly with :func:`corrupt_artifact`
+(truncate / flip a byte / delete), used by the persistence tests and the CI
+corruption smoke to prove checksum verification catches torn artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+#: Recognised shard fault modes.
+FAULT_MODES = ("raise", "hang", "delay")
+
+_DEFAULT_HANG_MS = 30_000.0
+_DEFAULT_DELAY_MS = 50.0
+
+_SHARD_FAULT_ENV = "REPRO_SHARD_FAULT"
+_SAVE_CRASH_ENV = "REPRO_SAVE_CRASH"
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an armed ``raise``-mode shard fault (a transient failure)."""
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by an armed save-crash fault to model dying mid-save."""
+
+
+@dataclass
+class _ShardFault:
+    shard_id: int
+    mode: str
+    delay_ms: float
+    times: int | None  # remaining attempts to affect; None = every attempt
+
+
+_lock = threading.Lock()
+_shard_faults: dict[int, _ShardFault] = {}
+_save_crash_stage: str | None = None
+_env_loaded = False
+
+
+def _parse_shard_fault(spec: str) -> _ShardFault:
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise ValueError(
+            f"malformed {_SHARD_FAULT_ENV} value {spec!r} "
+            "(expected <shard>:<mode>[:<delay_ms>[:<times>]])"
+        )
+    shard_id = int(parts[0])
+    mode = parts[1].strip().lower()
+    if mode not in FAULT_MODES:
+        raise ValueError(f"unknown shard fault mode {mode!r} (one of {FAULT_MODES})")
+    delay_ms = _DEFAULT_HANG_MS if mode == "hang" else _DEFAULT_DELAY_MS
+    if len(parts) > 2 and parts[2]:
+        delay_ms = float(parts[2])
+    times = int(parts[3]) if len(parts) > 3 and parts[3] else None
+    return _ShardFault(shard_id=shard_id, mode=mode, delay_ms=delay_ms, times=times)
+
+
+def _ensure_env() -> None:
+    global _env_loaded, _save_crash_stage
+    if _env_loaded:
+        return
+    with _lock:
+        if _env_loaded:
+            return
+        spec = os.environ.get(_SHARD_FAULT_ENV)
+        if spec:
+            fault = _parse_shard_fault(spec)
+            _shard_faults.setdefault(fault.shard_id, fault)
+        stage = os.environ.get(_SAVE_CRASH_ENV)
+        if stage and _save_crash_stage is None:
+            _save_crash_stage = stage
+        _env_loaded = True
+
+
+def reload_env() -> None:
+    """Re-read the fault environment variables (for tests that set them)."""
+    global _env_loaded
+    with _lock:
+        _env_loaded = False
+    _ensure_env()
+
+
+# --------------------------------------------------------------------------- #
+# arming / clearing
+# --------------------------------------------------------------------------- #
+def inject_shard_fault(
+    shard_id: int,
+    mode: str,
+    *,
+    delay_ms: float | None = None,
+    times: int | None = None,
+) -> None:
+    """Arm a fault on one shard: ``raise``, ``hang``, or ``delay``.
+
+    ``times`` bounds how many attempts the fault affects (``None`` = every
+    attempt until cleared) — ``times=1`` with retries enabled models a
+    transient failure the retry recovers from.
+    """
+    if mode not in FAULT_MODES:
+        raise ValueError(f"unknown shard fault mode {mode!r} (one of {FAULT_MODES})")
+    if delay_ms is None:
+        delay_ms = _DEFAULT_HANG_MS if mode == "hang" else _DEFAULT_DELAY_MS
+    with _lock:
+        _shard_faults[int(shard_id)] = _ShardFault(
+            shard_id=int(shard_id), mode=mode, delay_ms=float(delay_ms), times=times
+        )
+
+
+def inject_save_crash(stage: str) -> None:
+    """Arm a simulated crash right after the named save stage."""
+    global _save_crash_stage
+    with _lock:
+        _save_crash_stage = stage
+
+
+def clear_faults() -> None:
+    """Disarm every fault (shard faults and save crashes)."""
+    global _save_crash_stage, _env_loaded
+    with _lock:
+        _shard_faults.clear()
+        _save_crash_stage = None
+        _env_loaded = True  # explicit clear also overrides the environment
+
+
+def faults_active() -> bool:
+    """True when any fault is currently armed."""
+    _ensure_env()
+    with _lock:
+        return bool(_shard_faults) or _save_crash_stage is not None
+
+
+@contextmanager
+def shard_fault(
+    shard_id: int,
+    mode: str,
+    *,
+    delay_ms: float | None = None,
+    times: int | None = None,
+) -> Iterator[None]:
+    """Context-managed :func:`inject_shard_fault`; disarms that shard on exit."""
+    inject_shard_fault(shard_id, mode, delay_ms=delay_ms, times=times)
+    try:
+        yield
+    finally:
+        with _lock:
+            _shard_faults.pop(int(shard_id), None)
+
+
+@contextmanager
+def save_crash(stage: str) -> Iterator[None]:
+    """Context-managed :func:`inject_save_crash`; disarms on exit."""
+    global _save_crash_stage
+    inject_save_crash(stage)
+    try:
+        yield
+    finally:
+        with _lock:
+            _save_crash_stage = None
+
+
+# --------------------------------------------------------------------------- #
+# probes (called from production code paths)
+# --------------------------------------------------------------------------- #
+def maybe_inject_shard_fault(shard_id: int) -> None:
+    """Apply the armed fault for ``shard_id``, if any (called per attempt)."""
+    _ensure_env()
+    if not _shard_faults:
+        return
+    with _lock:
+        fault = _shard_faults.get(int(shard_id))
+        if fault is None:
+            return
+        if fault.times is not None:
+            fault.times -= 1
+            if fault.times <= 0:
+                del _shard_faults[int(shard_id)]
+    if fault.mode in ("hang", "delay"):
+        time.sleep(fault.delay_ms / 1000.0)
+        return
+    raise FaultInjected(f"injected fault: shard {shard_id} raises")
+
+
+def maybe_crash_save(stage: str) -> None:
+    """Crash (raise :class:`SimulatedCrash`) if ``stage`` is the armed one."""
+    _ensure_env()
+    if _save_crash_stage is not None and stage == _save_crash_stage:
+        raise SimulatedCrash(f"simulated crash after writing {stage!r}")
+
+
+# --------------------------------------------------------------------------- #
+# artefact corruption (between save and load)
+# --------------------------------------------------------------------------- #
+def corrupt_artifact(path: str | Path, mode: str = "truncate") -> Path:
+    """Corrupt one on-disk artefact: ``truncate`` | ``flip`` | ``delete``.
+
+    ``truncate`` keeps the first half of the file (a torn write), ``flip``
+    XORs one byte in the middle (silent bit rot), ``delete`` removes the file
+    entirely.  Returns the path for chaining into assertions.
+    """
+    path = Path(path)
+    if mode == "delete":
+        path.unlink()
+        return path
+    data = path.read_bytes()
+    if mode == "truncate":
+        path.write_bytes(data[: len(data) // 2])
+    elif mode == "flip":
+        if not data:
+            raise ValueError(f"cannot flip a byte of empty file {path}")
+        middle = len(data) // 2
+        corrupted = bytearray(data)
+        corrupted[middle] ^= 0xFF
+        path.write_bytes(bytes(corrupted))
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r} (truncate|flip|delete)")
+    return path
+
+
+__all__ = [
+    "FAULT_MODES",
+    "FaultInjected",
+    "SimulatedCrash",
+    "clear_faults",
+    "corrupt_artifact",
+    "faults_active",
+    "inject_save_crash",
+    "inject_shard_fault",
+    "maybe_crash_save",
+    "maybe_inject_shard_fault",
+    "reload_env",
+    "save_crash",
+    "shard_fault",
+]

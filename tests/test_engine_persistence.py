@@ -15,7 +15,7 @@ from repro.engine import (
     build_engine,
     sample_paths,
 )
-from repro.exceptions import ConstructionError, DatasetError
+from repro.exceptions import ConstructionError, DatasetError, IndexCorruptionError
 from repro.io import load_index, save_cinct, save_index
 from repro.network import grid_network
 from repro.trajectories import TrajectoryDataset, straight_biased_walks
@@ -167,7 +167,7 @@ def test_missing_timestamp_archive_rejected(fleet_dataset, tmp_path):
     engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
     engine.save(tmp_path / "index")
     (tmp_path / "index" / "timestamps.npz").unlink()
-    with pytest.raises(DatasetError, match="timestamp archive"):
+    with pytest.raises(IndexCorruptionError, match="timestamps.npz"):
         load_index(tmp_path / "index")
 
 

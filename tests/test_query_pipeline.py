@@ -362,7 +362,7 @@ class TestEpochs:
         engine.consolidate()
         engine.save(tmp_path / "fleet")
         document = json.loads((tmp_path / "fleet" / "engine.json").read_text(encoding="utf-8"))
-        assert document["format_version"] == 4
+        assert document["format_version"] == 5
         assert document["epoch"] == 2
         reloaded = TrajectoryEngine.load(tmp_path / "fleet")
         assert reloaded.epoch == 2

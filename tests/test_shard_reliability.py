@@ -1,0 +1,348 @@
+"""Fan-out reliability: policies, fault injection, degraded merges, health.
+
+The contract under test: a failing shard surfaces as one canonical
+:class:`~repro.exceptions.ShardExecutionError` naming the shard and its
+attempt history (default fail-fast), or — with
+``EngineConfig.degraded_results`` on — the surviving shards' answers are
+merged into results flagged ``degraded=True`` with the failed shards listed,
+equal to the unsharded answer minus the failed shards' contributions.
+Deadlines bound how long a hung shard can stall a batch; retries recover
+transient faults; ``health()`` reports the bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CountQuery,
+    EngineConfig,
+    LocateQuery,
+    ShardPolicy,
+    ShardTimeoutError,
+    TrajectoryEngine,
+    build_engine,
+    run_shard_attempts,
+)
+from repro.exceptions import QueryError, ReproError, ShardExecutionError
+from repro.network import grid_network
+from repro.reliability import faults
+from repro.trajectories import TrajectoryDataset, straight_biased_walks
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear_faults()
+    yield
+    faults.clear_faults()
+
+
+@pytest.fixture(scope="module")
+def fleet_dataset():
+    network = grid_network(5, 5)
+    rng = np.random.default_rng(77)
+    trajectories = straight_biased_walks(
+        network, n_trajectories=18, min_length=5, max_length=12, rng=rng
+    )
+    for trajectory in trajectories:
+        departure = float(rng.uniform(0, 300))
+        dwell = rng.uniform(4, 16, size=len(trajectory.edges))
+        trajectory.timestamps = list(departure + np.cumsum(dwell) - dwell[0])
+    return TrajectoryDataset(
+        name="reliability-fleet", trajectories=trajectories, network=network
+    )
+
+
+@pytest.fixture(scope="module")
+def probe_path(fleet_dataset):
+    """A single-edge path present on *every* shard of a 3-shard fleet.
+
+    Faults are armed per shard, and the fan-out skips shards whose alphabet
+    cannot contain the pattern — a probe only one shard knows would never
+    exercise a fault on the others.
+    """
+    per_shard: dict[int, set] = {0: set(), 1: set(), 2: set()}
+    for trajectory_id, trajectory in enumerate(fleet_dataset.trajectories):
+        per_shard[trajectory_id % 3].update(trajectory.edges)
+    common = per_shard[0] & per_shard[1] & per_shard[2]
+    assert common, "fixture dataset must share an edge across all shards"
+    return [sorted(common)[0]]
+
+
+def _sharded(fleet_dataset, **overrides):
+    # cache_size=0: these tests re-run identical queries across fault states,
+    # so a cached answer would mask the fan-out entirely.
+    config = EngineConfig(
+        backend="cinct", num_shards=3, shard_workers=1, cache_size=0, **overrides
+    )
+    return build_engine(fleet_dataset, config)
+
+
+# --------------------------------------------------------------------------- #
+# fail-fast default
+# --------------------------------------------------------------------------- #
+def test_failing_shard_raises_canonical_error(fleet_dataset, probe_path):
+    engine = _sharded(fleet_dataset)
+    with faults.shard_fault(1, "raise"):
+        with pytest.raises(ShardExecutionError) as excinfo:
+            engine.count(probe_path)
+    error = excinfo.value
+    assert error.shard_id == 1
+    assert "shard 1" in str(error)
+    assert "fan-out" in str(error)
+    assert len(error.attempts) == 1
+    assert "FaultInjected" in error.attempts[0].error
+
+
+def test_fault_cleared_restores_answers(fleet_dataset, probe_path):
+    engine = _sharded(fleet_dataset)
+    reference = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+    with faults.shard_fault(1, "raise"):
+        with pytest.raises(ShardExecutionError):
+            engine.count(probe_path)
+    assert engine.count(probe_path) == reference.count(probe_path)
+
+
+def test_pooled_fan_out_also_fails_canonically(fleet_dataset, probe_path):
+    # Same contract through the concurrent path (workers unbounded).
+    engine = build_engine(
+        fleet_dataset, EngineConfig(backend="cinct", num_shards=3)
+    )
+    with faults.shard_fault(2, "raise"):
+        with pytest.raises(ShardExecutionError) as excinfo:
+            engine.count(probe_path)
+    assert excinfo.value.shard_id == 2
+
+
+def test_deterministic_failures_are_not_retried(fleet_dataset):
+    # A ReproError is classified non-retryable: one attempt even with budget.
+    engine = _sharded(fleet_dataset, shard_retries=3)
+    with pytest.raises((QueryError, ReproError)):
+        engine.count([])  # empty path is rejected deterministically
+
+
+# --------------------------------------------------------------------------- #
+# degraded-mode merges
+# --------------------------------------------------------------------------- #
+def test_degraded_merge_flags_results(fleet_dataset, probe_path):
+    engine = _sharded(fleet_dataset, degraded_results=True)
+    healthy = engine.run_many([CountQuery(tuple(probe_path))])[0]
+    assert healthy.degraded is False
+    assert healthy.failed_shards == ()
+    with faults.shard_fault(1, "raise"):
+        degraded = engine.run_many([CountQuery(tuple(probe_path))])[0]
+    assert degraded.degraded is True
+    assert degraded.failed_shards == (1,)
+    assert degraded.count <= healthy.count
+
+
+def test_degraded_merge_equals_surviving_shards(fleet_dataset, probe_path):
+    engine = _sharded(fleet_dataset, degraded_results=True)
+    expected = sum(
+        shard.count(probe_path)
+        for shard_id, shard in enumerate(engine.shards)
+        if shard_id != 1 and shard is not None
+    )
+    with faults.shard_fault(1, "raise"):
+        result = engine.run_many([CountQuery(tuple(probe_path))])[0]
+    assert result.count == expected
+
+
+def test_degraded_locate_drops_failed_shard_matches(fleet_dataset, probe_path):
+    engine = _sharded(
+        fleet_dataset, degraded_results=True, sa_sample_rate=4
+    )
+    healthy = engine.run_many([LocateQuery(tuple(probe_path))])[0]
+    with faults.shard_fault(0, "raise"):
+        degraded = engine.run_many([LocateQuery(tuple(probe_path))])[0]
+    assert degraded.degraded is True
+    assert degraded.failed_shards == (0,)
+    surviving = {m.trajectory_id for m in degraded.matches}
+    assert surviving <= {m.trajectory_id for m in healthy.matches}
+    router = engine.router
+    assert all(router.shard_of(tid) != 0 for tid in surviving)
+
+
+def test_degraded_scalar_count_still_answers(fleet_dataset, probe_path):
+    engine = _sharded(fleet_dataset, degraded_results=True)
+    with faults.shard_fault(1, "raise"):
+        count = engine.count(probe_path)  # scalar API: the flag is dropped
+    assert isinstance(count, int)
+
+
+# --------------------------------------------------------------------------- #
+# retries and deadlines
+# --------------------------------------------------------------------------- #
+def test_transient_fault_recovered_by_retry(fleet_dataset, probe_path):
+    engine = _sharded(fleet_dataset, shard_retries=2)
+    reference = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+    with faults.shard_fault(1, "raise", times=1):  # fails once, then heals
+        assert engine.count(probe_path) == reference.count(probe_path)
+
+
+def test_retry_budget_exhaustion_keeps_history(fleet_dataset, probe_path):
+    engine = _sharded(fleet_dataset, shard_retries=2)
+    with faults.shard_fault(1, "raise"):  # fails every attempt
+        with pytest.raises(ShardExecutionError) as excinfo:
+            engine.count(probe_path)
+    assert [a.number for a in excinfo.value.attempts] == [1, 2, 3]
+
+
+def test_hung_shard_bounded_by_deadline(fleet_dataset, probe_path):
+    engine = _sharded(
+        fleet_dataset, shard_deadline=0.05, degraded_results=True
+    )
+    with faults.shard_fault(1, "hang", delay_ms=10_000):
+        result = engine.run_many([CountQuery(tuple(probe_path))])[0]
+    assert result.degraded is True
+    assert result.failed_shards == (1,)
+
+
+def test_deadline_timeout_classified_retryable():
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            import time
+
+            time.sleep(0.2)
+        return "ok"
+
+    policy = ShardPolicy(deadline=0.05, max_attempts=2, backoff_base=0.0)
+    assert run_shard_attempts(7, flaky, policy) == "ok"
+    assert calls["n"] == 2
+
+
+def test_run_shard_attempts_names_shard_and_operation():
+    policy = ShardPolicy(max_attempts=2, backoff_base=0.0)
+
+    def boom():
+        raise RuntimeError("disk on fire")
+
+    with pytest.raises(ShardExecutionError) as excinfo:
+        run_shard_attempts(4, boom, policy, operation="fan-out")
+    message = str(excinfo.value)
+    assert "shard 4" in message and "2 attempt(s)" in message
+    assert "disk on fire" in message
+    assert ShardPolicy.retryable(ShardTimeoutError(0.1))
+    assert not ShardPolicy.retryable(ReproError("deterministic"))
+
+
+# --------------------------------------------------------------------------- #
+# health surface
+# --------------------------------------------------------------------------- #
+def test_health_tracks_failures_and_recovery(fleet_dataset, probe_path):
+    engine = _sharded(fleet_dataset, degraded_results=True)
+    assert engine.health()["status"] == "ok"
+    with faults.shard_fault(1, "raise"):
+        engine.count(probe_path)
+    health = engine.health()
+    assert health["status"] == "failing"
+    assert health["failing_shards"] == 1
+    assert health["shards"][1]["status"] == "failing"
+    assert health["shards"][1]["failures"] == 1
+    assert "FaultInjected" in health["shards"][1]["last_error"]
+    engine.count(probe_path)  # healed
+    health = engine.health()
+    assert health["status"] == "ok"
+    assert health["shards"][1]["consecutive_failures"] == 0
+    assert health["shards"][1]["failures"] == 1  # history is kept
+
+
+def test_unsharded_health_surface(fleet_dataset):
+    engine = TrajectoryEngine.build(fleet_dataset, EngineConfig(backend="cinct"))
+    health = engine.health()
+    assert health["engine"] == "single"
+    assert health["status"] == "ok"
+    assert health["num_shards"] == 1
+
+
+def test_configure_reliability_overrides_policy(fleet_dataset, probe_path):
+    engine = _sharded(fleet_dataset)
+    assert engine.policy.is_noop
+    engine.configure_reliability(
+        deadline=0.5, retries=2, degraded_results=True
+    )
+    assert engine.policy.deadline == 0.5
+    assert engine.policy.max_attempts == 3
+    assert engine.config.degraded_results is True
+    with faults.shard_fault(1, "raise"):
+        result = engine.run_many([CountQuery(tuple(probe_path))])[0]
+    assert result.degraded is True
+
+
+# --------------------------------------------------------------------------- #
+# env-driven faults
+# --------------------------------------------------------------------------- #
+def test_env_driven_shard_fault(fleet_dataset, probe_path, monkeypatch):
+    engine = _sharded(fleet_dataset)
+    monkeypatch.setenv("REPRO_SHARD_FAULT", "1:raise")
+    faults.reload_env()
+    with pytest.raises(ShardExecutionError) as excinfo:
+        engine.count(probe_path)
+    assert excinfo.value.shard_id == 1
+
+
+def test_env_spec_parsing_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_FAULT", "not-a-spec")
+    with pytest.raises(ValueError):
+        faults.reload_env()
+    monkeypatch.setenv("REPRO_SHARD_FAULT", "0:explode")
+    with pytest.raises(ValueError):
+        faults.reload_env()
+
+
+# --------------------------------------------------------------------------- #
+# growth / consolidation wrapping
+# --------------------------------------------------------------------------- #
+def test_growth_failure_names_shard(fleet_dataset):
+    engine = build_engine(
+        fleet_dataset,
+        EngineConfig(backend="partitioned-cinct", num_shards=3, shard_workers=1),
+    )
+    network = fleet_dataset.network
+    rng = np.random.default_rng(91)
+    batch = straight_biased_walks(
+        network, n_trajectories=3, min_length=4, max_length=8, rng=rng
+    )
+
+    target = engine.router.shard_of(engine.n_trajectories)
+    shard = engine.shards[target]
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("backend wedged mid-growth")
+
+    original = shard.add_batch
+    shard.add_batch = explode
+    try:
+        with pytest.raises(ShardExecutionError) as excinfo:
+            engine.add_batch(batch)
+    finally:
+        shard.add_batch = original
+    assert excinfo.value.shard_id == target
+    assert "add_batch" in str(excinfo.value)
+    assert engine.health()["shards"][target]["failures"] == 1
+
+
+def test_consolidate_failure_names_shard(fleet_dataset):
+    engine = build_engine(
+        fleet_dataset,
+        EngineConfig(backend="partitioned-cinct", num_shards=3, shard_workers=1),
+    )
+    shard = next(s for s in engine.shards if s is not None)
+    shard_id = engine.shards.index(shard)
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("compaction died")
+
+    original = shard.consolidate
+    shard.consolidate = explode
+    try:
+        with pytest.raises(ShardExecutionError) as excinfo:
+            engine.consolidate()
+    finally:
+        shard.consolidate = original
+    assert excinfo.value.shard_id == shard_id
+    assert "consolidate" in str(excinfo.value)
