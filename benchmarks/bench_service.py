@@ -1,0 +1,224 @@
+"""Serving-tier benchmark: what micro-batch coalescing buys under load.
+
+Two measurements pin the value of the serving tier (:mod:`repro.service`):
+
+* **Coalescer throughput** — the same duplicate-heavy burst workload
+  (concurrent asyncio clients, every request outstanding at once) pushed
+  through a coalescing front-end (micro-batch windows merging simultaneous
+  requests into single ``run_many`` calls, where the engine's optimize
+  stage dedupes the repeats) and through a control configuration with
+  coalescing disabled (``max_batch_size=1``: every request is its own
+  engine batch).  The result cache is off in both, so the ratio isolates
+  what batching itself buys.  At full scale the coalesced configuration
+  must clear ``>= 1.5x`` the control's throughput — the acceptance target
+  of the serving tier.
+* **HTTP latency** — end-to-end p50/p95/p99 per-request latency and
+  throughput through the real HTTP surface at several client concurrency
+  levels, with and without coalescing.  Recorded for the baseline file, not
+  asserted: wall-clock HTTP numbers are environment noise on shared CI.
+
+Results land in ``benchmarks/BENCH_service.json`` through
+:func:`repro.bench.write_bench_baseline`.  Dataset and workload sizes follow
+``REPRO_BENCH_SCALE`` (CI smokes at 0.05, which only checks plumbing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from common import BENCH_SCALE, get_bundle
+from repro.bench import format_table, write_bench_baseline
+from repro.engine import CountQuery, EngineConfig, build_engine, sample_paths
+from repro.service import MicroBatchCoalescer, ServiceConfig, serve_in_background
+
+DATASET = "Singapore"
+PATTERN_LENGTH = 6
+#: Distinct hot paths in the workload pool; small on purpose — a realistic
+#: road network has hot paths, and dedupe inside a batch is where coalescing
+#: earns its keep.
+N_DISTINCT = 12
+N_CLIENTS = 16
+#: Queries each asyncio client submits back-to-back.
+REQUESTS_PER_CLIENT = max(int(24 * BENCH_SCALE), 2)
+#: HTTP sweep: concurrency levels and per-thread request counts.
+HTTP_CONCURRENCY = (1, 4, 16)
+HTTP_REQUESTS_PER_CLIENT = max(int(16 * BENCH_SCALE), 2)
+THROUGHPUT_TARGET = 1.5
+
+COALESCED = dict(batch_window_ms=5.0, max_batch_size=64)
+#: The control: every request is its own engine batch (no coalescing).
+UNCOALESCED = dict(batch_window_ms=0.0, max_batch_size=1)
+
+
+def build_service_engine():
+    trajectories = [list(t) for t in get_bundle(DATASET).symbol_trajectories]
+    # cache_size=0: with the result cache on, repeats are cache hits in both
+    # configurations and the ratio would measure the cache, not coalescing.
+    return build_engine(
+        trajectories,
+        EngineConfig(backend="cinct", cache_size=0),
+    ), trajectories
+
+
+def duplicate_heavy_queries(trajectories, n_requests: int, seed: int = 23):
+    paths = sample_paths(trajectories, PATTERN_LENGTH, N_DISTINCT, seed=seed)
+    rng = np.random.default_rng(seed)
+    return [
+        CountQuery(paths[int(rng.integers(len(paths)))]) for _ in range(n_requests)
+    ]
+
+
+def coalescer_throughput(
+    engine, trajectories, service_kwargs: dict
+) -> tuple[float, dict]:
+    """Requests/second for N_CLIENTS concurrent clients, plus coalescer stats."""
+
+    async def main() -> tuple[float, dict]:
+        coalescer = MicroBatchCoalescer(
+            engine, ServiceConfig(worker_threads=2, **service_kwargs)
+        )
+
+        async def client(queries) -> None:
+            # Open-loop burst: all of this client's requests are outstanding
+            # at once (independent callers behind a proxy, not one caller
+            # waiting on each answer) — the load shape coalescing exists for.
+            await asyncio.gather(*[coalescer.submit(query) for query in queries])
+
+        workload = [
+            duplicate_heavy_queries(
+                trajectories, REQUESTS_PER_CLIENT, seed=100 + client_id
+            )
+            for client_id in range(N_CLIENTS)
+        ]
+        started = time.perf_counter()
+        await asyncio.gather(*[client(queries) for queries in workload])
+        elapsed = time.perf_counter() - started
+        stats = coalescer.stats()
+        await coalescer.aclose()
+        return (N_CLIENTS * REQUESTS_PER_CLIENT) / elapsed, stats
+
+    return asyncio.run(main())
+
+
+def http_sweep(engine, trajectories, service_kwargs: dict) -> list[dict]:
+    """p50/p95/p99 latency + throughput through the HTTP surface."""
+    rows = []
+    config = ServiceConfig(port=0, worker_threads=2, **service_kwargs)
+    with serve_in_background(engine, config) as handle:
+        documents = [
+            {"type": "count", "path": list(query.path)}
+            for query in duplicate_heavy_queries(
+                trajectories, HTTP_REQUESTS_PER_CLIENT, seed=7
+            )
+        ]
+
+        def client(_):
+            latencies = []
+            for document in documents:
+                request = urllib.request.Request(
+                    handle.url + "/query",
+                    data=json.dumps(document).encode("utf-8"),
+                )
+                started = time.perf_counter()
+                with urllib.request.urlopen(request, timeout=60.0) as response:
+                    json.load(response)
+                latencies.append(time.perf_counter() - started)
+            return latencies
+
+        for concurrency in HTTP_CONCURRENCY:
+            with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                started = time.perf_counter()
+                per_client = list(pool.map(client, range(concurrency)))
+                elapsed = time.perf_counter() - started
+            latencies = np.array([lat for client_l in per_client for lat in client_l])
+            rows.append(
+                {
+                    "concurrency": concurrency,
+                    "requests": int(latencies.size),
+                    "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+                    "p95_ms": float(np.percentile(latencies, 95) * 1e3),
+                    "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+                    "throughput_rps": float(latencies.size / elapsed),
+                }
+            )
+    return rows
+
+
+def test_service(report) -> None:
+    engine, trajectories = build_service_engine()
+
+    # --- coalescer-level throughput --------------------------------------- #
+    coalesced_rps, coalesced_stats = coalescer_throughput(
+        engine, trajectories, COALESCED
+    )
+    control_rps, control_stats = coalescer_throughput(
+        engine, trajectories, UNCOALESCED
+    )
+    ratio = coalesced_rps / control_rps
+    assert coalesced_stats["mean_batch_size"] > control_stats["mean_batch_size"]
+    assert control_stats["largest_batch"] == 1  # the control never coalesces
+
+    # --- HTTP-level percentiles ------------------------------------------- #
+    http_coalesced = http_sweep(engine, trajectories, COALESCED)
+    http_control = http_sweep(engine, trajectories, UNCOALESCED)
+
+    table_rows = []
+    for label, rows in (("coalesced", http_coalesced), ("no coalescing", http_control)):
+        for row in rows:
+            table_rows.append(
+                {
+                    "configuration": label,
+                    "clients": row["concurrency"],
+                    "p50 (ms)": round(row["p50_ms"], 2),
+                    "p95 (ms)": round(row["p95_ms"], 2),
+                    "p99 (ms)": round(row["p99_ms"], 2),
+                    "req/s": round(row["throughput_rps"], 1),
+                }
+            )
+    table = format_table(table_rows, title=f"{DATASET} — HTTP serving latency")
+    report.add(
+        "Serving tier (micro-batch coalescing)",
+        table
+        + f"\ncoalescer throughput: {coalesced_rps:.0f} req/s coalesced vs "
+        f"{control_rps:.0f} req/s control ({ratio:.2f}x, target >= "
+        f"{THROUGHPUT_TARGET:g}x at full scale; mean batch "
+        f"{coalesced_stats['mean_batch_size']:.1f})",
+    )
+
+    write_bench_baseline(
+        "service",
+        {
+            "scale": BENCH_SCALE,
+            "dataset": DATASET,
+            "cpu_count": os.cpu_count() or 1,
+            "n_clients": N_CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "n_distinct_paths": N_DISTINCT,
+            "coalesced_rps": coalesced_rps,
+            "control_rps": control_rps,
+            "throughput_ratio": ratio,
+            "coalesced_mean_batch": coalesced_stats["mean_batch_size"],
+            "coalesced_batches": coalesced_stats["batches"],
+            "control_batches": control_stats["batches"],
+            "http_coalesced": http_coalesced,
+            "http_control": http_control,
+        },
+        directory=Path(__file__).parent,
+    )
+    assert (Path(__file__).parent / "BENCH_service.json").exists()
+
+    # Window timers and thread dispatch are fixed costs; only a full-scale
+    # workload amortises them enough for the ratio target to be meaningful.
+    if BENCH_SCALE >= 1.0:
+        assert ratio >= THROUGHPUT_TARGET, (
+            f"coalescing delivered only {ratio:.2f}x the control throughput "
+            f"(target {THROUGHPUT_TARGET:g}x)"
+        )

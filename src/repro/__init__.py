@@ -54,10 +54,13 @@ from .exceptions import (
     AlphabetError,
     ConstructionError,
     DatasetError,
+    DeadlineExceededError,
     IndexCorruptionError,
     NetworkError,
     QueryError,
     ReproError,
+    ServiceError,
+    ServiceOverloadError,
     ShardExecutionError,
 )
 from .fmindex import (
@@ -174,4 +177,7 @@ __all__ = [
     "NetworkError",
     "IndexCorruptionError",
     "ShardExecutionError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "DeadlineExceededError",
 ]

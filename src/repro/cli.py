@@ -16,6 +16,10 @@ sub-command works with every registered index backend (``--backend``):
     Build every requested backend on a dataset analogue and print the
     size/time comparison of Fig. 10, including ``size_in_bits`` and
     bits/symbol per backend straight from the registry.
+``repro-cinct serve``
+    Load a persisted index and serve it over HTTP with micro-batch
+    coalescing and admission control (see :mod:`repro.service`); flags
+    default to the ``REPRO_SERVE_*`` environment variables.
 
 Every sub-command prints plain text to stdout; exit status 0 means success.
 """
@@ -219,16 +223,20 @@ def _command_query(args: argparse.Namespace) -> int:
     print(f"matches   : {count}")
     print(f"query time: {elapsed:.1f} us")
     if args.verbose:
-        stats = engine.cache_stats()
-        state = "on" if stats["enabled"] else "off"
+        # One engine.stats() snapshot drives the whole verbose block, so the
+        # cache/epoch/health lines are a single consistent observation (the
+        # same document the serving tier's /stats endpoint reports).
+        snapshot = engine.stats()
+        cache = snapshot["cache"]
+        state = "on" if cache["enabled"] else "off"
         print(
             f"cache     : {state} "
-            f"(hits={stats['hits']} misses={stats['misses']} "
-            f"size={stats['size']}/{stats['capacity']} "
-            f"evictions={stats['evictions']})"
+            f"(hits={cache['hits']} misses={cache['misses']} "
+            f"size={cache['size']}/{cache['capacity']} "
+            f"evictions={cache['evictions']})"
         )
-        print(f"epoch     : {engine.epoch}")
-        health = engine.health()
+        print(f"epoch     : {snapshot['epoch']}")
+        health = snapshot["health"]
         print(
             f"health    : {health['status']} "
             f"({health['failing_shards']}/{health['num_shards']} shards failing)"
@@ -318,6 +326,30 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here so the serving tier is only paid for by serving processes.
+    from .service import ServiceConfig, run_service
+
+    engine = load_index(Path(args.index))
+    _apply_reliability_overrides(engine, args)
+    config = ServiceConfig.from_env(
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch_size=args.max_batch_size,
+        max_queue_depth=args.max_queue_depth,
+        default_deadline=args.default_deadline,
+        worker_threads=args.worker_threads,
+    )
+    print(f"index     : {args.index}")
+    print(f"backend   : {engine.spec.display_name}")
+    num_shards = getattr(engine, "num_shards", 1)
+    if num_shards > 1:
+        print(f"shards    : {num_shards}")
+    run_service(engine, config)
+    return 0
+
+
 def _parse_edge(token: str) -> Hashable:
     """Interpret a CLI path token as an int when possible, else a string."""
     try:
@@ -396,6 +428,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="registry keys or display names (default: every registered backend)",
     )
     compare.set_defaults(handler=_command_compare)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a saved index over HTTP with micro-batch coalescing",
+    )
+    serve.add_argument("--index", type=Path, required=True, help="directory of the saved index")
+    # Service flags default to None so ServiceConfig.from_env applies the
+    # precedence flag > REPRO_SERVE_* env var > built-in default.
+    serve.add_argument("--host", default=None, help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None, help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=None,
+        help="micro-batch window length in milliseconds",
+    )
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=None,
+        help="requests per micro-batch (1 disables coalescing)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="admission bound; excess requests are shed with HTTP 503",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (absent = no deadline)",
+    )
+    serve.add_argument(
+        "--worker-threads",
+        type=int,
+        default=None,
+        help="threads executing engine batches",
+    )
+    _add_reliability_arguments(serve)
+    serve.set_defaults(handler=_command_serve)
     return parser
 
 

@@ -404,6 +404,32 @@ class TrajectoryEngine(ScalarQueryAPI):
             "cache": self.cache_stats(),
         }
 
+    def stats(self) -> dict[str, object]:
+        """One observability snapshot of the whole engine.
+
+        The unified surface the serving tier's ``/health`` handler (and the
+        CLI's ``query --verbose``) reads instead of stitching together
+        :meth:`cache_stats`, :meth:`health`, :attr:`epoch` and the size
+        accessors.  Both engine classes return the same shape: ``engine``
+        (``"single"`` / ``"sharded"``), ``backend``, ``num_shards``,
+        ``n_trajectories``, ``length``, ``sigma``, ``epoch``, per-shard
+        ``epochs``, ``size_in_bits``, aggregated ``cache`` counters, and the
+        full :meth:`health` payload.  Every value is JSON-serializable.
+        """
+        return {
+            "engine": "single",
+            "backend": self.backend_name,
+            "num_shards": 1,
+            "n_trajectories": self.n_trajectories,
+            "length": self.length,
+            "sigma": self.sigma,
+            "epoch": self._epoch,
+            "epochs": [self._epoch],
+            "size_in_bits": self.size_in_bits(),
+            "cache": self.cache_stats(),
+            "health": self.health(),
+        }
+
     @property
     def temporal(self) -> TemporalIndex | None:
         """The temporal companion index (``None`` when disabled/unavailable)."""

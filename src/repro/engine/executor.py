@@ -36,6 +36,7 @@ are bit-identical.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
@@ -178,6 +179,17 @@ class ResultCache:
     ``capacity <= 0`` disables caching entirely (every lookup is a miss and
     nothing is stored), which is also what :meth:`disable` switches to at
     runtime — the CLI's ``--no-cache``.
+
+    **Thread safety.**  Every public method takes one internal lock, so
+    concurrent ``run_many`` callers — the serving tier's micro-batch worker
+    threads, or any threads sharing one engine — can hit the cache together:
+    the hit/miss/eviction counters stay consistent, and LRU mutation
+    (``move_to_end`` racing ``popitem``) cannot corrupt the ordered dict.
+    The lookup→execute→store sequence of one plan is *not* atomic as a
+    whole: two threads may both miss the same plan and both execute it.
+    That is benign — payloads are deterministic values, so the second
+    :meth:`put` overwrites with an identical payload — and deliberately
+    cheap: holding a lock across backend execution would serialize callers.
     """
 
     def __init__(self, capacity: int, epoch: int = 0, max_bytes: int | None = None):
@@ -187,6 +199,7 @@ class ResultCache:
         self._sizes: dict[QueryPlan, int] = {}
         self._payload_bytes = 0
         self._epoch = int(epoch)
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -218,27 +231,30 @@ class ResultCache:
         return self._epoch
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def sync_epoch(self, epoch: int) -> None:
         """Adopt the engine's growth epoch, dropping entries if it moved."""
         epoch = int(epoch)
-        if epoch == self._epoch:
-            return
-        if self._entries:
-            self.invalidations += 1
-            self._drop_entries()
-        self._epoch = epoch
+        with self._lock:
+            if epoch == self._epoch:
+                return
+            if self._entries:
+                self.invalidations += 1
+                self._drop_entries()
+            self._epoch = epoch
 
     def get(self, plan: QueryPlan) -> object:
         """Cached payload for a canonical plan, or the module-private miss."""
-        payload = self._entries.get(plan, _MISS)
-        if payload is _MISS:
-            self.misses += 1
-            return _MISS
-        self._entries.move_to_end(plan)
-        self.hits += 1
-        return payload
+        with self._lock:
+            payload = self._entries.get(plan, _MISS)
+            if payload is _MISS:
+                self.misses += 1
+                return _MISS
+            self._entries.move_to_end(plan)
+            self.hits += 1
+            return payload
 
     def peek(self, plan: QueryPlan) -> object:
         """Like :meth:`get`, but an absent key does not count as a miss.
@@ -247,12 +263,13 @@ class ResultCache:
         count twin): finding the twin is a real hit, not finding it should
         not distort the miss counter of the plan actually being executed.
         """
-        payload = self._entries.get(plan, _MISS)
-        if payload is _MISS:
-            return _MISS
-        self._entries.move_to_end(plan)
-        self.hits += 1
-        return payload
+        with self._lock:
+            payload = self._entries.get(plan, _MISS)
+            if payload is _MISS:
+                return _MISS
+            self._entries.move_to_end(plan)
+            self.hits += 1
+            return payload
 
     def put(self, plan: QueryPlan, payload: object) -> None:
         """Store one executed payload, evicting the least recently used.
@@ -261,52 +278,57 @@ class ResultCache:
         entries and (when ``max_bytes`` is set) at most ``max_bytes``
         approximate payload bytes.
         """
-        if self._capacity <= 0:
-            return
-        nbytes = approximate_payload_bytes(payload)
-        if self._max_bytes is not None and nbytes > self._max_bytes:
-            return  # would evict everything and still not fit
-        if plan in self._entries:
-            self._payload_bytes -= self._sizes[plan]
-            self._entries.move_to_end(plan)
-        self._entries[plan] = payload
-        self._sizes[plan] = nbytes
-        self._payload_bytes += nbytes
-        while len(self._entries) > self._capacity or (
-            self._max_bytes is not None and self._payload_bytes > self._max_bytes
-        ):
-            evicted, _ = self._entries.popitem(last=False)
-            self._payload_bytes -= self._sizes.pop(evicted)
-            self.evictions += 1
+        with self._lock:
+            if self._capacity <= 0:
+                return
+            nbytes = approximate_payload_bytes(payload)
+            if self._max_bytes is not None and nbytes > self._max_bytes:
+                return  # would evict everything and still not fit
+            if plan in self._entries:
+                self._payload_bytes -= self._sizes[plan]
+                self._entries.move_to_end(plan)
+            self._entries[plan] = payload
+            self._sizes[plan] = nbytes
+            self._payload_bytes += nbytes
+            while len(self._entries) > self._capacity or (
+                self._max_bytes is not None and self._payload_bytes > self._max_bytes
+            ):
+                evicted, _ = self._entries.popitem(last=False)
+                self._payload_bytes -= self._sizes.pop(evicted)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._drop_entries()
+        with self._lock:
+            self._drop_entries()
 
     def disable(self) -> None:
         """Turn the cache off for the rest of this engine's lifetime."""
-        self._capacity = 0
-        self._drop_entries()
+        with self._lock:
+            self._capacity = 0
+            self._drop_entries()
 
     def _drop_entries(self) -> None:
+        # Callers hold self._lock.
         self._entries.clear()
         self._sizes.clear()
         self._payload_bytes = 0
 
     def stats(self) -> dict[str, int | bool]:
         """Counters for observability (CLI ``query --verbose``, benchmarks)."""
-        return {
-            "enabled": self.enabled,
-            "capacity": self._capacity,
-            "size": len(self._entries),
-            "payload_bytes": self._payload_bytes,
-            "max_bytes": self._max_bytes if self._max_bytes is not None else 0,
-            "epoch": self._epoch,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "enabled": self._capacity > 0,
+                "capacity": self._capacity,
+                "size": len(self._entries),
+                "payload_bytes": self._payload_bytes,
+                "max_bytes": self._max_bytes if self._max_bytes is not None else 0,
+                "epoch": self._epoch,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
 
 
 # --------------------------------------------------------------------------- #

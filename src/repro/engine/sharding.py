@@ -39,6 +39,7 @@ per-shard BWT row spaces** (shard 0's rows first, then shard 1's, ...); with
 from __future__ import annotations
 
 import random
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from itertools import accumulate
@@ -240,6 +241,7 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             self._store_view,  # type: ignore[arg-type]
         )
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
         self._policy = ShardPolicy.from_config(config)
         self._health = ShardHealth(config.num_shards)
         self._rng = random.Random()  # backoff jitter only; never affects answers
@@ -485,6 +487,29 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             "epoch": self.epoch,
             "n_trajectories": self.n_trajectories,
             "shards": rows,
+        }
+
+    def stats(self) -> dict[str, object]:
+        """One observability snapshot of the whole fleet.
+
+        Same shape as :meth:`TrajectoryEngine.stats` — ``engine`` is
+        ``"sharded"``, ``epochs`` lists every shard's growth epoch, ``cache``
+        is the fleet-wide aggregate, ``health`` carries the per-shard rows —
+        so the serving tier's ``/health`` handler reads one dict regardless
+        of the engine class behind it.
+        """
+        return {
+            "engine": "sharded",
+            "backend": self.backend_name,
+            "num_shards": self.num_shards,
+            "n_trajectories": self.n_trajectories,
+            "length": self.length,
+            "sigma": self.sigma,
+            "epoch": self.epoch,
+            "epochs": list(self.epochs),
+            "size_in_bits": self.size_in_bits(),
+            "cache": self.cache_stats(),
+            "health": self.health(),
         }
 
     @property
@@ -848,21 +873,25 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
         return max(1, min(self.num_shards, os.cpu_count() or 1))
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._max_workers(), thread_name_prefix="repro-shard"
-            )
-            # Engines are often loaded, used and dropped (services reloading
-            # their index); release the workers when the engine is collected
-            # rather than requiring an explicit close().
-            weakref.finalize(self, self._pool.shutdown, wait=False)
-        return self._pool
+        # Locked: concurrent run_many callers (the serving tier's worker
+        # threads) may race the first fan-out, and two pools would leak one.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers(), thread_name_prefix="repro-shard"
+                )
+                # Engines are often loaded, used and dropped (services reloading
+                # their index); release the workers when the engine is collected
+                # rather than requiring an explicit close().
+                weakref.finalize(self, self._pool.shutdown, wait=False)
+            return self._pool
 
     def close(self) -> None:
         """Shut the fan-out pool down (engines remain queryable inline)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedTrajectoryEngine":
         return self

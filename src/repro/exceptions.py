@@ -69,6 +69,43 @@ class IndexCorruptionError(DatasetError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the serving tier (:mod:`repro.service`)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """A request was shed by the serving tier's admission control.
+
+    Raised (never queued past) when accepting the request would exceed the
+    service's ``max_queue_depth``, or when the service is draining on
+    shutdown.  Always :attr:`retriable`: the request was refused *before*
+    touching the engine, so resubmitting later is safe.  :attr:`reason` is
+    the canonical shed-counter key (``"queue_full"`` or ``"shutdown"``).
+    """
+
+    def __init__(self, reason: str = "queue_full", message: str | None = None):
+        self.reason = str(reason)
+        self.retriable = True
+        super().__init__(
+            message or f"service overloaded ({self.reason}); retry later"
+        )
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline expired (or provably will) before execution.
+
+    Raised at admission when the deadline falls before the next micro-batch
+    window can close, or at dispatch when the deadline lapsed while the
+    request waited in the window.  The engine never ran for this request, so
+    no partial answer exists.
+    """
+
+    def __init__(self, message: str = "request deadline exceeded before execution"):
+        self.reason = "deadline"
+        self.retriable = False
+        super().__init__(message)
+
+
 class ShardExecutionError(ReproError):
     """A shard operation failed after exhausting its retry budget.
 

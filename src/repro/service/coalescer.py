@@ -1,0 +1,329 @@
+"""Micro-batch coalescing front-end over one engine.
+
+:class:`MicroBatchCoalescer` is the asyncio heart of the serving tier: many
+concurrent small requests become few large ``engine.run_many`` batches.
+
+* **Windows.**  The first :meth:`submit` opens a micro-batch window that
+  closes after ``ServiceConfig.batch_window_ms`` (or early, once it holds
+  ``max_batch_size`` requests).  Every request arriving while the window is
+  open joins the same batch, so the engine's optimize stage — dedupe plus
+  (type x capability) grouping — turns N client round-trips into one
+  vectorized pass.  When the window closes, the whole batch runs as **one**
+  ``engine.run_many`` call on a worker thread (the event loop never blocks
+  on index work) and each request's future is resolved from the batch
+  results.  Answers are bit-identical to direct ``run`` calls — including
+  ``degraded``/``failed_shards`` flags — because the batch path *is* the
+  engine's ordinary pipeline.
+
+* **Admission control.**  A request that would push the service past
+  ``max_queue_depth`` (waiting + executing) is shed immediately with the
+  canonical :class:`~repro.exceptions.ServiceOverloadError`; one whose
+  deadline would expire before the open window can close is shed with
+  :class:`~repro.exceptions.DeadlineExceededError` (and a deadline that
+  lapses while waiting in the window sheds at dispatch).  Nothing is ever
+  queued unboundedly, and every shed increments a per-reason counter
+  (``queue_full`` / ``deadline`` / ``shutdown``) surfaced by :meth:`stats`.
+
+* **Failure isolation.**  ``run_many`` plans the whole batch up front, so
+  one malformed query (unknown segment, bad window) would fail every
+  coalesced neighbour; on a batch-level error the coalescer falls back to
+  per-request ``run`` calls on the same worker thread, so each request gets
+  its own answer or its own canonical error.
+
+* **Graceful drain.**  :meth:`aclose` stops admission (new submits shed as
+  retriable ``shutdown``), shed the requests still waiting in the open
+  window with the same retriable status, and waits up to ``drain_timeout``
+  for in-flight batches to finish — their clients get real answers.
+
+All mutable state lives on the event loop thread: :meth:`submit` runs on the
+loop, window flushes are loop callbacks, and batch completions re-enter the
+loop via future callbacks.  Only ``engine.run_many`` itself executes on the
+worker threads — which is why ``worker_threads > 1`` requires the engine's
+result cache to be thread-safe (it is; see
+:class:`~repro.engine.executor.ResultCache`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from ..exceptions import DeadlineExceededError, ServiceOverloadError
+from ..engine.queries import EngineQuery, EngineResult
+from .config import ServiceConfig
+
+
+class _PendingRequest:
+    """One submitted query waiting in the current micro-batch window."""
+
+    __slots__ = ("query", "future", "deadline")
+
+    def __init__(
+        self,
+        query: EngineQuery,
+        future: "asyncio.Future[EngineResult]",
+        deadline: float | None,
+    ):
+        self.query = query
+        self.future = future
+        self.deadline = deadline  # absolute loop time, None = no deadline
+
+
+class MicroBatchCoalescer:
+    """Coalesce concurrent typed queries into micro-batched ``run_many`` calls.
+
+    One coalescer fronts one engine (either engine class).  Use it from
+    asyncio code::
+
+        coalescer = MicroBatchCoalescer(engine, ServiceConfig())
+        result = await coalescer.submit(CountQuery(["e1", "e2"]))
+
+    and close it with :meth:`aclose` when done.  Not thread-safe by design:
+    every call must come from the event loop that first used it (the HTTP
+    server guarantees this; tests use ``asyncio.run``).
+    """
+
+    def __init__(self, engine, config: ServiceConfig | None = None):
+        self._engine = engine
+        self._config = config or ServiceConfig()
+        self._pending: list[_PendingRequest] = []
+        self._window_handle: asyncio.TimerHandle | None = None
+        self._window_closes_at: float | None = None
+        self._in_flight = 0
+        self._closing = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.worker_threads,
+            thread_name_prefix="repro-serve",
+        )
+        # Counters (read by stats(); all mutated on the event loop thread).
+        self._submitted = 0
+        self._served = 0
+        self._failed = 0
+        self._batches = 0
+        self._executed = 0
+        self._coalesced = 0
+        self._largest_batch = 0
+        self._shed: dict[str, int] = {"queue_full": 0, "deadline": 0, "shutdown": 0}
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The service configuration this coalescer enforces."""
+        return self._config
+
+    @property
+    def engine(self):
+        """The engine every micro-batch executes against."""
+        return self._engine
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently inside the service (waiting + executing)."""
+        return len(self._pending) + self._in_flight
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`aclose` has started; new submits are shed."""
+        return self._closing
+
+    # ------------------------------------------------------------------ #
+    # submission (admission control lives here)
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self, query: EngineQuery, timeout: float | None = None
+    ) -> EngineResult:
+        """Join the current micro-batch window and await the answer.
+
+        ``timeout`` is this request's deadline in seconds from now
+        (``None`` falls back to the config's ``default_deadline``).  Raises
+        :class:`~repro.exceptions.ServiceOverloadError` /
+        :class:`~repro.exceptions.DeadlineExceededError` when admission
+        control sheds the request, and whatever canonical error the engine
+        raises for the query itself otherwise.
+        """
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        if timeout is None:
+            timeout = self._config.default_deadline
+        deadline = None if timeout is None else now + timeout
+        if self._closing:
+            self._shed["shutdown"] += 1
+            raise ServiceOverloadError("shutdown", "service is draining; retry later")
+        if self.queue_depth >= self._config.max_queue_depth:
+            self._shed["queue_full"] += 1
+            raise ServiceOverloadError(
+                "queue_full",
+                f"queue depth {self.queue_depth} at max_queue_depth="
+                f"{self._config.max_queue_depth}; retry later",
+            )
+        window_closes_at = (
+            self._window_closes_at
+            if self._pending
+            else now + self._config.batch_window_ms / 1000.0
+        )
+        if deadline is not None and deadline < window_closes_at:
+            self._shed["deadline"] += 1
+            raise DeadlineExceededError(
+                "deadline expires before the current micro-batch window closes"
+            )
+        self._submitted += 1
+        future: "asyncio.Future[EngineResult]" = loop.create_future()
+        self._pending.append(_PendingRequest(query, future, deadline))
+        if len(self._pending) == 1:
+            self._window_closes_at = window_closes_at
+            self._window_handle = loop.call_later(
+                self._config.batch_window_ms / 1000.0, self._flush
+            )
+        if len(self._pending) >= self._config.max_batch_size:
+            self._flush()
+        return await future
+
+    # ------------------------------------------------------------------ #
+    # window flush and batch execution
+    # ------------------------------------------------------------------ #
+    def _flush(self) -> None:
+        """Close the open window and dispatch its batch to a worker thread."""
+        if self._window_handle is not None:
+            self._window_handle.cancel()
+            self._window_handle = None
+        self._window_closes_at = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        loop = asyncio.get_event_loop()
+        now = loop.time()
+        ready: list[_PendingRequest] = []
+        for request in batch:
+            if request.future.done():  # client gave up (cancelled) while queued
+                continue
+            if request.deadline is not None and request.deadline <= now:
+                self._shed["deadline"] += 1
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        "request deadline expired while waiting in the micro-batch window"
+                    )
+                )
+                continue
+            ready.append(request)
+        if not ready:
+            return
+        self._in_flight += len(ready)
+        self._batches += 1
+        self._executed += len(ready)
+        if len(ready) > 1:
+            self._coalesced += len(ready)
+        self._largest_batch = max(self._largest_batch, len(ready))
+        task = loop.run_in_executor(
+            self._executor, self._run_batch, [request.query for request in ready]
+        )
+        task.add_done_callback(lambda done: self._resolve(ready, done))
+
+    def _run_batch(
+        self, queries: Sequence[EngineQuery]
+    ) -> list[tuple[str, object]]:
+        """Execute one micro-batch on a worker thread.
+
+        Returns one ``("ok", result)`` / ``("error", exception)`` outcome per
+        query.  The happy path is a single ``run_many``; if the batch-level
+        call raises (planning rejects the whole batch on the first invalid
+        query), each query re-runs individually so one bad request cannot
+        fail its coalesced neighbours.
+        """
+        try:
+            results = self._engine.run_many(list(queries))
+            return [("ok", result) for result in results]
+        except Exception:
+            outcomes: list[tuple[str, object]] = []
+            for query in queries:
+                try:
+                    outcomes.append(("ok", self._engine.run(query)))
+                except Exception as error:
+                    outcomes.append(("error", error))
+            return outcomes
+
+    def _resolve(
+        self, ready: list[_PendingRequest], done: "asyncio.Future"
+    ) -> None:
+        """Resolve per-request futures from a finished batch (loop thread)."""
+        self._in_flight -= len(ready)
+        try:
+            outcomes = done.result()
+        except Exception as error:  # executor torn down mid-batch
+            for request in ready:
+                if not request.future.done():
+                    self._failed += 1
+                    request.future.set_exception(error)
+            return
+        for request, (status, payload) in zip(ready, outcomes):
+            if request.future.done():
+                continue
+            if status == "ok":
+                self._served += 1
+                request.future.set_result(payload)
+            else:
+                self._failed += 1
+                request.future.set_exception(payload)
+
+    # ------------------------------------------------------------------ #
+    # observability and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, object]:
+        """Service counters: load shedding, coalescing effectiveness, depth.
+
+        ``coalesced`` counts requests that shared a batch with at least one
+        other; ``mean_batch_size`` is executed requests over engine batches
+        — the coalescing ratio the benchmark tracks.
+        """
+        shed = dict(self._shed)
+        return {
+            "submitted": self._submitted,
+            "served": self._served,
+            "failed": self._failed,
+            "shed": shed,
+            "shed_total": sum(shed.values()),
+            "batches": self._batches,
+            "executed": self._executed,
+            "coalesced": self._coalesced,
+            "largest_batch": self._largest_batch,
+            "mean_batch_size": (
+                self._executed / self._batches if self._batches else 0.0
+            ),
+            "queue_depth": self.queue_depth,
+            "in_flight": self._in_flight,
+            "draining": self._closing,
+        }
+
+    async def aclose(self) -> None:
+        """Graceful drain: shed the queued, finish the in-flight, shut down.
+
+        Requests still waiting in the open window are shed with a
+        *retriable* :class:`~repro.exceptions.ServiceOverloadError`
+        (``reason="shutdown"``) — they never reached the engine, so a client
+        can safely resubmit elsewhere.  Batches already executing finish and
+        resolve their futures normally, waited on for up to
+        ``drain_timeout`` seconds.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if self._window_handle is not None:
+            self._window_handle.cancel()
+            self._window_handle = None
+        self._window_closes_at = None
+        queued, self._pending = self._pending, []
+        for request in queued:
+            if not request.future.done():
+                self._shed["shutdown"] += 1
+                request.future.set_exception(
+                    ServiceOverloadError(
+                        "shutdown", "service shut down before execution; retry"
+                    )
+                )
+        loop = asyncio.get_running_loop()
+        drain_deadline = loop.time() + self._config.drain_timeout
+        while self._in_flight and loop.time() < drain_deadline:
+            await asyncio.sleep(0.005)
+        self._executor.shutdown(wait=False)
+
+
+__all__ = ["MicroBatchCoalescer"]

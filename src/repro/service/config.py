@@ -1,0 +1,165 @@
+"""Serving-tier configuration.
+
+:class:`ServiceConfig` mirrors the conventions of
+:class:`~repro.engine.config.EngineConfig`: one frozen dataclass carries every
+knob of the serving tier, validates itself in ``__post_init__`` with
+:class:`~repro.exceptions.ConstructionError`, and round-trips through
+``as_dict``/``from_dict``.  On top of that it is **env-driven** (the service
+idiom): :meth:`ServiceConfig.from_env` reads ``REPRO_SERVE_*`` environment
+variables as defaults, with explicit keyword arguments (the CLI's flags)
+taking precedence, so a deployment can be reconfigured without touching the
+command line.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, fields
+
+from ..exceptions import ConstructionError
+
+#: Prefix of the environment variables :meth:`ServiceConfig.from_env` reads.
+ENV_PREFIX = "REPRO_SERVE_"
+
+#: Config fields that may be configured through the environment, mapped to
+#: the parser applied to the raw string value.
+_ENV_FIELDS: dict[str, type | object] = {
+    "host": str,
+    "port": int,
+    "batch_window_ms": float,
+    "max_batch_size": int,
+    "max_queue_depth": int,
+    "default_deadline": float,
+    "worker_threads": int,
+    "drain_timeout": float,
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving tier (:mod:`repro.service`).
+
+    Parameters
+    ----------
+    host:
+        Interface the HTTP server binds (default loopback).
+    port:
+        TCP port to listen on.  ``0`` asks the OS for a free port — the
+        bound port is reported by :attr:`TrajectoryService.port` (used by
+        tests and benchmarks).
+    batch_window_ms:
+        Length of one micro-batch window in milliseconds.  The first request
+        to arrive opens a window; every request submitted before it closes
+        joins the same engine ``run_many`` batch.  ``0`` closes the window
+        as soon as the event loop drains the submissions already queued on
+        it (coalescing then only merges genuinely simultaneous arrivals).
+    max_batch_size:
+        Requests per micro-batch; a window closes early once it holds this
+        many.  ``1`` disables coalescing (every request is its own engine
+        batch) — the benchmark's control configuration.
+    max_queue_depth:
+        Admission bound on requests inside the service (waiting in the open
+        window plus executing on worker threads).  A request that would
+        exceed it is shed immediately with
+        :class:`~repro.exceptions.ServiceOverloadError` instead of queuing
+        unboundedly.
+    default_deadline:
+        Per-request deadline in **seconds**, applied when a request does not
+        carry its own ``deadline_ms``.  A request whose deadline would
+        expire before the current window can close is shed immediately with
+        :class:`~repro.exceptions.DeadlineExceededError`; one whose deadline
+        lapses while waiting in the window is shed at dispatch.  ``None``
+        (default) disables deadline enforcement.
+    worker_threads:
+        Threads executing engine batches.  Each closed window runs as one
+        ``engine.run_many`` call on one of these threads, so the asyncio
+        event loop never blocks on index work; ``>1`` lets a new window
+        execute while the previous one is still running (the engine's
+        result cache is thread-safe for exactly this).
+    drain_timeout:
+        Seconds the graceful shutdown waits for in-flight batches to finish
+        before giving up on them.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8123
+    batch_window_ms: float = 5.0
+    max_batch_size: int = 64
+    max_queue_depth: int = 1024
+    default_deadline: float | None = None
+    worker_threads: int = 2
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.host or not str(self.host).strip():
+            raise ConstructionError("the service host must be a non-empty string")
+        if not 0 <= self.port <= 65535:
+            raise ConstructionError(
+                f"port must be in [0, 65535] (0 = ephemeral), got {self.port}"
+            )
+        if self.batch_window_ms < 0:
+            raise ConstructionError(
+                f"batch_window_ms must be non-negative, got {self.batch_window_ms}"
+            )
+        if self.max_batch_size < 1:
+            raise ConstructionError(
+                f"max_batch_size must be at least 1, got {self.max_batch_size}"
+            )
+        if self.max_queue_depth < 1:
+            raise ConstructionError(
+                f"max_queue_depth must be at least 1, got {self.max_queue_depth}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ConstructionError(
+                f"default_deadline must be positive when given, got {self.default_deadline}"
+            )
+        if self.worker_threads < 1:
+            raise ConstructionError(
+                f"worker_threads must be at least 1, got {self.worker_threads}"
+            )
+        if self.drain_timeout < 0:
+            raise ConstructionError(
+                f"drain_timeout must be non-negative, got {self.drain_timeout}"
+            )
+
+    @classmethod
+    def from_env(cls, **overrides: object) -> "ServiceConfig":
+        """Build a config from ``REPRO_SERVE_*`` env vars plus overrides.
+
+        Precedence: explicit keyword arguments (pass ``None`` to mean "not
+        given") > environment variables > dataclass defaults.  Environment
+        values are parsed with the field's type; a malformed value raises
+        :class:`~repro.exceptions.ConstructionError` naming the variable.
+        """
+        values: dict[str, object] = {}
+        for name, parser in _ENV_FIELDS.items():
+            variable = ENV_PREFIX + name.upper()
+            raw = os.environ.get(variable)
+            if raw is None or not raw.strip():
+                continue
+            try:
+                values[name] = parser(raw)  # type: ignore[operator]
+            except ValueError as error:
+                raise ConstructionError(
+                    f"malformed {variable}={raw!r}: {error}"
+                ) from error
+        for name, value in overrides.items():
+            if value is not None:
+                values[name] = value
+        return cls(**values)  # type: ignore[arg-type]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe representation (echoed by ``/health`` and ``/stats``)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "ServiceConfig":
+        """Rebuild a config from :meth:`as_dict` output (unknown keys rejected)."""
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConstructionError(f"unknown ServiceConfig fields: {sorted(unknown)}")
+        return cls(**data)  # type: ignore[arg-type]
+
+
+__all__ = ["ENV_PREFIX", "ServiceConfig"]

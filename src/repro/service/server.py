@@ -1,0 +1,378 @@
+"""Asyncio HTTP surface of the serving tier.
+
+:class:`TrajectoryService` binds a minimal stdlib HTTP/1.1 server in front of
+one engine and its :class:`~repro.service.coalescer.MicroBatchCoalescer`:
+
+``POST /query``
+    One JSON query document (see :mod:`repro.service.protocol`).  The request
+    joins the current micro-batch window and is answered with the serialized
+    typed result — bit-identical to a direct ``engine.run``, reliability
+    flags included.  Malformed documents get ``400``; shed requests get
+    ``503`` (overload / shutdown, with ``Retry-After``) or ``504``
+    (deadline); engine failures get ``500``.  Every error body is JSON with
+    ``error``/``reason``/``retriable`` fields.
+``GET /health``
+    Liveness + readiness: the engine's shard health, growth epochs, result
+    cache statistics, queue depth, and the per-reason shed counters.  The
+    top-level ``status`` echoes the engine's ``"ok"``/``"failing"`` while
+    serving and reads ``"draining"`` once shutdown has begun.
+``GET /stats``
+    The full observability surface: ``engine.stats()`` plus the coalescer's
+    counters and the resolved :class:`~repro.service.config.ServiceConfig`.
+
+Every response closes the connection (``Connection: close``) — clients are
+expected to be short-lived stdlib ``urllib`` callers, not keep-alive pools.
+
+Two entry points wrap the service:
+
+* :func:`run_service` — blocking runner used by ``python -m repro serve``;
+  installs SIGINT/SIGTERM handlers that trigger the graceful drain.
+* :func:`serve_in_background` — starts the service on a daemon thread with
+  its own event loop and returns a :class:`ServiceHandle` exposing the bound
+  port; used by tests, benchmarks, and ``examples/serve_and_query.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+
+from ..exceptions import (
+    DeadlineExceededError,
+    QueryError,
+    AlphabetError,
+    ReproError,
+    ServiceOverloadError,
+)
+from .coalescer import MicroBatchCoalescer
+from .config import ServiceConfig
+from .protocol import query_from_json, result_to_json
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB is generous for a single query document
+_MAX_HEADER_LINES = 100
+
+
+class TrajectoryService:
+    """One engine behind a coalescing HTTP front-end.
+
+    Lifecycle: :meth:`start` binds the socket (resolving ``port=0`` to the
+    OS-chosen port), :meth:`serve_forever` blocks until :meth:`aclose`,
+    which stops accepting, drains the coalescer, and closes the listener.
+    """
+
+    def __init__(self, engine, config: ServiceConfig | None = None):
+        self._config = config or ServiceConfig()
+        self._coalescer = MicroBatchCoalescer(engine, self._config)
+        self._server: asyncio.AbstractServer | None = None
+        self._closed = asyncio.Event()
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self._config
+
+    @property
+    def engine(self):
+        return self._coalescer.engine
+
+    @property
+    def coalescer(self) -> MicroBatchCoalescer:
+        return self._coalescer
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (meaningful once :meth:`start` returned)."""
+        if self._server is None or not self._server.sockets:
+            return self._config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listening socket and begin accepting connections."""
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self._config.host, port=self._config.port
+        )
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`aclose` is called (from a signal or elsewhere)."""
+        if self._server is None:
+            await self.start()
+        await self._closed.wait()
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: stop accepting, drain the coalescer, unblock
+        :meth:`serve_forever`."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._coalescer.aclose()
+        self._closed.set()
+
+    # ------------------------------------------------------------------ #
+    # observability payloads (shared by the HTTP routes and tests)
+    # ------------------------------------------------------------------ #
+    def health_payload(self) -> dict[str, object]:
+        """The ``GET /health`` document."""
+        engine_stats = self.engine.stats()
+        health = engine_stats["health"]
+        service = self._coalescer.stats()
+        if self._coalescer.draining:
+            status = "draining"
+        else:
+            status = health["status"]  # the engine's "ok" / "failing"
+        return {
+            "status": status,
+            "engine_health": health,
+            "epochs": engine_stats["epochs"],
+            "cache": engine_stats["cache"],
+            "queue_depth": service["queue_depth"],
+            "shed": service["shed"],
+            "served": service["served"],
+            "coalesced": service["coalesced"],
+        }
+
+    def stats_payload(self) -> dict[str, object]:
+        """The ``GET /stats`` document."""
+        return {
+            "engine": self.engine.stats(),
+            "service": self._coalescer.stats(),
+            "config": self._config.as_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+            await self._write_response(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, object]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, _error_body("malformed request line", "bad_request")
+        method, target, _version = parts
+        content_length = 0
+        for _ in range(_MAX_HEADER_LINES):
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, _error_body("malformed Content-Length", "bad_request")
+        else:
+            return 431, _error_body("too many request headers", "bad_request")
+        if content_length > _MAX_BODY_BYTES:
+            return 413, _error_body("request body too large", "bad_request")
+
+        path = target.split("?", 1)[0]
+        if method == "GET" and path == "/health":
+            return 200, self.health_payload()
+        if method == "GET" and path == "/stats":
+            return 200, self.stats_payload()
+        if path == "/query":
+            if method != "POST":
+                return 405, _error_body("use POST for /query", "method_not_allowed")
+            body = await reader.readexactly(content_length) if content_length else b""
+            return await self._handle_query(body)
+        return 404, _error_body(f"no such route: {method} {path}", "not_found")
+
+    async def _handle_query(self, body: bytes) -> tuple[int, dict[str, object]]:
+        try:
+            document = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            return 400, _error_body("request body is not valid JSON", "bad_request")
+        try:
+            query, timeout = query_from_json(document)
+            result = await self._coalescer.submit(query, timeout=timeout)
+        except ServiceOverloadError as error:
+            return 503, _error_body(str(error), error.reason, retriable=True)
+        except DeadlineExceededError as error:
+            return 504, _error_body(str(error), error.reason)
+        except (QueryError, AlphabetError) as error:
+            return 400, _error_body(str(error), "bad_request")
+        except ReproError as error:
+            return 500, _error_body(str(error), "engine_error")
+        return 200, result_to_json(result)
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict[str, object]
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "OK")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        if status == 503:
+            headers.append("Retry-After: 1")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _error_body(
+    message: str, reason: str, retriable: bool = False
+) -> dict[str, object]:
+    return {"error": message, "reason": reason, "retriable": retriable}
+
+
+# --------------------------------------------------------------------------- #
+# blocking runner (CLI)
+# --------------------------------------------------------------------------- #
+def run_service(engine, config: ServiceConfig | None = None, *, banner=print) -> None:
+    """Serve ``engine`` until SIGINT/SIGTERM, then drain gracefully.
+
+    The blocking entry point behind ``python -m repro serve``.  ``banner``
+    is called once with a human-readable "listening on host:port" line after
+    the socket is bound (tests pass a recorder).
+    """
+
+    async def _run() -> None:
+        service = TrajectoryService(engine, config)
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(service.aclose())
+            )
+        banner(
+            f"serving on http://{service.config.host}:{service.port} "
+            f"(window {service.config.batch_window_ms} ms, "
+            f"batch <= {service.config.max_batch_size}, "
+            f"queue <= {service.config.max_queue_depth})"
+        )
+        await service.serve_forever()
+        banner("drained; bye")
+
+    asyncio.run(_run())
+
+
+# --------------------------------------------------------------------------- #
+# background runner (tests, benchmarks, examples)
+# --------------------------------------------------------------------------- #
+class ServiceHandle:
+    """A :class:`TrajectoryService` running on its own daemon thread.
+
+    Exposes the bound :attr:`port` once the listener is up and a blocking
+    :meth:`close` that performs the full graceful drain.  Usable as a
+    context manager.
+    """
+
+    def __init__(self, engine, config: ServiceConfig | None = None):
+        self._engine = engine
+        self._config = config
+        self._service: TrajectoryService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self._service is None:
+            raise ReproError("service thread failed to start within 30 s")
+
+    def _run(self) -> None:
+        async def _serve() -> None:
+            try:
+                self._service = TrajectoryService(self._engine, self._config)
+                await self._service.start()
+                self._loop = asyncio.get_running_loop()
+            except BaseException as error:  # surface bind failures to the caller
+                self._startup_error = error
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self._service.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except BaseException:
+            self._ready.set()
+
+    @property
+    def port(self) -> int:
+        assert self._service is not None
+        return self._service.port
+
+    @property
+    def url(self) -> str:
+        assert self._service is not None
+        return f"http://{self._service.config.host}:{self.port}"
+
+    @property
+    def service(self) -> TrajectoryService:
+        assert self._service is not None
+        return self._service
+
+    def close(self) -> None:
+        """Trigger the graceful drain and wait for the thread to finish."""
+        if self._loop is not None and self._service is not None:
+            with contextlib.suppress(RuntimeError):
+                asyncio.run_coroutine_threadsafe(
+                    self._service.aclose(), self._loop
+                ).result(timeout=self._service.config.drain_timeout + 30.0)
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve_in_background(engine, config: ServiceConfig | None = None) -> ServiceHandle:
+    """Start ``engine`` behind the HTTP surface on a daemon thread.
+
+    Returns once the socket is bound; the handle's :attr:`ServiceHandle.url`
+    is immediately connectable.  Close the handle (or use it as a context
+    manager) to drain and stop.
+    """
+    return ServiceHandle(engine, config)
+
+
+__all__ = [
+    "ServiceHandle",
+    "TrajectoryService",
+    "run_service",
+    "serve_in_background",
+]
