@@ -9,6 +9,7 @@ whose rows/series mirror the paper's tables and figures.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
@@ -202,6 +203,27 @@ def load_bench_baseline(name: str, directory: str | Path = ".") -> dict[str, obj
     if not path.exists():
         return None
     return json.loads(path.read_text(encoding="utf-8"))
+
+
+def assert_at_scale(scale: float, *, min_scale: float = 1.0, min_cpus: int = 1) -> bool:
+    """Whether a wall-clock performance assertion should be *enforced*.
+
+    Speedup targets only mean something when the benchmark ran on a workload
+    big enough to dominate fixed costs (``scale >= min_scale``) **and** on
+    hardware that can actually overlap the work (``os.cpu_count() >=
+    min_cpus``).  Below either threshold the benchmark should still run and
+    record its table — the numbers remain useful for eyeballing trends — but
+    a hard assert would only report the host, not the code.  Callers write::
+
+        if assert_at_scale(BENCH_SCALE, min_cpus=4):
+            assert speedup >= 1.5
+
+    so CI smoke runs (scale 0.05) and single-core hosts degrade to
+    record-only mode instead of failing.
+    """
+    if scale < min_scale:
+        return False
+    return (os.cpu_count() or 1) >= min_cpus
 
 
 def measure_extraction_time(index: IndexLike, length: int, start_row: int = 0) -> float:

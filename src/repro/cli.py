@@ -81,12 +81,19 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         "--shard-workers",
         type=int,
         default=None,
-        help="bound on the sharded fan-out thread pool (default: min(shards, CPUs))",
+        help="bound on the sharded fan-out dispatchers (default: min(shards, CPUs))",
     )
     _add_reliability_arguments(parser)
 
 
 def _add_reliability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shard-executor",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="sharded fan-out strategy (processes = persistent worker pool; "
+        "default: the config the index was built/saved with)",
+    )
     parser.add_argument(
         "--shard-deadline",
         type=float,
@@ -107,7 +114,9 @@ def _add_reliability_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _apply_reliability_overrides(engine, args: argparse.Namespace) -> None:
-    """Apply query-time reliability flags to a freshly loaded fleet."""
+    """Apply query-time reliability/executor flags to a freshly loaded fleet."""
+    if getattr(args, "shard_executor", None) and hasattr(engine, "configure_executor"):
+        engine.configure_executor(args.shard_executor)
     wants_override = (
         args.shard_deadline is not None
         or args.shard_retries is not None
@@ -149,6 +158,7 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         sa_sample_rate=args.sa_sample_rate,
         num_shards=args.num_shards,
         shard_workers=args.shard_workers,
+        shard_executor=args.shard_executor or "threads",
         shard_deadline=args.shard_deadline,
         shard_retries=args.shard_retries or 0,
         degraded_results=bool(args.degraded_results),
@@ -199,7 +209,7 @@ def _command_query(args: argparse.Namespace) -> int:
     if not (index_dir / "engine.json").exists() and (index_dir / "index.json").exists():
         # A directory written by the legacy save_cinct format.
         return _query_legacy(args, path)
-    engine = load_index(index_dir)
+    engine = load_index(index_dir, mmap=args.mmap)
     _apply_reliability_overrides(engine, args)
     if args.no_cache:
         engine.disable_cache()
@@ -244,6 +254,17 @@ def _command_query(args: argparse.Namespace) -> int:
         if "policy" in health:
             print(f"policy    : {health['policy']}")
             print(f"degraded  : {'on' if health['degraded_results'] else 'off'}")
+        executor = snapshot["executor"]
+        workers = executor.get("workers") or []
+        if workers:
+            pids = ",".join(str(row["pid"]) for row in workers)
+            restarts = sum(int(row["restarts"]) for row in workers)
+            print(
+                f"executor  : {executor['mode']} "
+                f"(workers={len(workers)} pids={pids} restarts={restarts})"
+            )
+        else:
+            print(f"executor  : {executor['mode']}")
     if matches is not None:
         for match in matches[:10]:
             window = ""
@@ -301,6 +322,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             block_size=args.block_size,
             num_shards=args.num_shards,
             shard_workers=args.shard_workers,
+            shard_executor=args.shard_executor or "threads",
         )
         started = time.perf_counter()
         engine = build_engine(trajectories, config)
@@ -330,7 +352,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     # Imported here so the serving tier is only paid for by serving processes.
     from .service import ServiceConfig, run_service
 
-    engine = load_index(Path(args.index))
+    engine = load_index(Path(args.index), mmap=args.mmap)
     _apply_reliability_overrides(engine, args)
     config = ServiceConfig.from_env(
         host=args.host,
@@ -346,7 +368,17 @@ def _command_serve(args: argparse.Namespace) -> int:
     num_shards = getattr(engine, "num_shards", 1)
     if num_shards > 1:
         print(f"shards    : {num_shards}")
-    run_service(engine, config)
+        print(f"executor  : {engine.executor_info()['mode']}")
+    if args.mmap:
+        print("mmap      : on (index arrays mapped read-only)")
+    try:
+        run_service(engine, config)
+    finally:
+        # Stop any shard worker processes deterministically; leaving them to
+        # interpreter-exit finalizers races multiprocessing's own exit hook.
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     return 0
 
 
@@ -386,6 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--t-start", type=float, default=None, help="strict-path window start")
     query.add_argument("--t-end", type=float, default=None, help="strict-path window end")
     query.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the index arrays read-only instead of copying them",
+    )
+    query.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the engine's plan-keyed result cache for this query",
@@ -414,7 +451,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-workers",
         type=int,
         default=None,
-        help="bound on the sharded fan-out thread pool (default: min(shards, CPUs))",
+        help="bound on the sharded fan-out dispatchers (default: min(shards, CPUs))",
+    )
+    compare.add_argument(
+        "--shard-executor",
+        choices=("serial", "threads", "processes"),
+        default=None,
+        help="sharded fan-out strategy for every built fleet",
     )
     compare.add_argument("--pattern-length", type=int, default=10)
     compare.add_argument("--n-patterns", type=int, default=20)
@@ -434,6 +477,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve a saved index over HTTP with micro-batch coalescing",
     )
     serve.add_argument("--index", type=Path, required=True, help="directory of the saved index")
+    serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the index arrays read-only (workers share the pages)",
+    )
     # Service flags default to None so ServiceConfig.from_env applies the
     # precedence flag > REPRO_SERVE_* env var > built-in default.
     serve.add_argument("--host", default=None, help="interface to bind (default 127.0.0.1)")

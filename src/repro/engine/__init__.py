@@ -42,9 +42,18 @@ from .reliability import (
     ShardHealth,
     ShardPolicy,
     ShardTimeoutError,
+    WorkerCrashError,
     run_shard_attempts,
 )
-from .sharding import ShardRouter, ShardedTrajectoryEngine, build_engine
+from .sharding import (
+    SerialShardExecutor,
+    ShardExecutor,
+    ShardRouter,
+    ShardedTrajectoryEngine,
+    ThreadShardExecutor,
+    build_engine,
+)
+from .workers import ProcessShardExecutor, ShardWorker
 from .queries import (
     ContainsQuery,
     ContainsResult,
@@ -69,11 +78,18 @@ __all__ = [
     "ShardRouter",
     "ShardedTrajectoryEngine",
     "build_engine",
+    # shard executors
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "ShardWorker",
     # reliability layer
     "ShardPolicy",
     "ShardAttempt",
     "ShardHealth",
     "ShardTimeoutError",
+    "WorkerCrashError",
     "run_shard_attempts",
     # registry
     "BackendSpec",

@@ -215,8 +215,10 @@ class _SingleStringBackend(EngineBackend):
     def _string_from_meta(
         text: np.ndarray, alphabet: Alphabet, meta: dict[str, object]
     ) -> TrajectoryString:
+        # asanyarray keeps an np.memmap as a memmap (zero-copy loads);
+        # asarray would flatten it into an anonymous view.
         return TrajectoryString(
-            text=np.asarray(text, dtype=np.int64),
+            text=np.asanyarray(text, dtype=np.int64),
             alphabet=alphabet,
             trajectory_lengths=[int(v) for v in meta["trajectory_lengths"]],  # type: ignore[union-attr]
             trajectory_offsets=[int(v) for v in meta["trajectory_offsets"]],  # type: ignore[union-attr]
@@ -282,11 +284,16 @@ class _BWTBackend(_SingleStringBackend):
 
     @staticmethod
     def _load_artefacts(
-        directory: Path, meta: dict[str, object], alphabet: Alphabet
+        directory: Path,
+        meta: dict[str, object],
+        alphabet: Alphabet,
+        mmap: bool = False,
     ) -> tuple[TrajectoryString, BWTResult]:
         from ..io.index_io import load_bwt_result
 
-        bwt_result = load_bwt_result(directory / "bwt.npz")
+        bwt_result = load_bwt_result(
+            directory / "bwt.npz", mmap_mode="r" if mmap else None
+        )
         trajectory_string = _SingleStringBackend._string_from_meta(
             bwt_result.text, alphabet, meta
         )
@@ -318,9 +325,16 @@ class CiNCTBackend(_BWTBackend):
         meta: dict[str, object],
         config: EngineConfig,
         alphabet: Alphabet,
+        mmap: bool = False,
     ) -> "CiNCTBackend":
-        """Rebuild the backend from persisted state (no suffix re-sorting)."""
-        trajectory_string, bwt_result = cls._load_artefacts(directory, meta, alphabet)
+        """Rebuild the backend from persisted state (no suffix re-sorting).
+
+        ``mmap=True`` keeps the BWT artefacts as read-only memory maps into
+        the archive (the succinct structures still rebuild in linear time).
+        """
+        trajectory_string, bwt_result = cls._load_artefacts(
+            directory, meta, alphabet, mmap=mmap
+        )
         return cls(trajectory_string, bwt_result, cls._make_index(bwt_result, config))
 
     @staticmethod
@@ -376,9 +390,12 @@ class FMBaselineBackend(_BWTBackend):
         config: EngineConfig,
         alphabet: Alphabet,
         variant: str = "UFMI",
+        mmap: bool = False,
     ) -> "FMBaselineBackend":
         """Rebuild the named baseline from persisted state."""
-        trajectory_string, bwt_result = cls._load_artefacts(directory, meta, alphabet)
+        trajectory_string, bwt_result = cls._load_artefacts(
+            directory, meta, alphabet, mmap=mmap
+        )
         index = build_baseline(variant, bwt_result, block_size=config.block_size)
         return cls(trajectory_string, bwt_result, index, variant)
 
@@ -415,13 +432,21 @@ class LinearScanBackend(_SingleStringBackend):
         meta: dict[str, object],
         config: EngineConfig,
         alphabet: Alphabet,
+        mmap: bool = False,
     ) -> "LinearScanBackend":
-        """Rebuild the scanner from the persisted raw text."""
+        """Rebuild the scanner from the persisted raw text.
+
+        ``mmap=True`` scans directly over a read-only map of the stored
+        text — the whole point of a no-index baseline served cold.
+        """
+        from ..io.npzutil import load_npz_arrays
+
         path = directory / "text.npz"
         if not path.exists():
             raise DatasetError(f"linear-scan text archive not found: {path}")
-        with np.load(path) as archive:
-            text = archive["text"].astype(np.int64)
+        text = load_npz_arrays(path, mmap_mode="r" if mmap else None)["text"]
+        if text.dtype != np.int64:
+            text = text.astype(np.int64)
         return cls(cls._string_from_meta(text, alphabet, meta))
 
     @property
@@ -445,7 +470,8 @@ class LinearScanBackend(_SingleStringBackend):
         return self._index.occurrences(pattern)
 
     def save_state(self, directory: Path) -> dict[str, object]:
-        np.savez_compressed(directory / "text.npz", text=self._trajectory_string.text)
+        # Uncompressed so load(..., mmap=True) can map the text in place.
+        np.savez(directory / "text.npz", text=self._trajectory_string.text)
         return self._string_meta()
 
 
@@ -482,11 +508,15 @@ class PartitionedBackend(EngineBackend):
         meta: dict[str, object],
         config: EngineConfig,
         alphabet: Alphabet,
+        mmap: bool = False,
     ) -> "PartitionedBackend":
         """Rebuild every partition from its persisted BWT artefacts.
 
         Like the single-index backends, the succinct structures come back in
         linear time from the stored arrays — the suffix sort is never re-run.
+        ``mmap=True`` maps each partition archive read-only; growth after the
+        load builds *new* partitions from new in-memory arrays and never
+        writes through the mapped pages (they would raise if it tried).
         """
         from ..io.index_io import load_bwt_result
 
@@ -495,7 +525,9 @@ class PartitionedBackend(EngineBackend):
             archive_path = directory / str(entry["archive"])
             if not archive_path.exists():
                 raise DatasetError(f"partition archive not found: {archive_path}")
-            bwt_result = load_bwt_result(archive_path)
+            bwt_result = load_bwt_result(
+                archive_path, mmap_mode="r" if mmap else None
+            )
             trajectory_string = TrajectoryString(
                 text=bwt_result.text,
                 alphabet=alphabet,

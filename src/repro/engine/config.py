@@ -17,6 +17,9 @@ from ..exceptions import ConstructionError
 
 DEFAULT_BACKEND = "cinct"
 
+#: Valid values of :attr:`EngineConfig.shard_executor`.
+SHARD_EXECUTORS = ("serial", "threads", "processes")
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -64,9 +67,18 @@ class EngineConfig:
         each run this config with ``num_shards`` reset to 1.  Trajectories
         are routed round-robin by global id, stable across growth and reload.
     shard_workers:
-        Bound on the fleet layer's fan-out thread pool.  ``None`` (default)
-        uses ``min(num_shards, cpu_count)`` workers; ``1`` forces sequential
-        fan-out.  Ignored by unsharded engines.
+        Bound on the fleet layer's fan-out concurrency (threads for the
+        ``threads`` executor, parent-side dispatchers for ``processes``).
+        ``None`` (default) uses ``min(num_shards, cpu_count)`` workers; ``1``
+        forces sequential fan-out.  Ignored by unsharded engines.
+    shard_executor:
+        Fan-out execution strategy of the fleet layer.  ``"threads"``
+        (default) runs per-shard batches on a thread pool, ``"processes"``
+        dispatches them to a pool of long-lived shard worker processes (one
+        per populated shard, forked/spawned once and reused across batches —
+        real parallelism for the GIL-bound plan/merge work), and
+        ``"serial"`` runs shards inline on the calling thread.  Results are
+        bit-identical across all three.  Ignored by unsharded engines.
     shard_deadline:
         Seconds one per-shard fan-out attempt may run before it is abandoned
         with a timeout (and retried if budget remains).  ``None`` (default)
@@ -96,6 +108,7 @@ class EngineConfig:
     cache_max_bytes: int | None = None
     num_shards: int = 1
     shard_workers: int | None = None
+    shard_executor: str = "threads"
     shard_deadline: float | None = None
     shard_retries: int = 0
     degraded_results: bool = False
@@ -128,6 +141,11 @@ class EngineConfig:
         if self.shard_workers is not None and self.shard_workers < 1:
             raise ConstructionError(
                 f"shard_workers must be at least 1 when given, got {self.shard_workers}"
+            )
+        if self.shard_executor not in SHARD_EXECUTORS:
+            raise ConstructionError(
+                f"shard_executor must be one of {sorted(SHARD_EXECUTORS)}, "
+                f"got {self.shard_executor!r}"
             )
         if self.shard_deadline is not None and self.shard_deadline <= 0:
             raise ConstructionError(

@@ -288,9 +288,11 @@ class TrajectoryEngine(ScalarQueryAPI):
         return cls(backend, config, timestamps)
 
     @classmethod
-    def load(cls, directory) -> "TrajectoryEngine":
+    def load(cls, directory, *, mmap: bool = False) -> "TrajectoryEngine":
         """Reload an engine persisted with :meth:`save` (any backend).
 
+        ``mmap=True`` maps the large immutable arrays read-only from their
+        archives instead of copying them (see :func:`repro.io.load_index`).
         Directories holding a sharded fleet are rejected — load those with
         :meth:`~repro.engine.sharding.ShardedTrajectoryEngine.load`, or use
         :func:`repro.io.load_index`, which returns whichever engine class the
@@ -298,7 +300,7 @@ class TrajectoryEngine(ScalarQueryAPI):
         """
         from ..io.index_io import load_index
 
-        engine = load_index(directory)
+        engine = load_index(directory, mmap=mmap)
         if not isinstance(engine, cls):
             raise ConstructionError(
                 f"{directory} holds a sharded fleet; load it with "
@@ -399,6 +401,7 @@ class TrajectoryEngine(ScalarQueryAPI):
             "num_shards": 1,
             "failing_shards": 0,
             "degraded_results": False,
+            "executor": "inline",
             "epoch": self._epoch,
             "n_trajectories": self.n_trajectories,
             "cache": self.cache_stats(),
@@ -427,6 +430,12 @@ class TrajectoryEngine(ScalarQueryAPI):
             "epochs": [self._epoch],
             "size_in_bits": self.size_in_bits(),
             "cache": self.cache_stats(),
+            "executor": {
+                "mode": "inline",
+                "max_workers": 1,
+                "started": True,
+                "workers": [],
+            },
             "health": self.health(),
         }
 

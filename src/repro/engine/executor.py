@@ -314,6 +314,22 @@ class ResultCache:
         self._sizes.clear()
         self._payload_bytes = 0
 
+    def __getstate__(self) -> dict[str, object]:
+        """Picklable snapshot (the lock is recreated on unpickle).
+
+        Shard engines travel to worker processes whole under
+        ``shard_executor="processes"`` with the ``spawn`` start method; the
+        cache ships its entries so a freshly synced worker starts warm.
+        """
+        with self._lock:
+            state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def stats(self) -> dict[str, int | bool]:
         """Counters for observability (CLI ``query --verbose``, benchmarks)."""
         with self._lock:

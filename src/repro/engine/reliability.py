@@ -41,11 +41,41 @@ T = TypeVar("T")
 
 
 class ShardTimeoutError(TimeoutError):
-    """A shard attempt exceeded its per-attempt deadline (retryable)."""
+    """A shard attempt exceeded its per-attempt deadline (retryable).
 
-    def __init__(self, deadline: float):
+    ``pid`` names the shard worker process that was killed for blowing the
+    deadline (``None`` on the thread/serial executors, where the abandoned
+    attempt merely keeps running detached).
+    """
+
+    def __init__(self, deadline: float, pid: int | None = None):
         self.deadline = float(deadline)
-        super().__init__(f"shard attempt exceeded its {deadline:g}s deadline")
+        self.pid = pid
+        message = f"shard attempt exceeded its {deadline:g}s deadline"
+        if pid is not None:
+            message += f" (worker pid {pid} killed)"
+        super().__init__(message)
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker process died mid-batch (retryable: it is respawned).
+
+    Raised by the process executor when the pipe to a worker breaks — the
+    child was killed, segfaulted, or ``os._exit``-ed (the ``worker_crash``
+    fault).  Classified transient by :meth:`ShardPolicy.retryable` (it is not
+    a :class:`~repro.exceptions.ReproError`), so a retry budget covers it:
+    the executor respawns the worker and the retry runs against the fresh
+    process.
+    """
+
+    def __init__(self, shard_id: int, pid: int | None, exitcode: int | None = None):
+        self.shard_id = int(shard_id)
+        self.pid = pid
+        self.exitcode = exitcode
+        detail = f"worker pid {pid}" if pid is not None else "worker"
+        if exitcode is not None:
+            detail += f" (exit {exitcode})"
+        super().__init__(f"shard {shard_id} {detail} died mid-batch; respawned")
 
 
 @dataclass(frozen=True)
@@ -56,10 +86,15 @@ class ShardAttempt:
     error: str
     seconds: float
     timed_out: bool = False
+    pid: int | None = None
 
     def __str__(self) -> str:
         outcome = "timed out" if self.timed_out else self.error
-        return f"attempt {self.number}: {outcome} (after {self.seconds * 1e3:.1f} ms)"
+        where = f" [worker pid {self.pid}]" if self.pid is not None else ""
+        return (
+            f"attempt {self.number}: {outcome}"
+            f" (after {self.seconds * 1e3:.1f} ms){where}"
+        )
 
 
 @dataclass(frozen=True)
@@ -174,6 +209,7 @@ def run_shard_attempts(
     *,
     operation: str = "fan-out",
     rng: random.Random | None = None,
+    enforce_deadline: bool = True,
 ) -> T:
     """Execute one shard operation under a policy.
 
@@ -181,13 +217,20 @@ def run_shard_attempts(
     :class:`~repro.exceptions.ShardExecutionError` carrying the shard id and
     full attempt history once the attempt budget is exhausted or a
     non-retryable failure is classified.
+
+    ``enforce_deadline=False`` skips the watchdog-thread deadline wrapper for
+    callers that bound attempts themselves — the process executor enforces
+    ``policy.deadline`` by polling the worker pipe and killing the child, a
+    stronger guarantee than abandoning a thread, and raises its own
+    :class:`ShardTimeoutError` (still classified retryable here).  Attempts
+    record the worker pid when the raised error carries one.
     """
     rng = rng or random
     attempts: list[ShardAttempt] = []
     for number in range(1, policy.max_attempts + 1):
         started = time.perf_counter()
         try:
-            if policy.deadline is None:
+            if policy.deadline is None or not enforce_deadline:
                 return fn()
             return _call_with_deadline(fn, policy.deadline)
         except Exception as error:
@@ -199,6 +242,7 @@ def run_shard_attempts(
                     error=f"{type(error).__name__}: {error}",
                     seconds=elapsed,
                     timed_out=timed_out,
+                    pid=getattr(error, "pid", None),
                 )
             )
             if number >= policy.max_attempts or not policy.retryable(error):
@@ -234,6 +278,7 @@ class ShardHealth:
                 "successes": 0,
                 "failures": 0,
                 "consecutive_failures": 0,
+                "respawns": 0,
                 "last_error": None,
             }
             for _ in range(num_shards)
@@ -244,6 +289,11 @@ class ShardHealth:
             entry = self._stats[shard_id]
             entry["successes"] += 1
             entry["consecutive_failures"] = 0
+
+    def record_respawn(self, shard_id: int) -> None:
+        """Count one worker-process kill + respawn (process executor only)."""
+        with self._lock:
+            self._stats[shard_id]["respawns"] += 1
 
     def record_failure(self, shard_id: int, error: BaseException) -> None:
         with self._lock:
@@ -269,6 +319,7 @@ __all__ = [
     "ShardHealth",
     "ShardPolicy",
     "ShardTimeoutError",
+    "WorkerCrashError",
     "attempt_from_error",
     "run_shard_attempts",
 ]

@@ -16,8 +16,11 @@ time.  This module shards the fleet instead:
   :class:`~repro.engine.plan.QueryPlanner` over a fleet view: global
   alphabet, total length, total trajectory count), so validation raises the
   exact errors an unsharded engine would; fan-out queries then run on every
-  eligible shard through a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
-  (``EngineConfig.shard_workers``), and single-shard plans (extraction by
+  eligible shard through the configured :class:`ShardExecutor` strategy
+  (``EngineConfig.shard_executor``: a bounded thread pool by default, a pool
+  of long-lived shard worker *processes* via
+  :mod:`repro.engine.workers`, or inline serial execution — all bounded by
+  ``EngineConfig.shard_workers``), and single-shard plans (extraction by
   global BWT row) are routed straight to the owning shard via the plan's
   shard hint.
 * merge rules that keep answers **bit-identical** to an unsharded engine on
@@ -203,6 +206,166 @@ class _FleetTimestampView:
         return self._engine.temporal_size_in_bits()
 
 
+# --------------------------------------------------------------------------- #
+# fan-out executors
+# --------------------------------------------------------------------------- #
+class ShardExecutor:
+    """Strategy surface behind the fleet fan-out (``EngineConfig.shard_executor``).
+
+    One executor belongs to one :class:`ShardedTrajectoryEngine` and turns a
+    list of ``(shard_id, sub-batch)`` jobs into per-shard results, each job
+    running under the engine's live
+    :class:`~repro.engine.reliability.ShardPolicy` (deadline, bounded
+    retries).  Three implementations share the surface:
+
+    * :class:`SerialShardExecutor` — every job inline on the calling thread;
+    * :class:`ThreadShardExecutor` — a bounded thread pool (the default, and
+      exactly the pre-executor fan-out semantics);
+    * :class:`~repro.engine.workers.ProcessShardExecutor` — long-lived shard
+      worker processes fed over pipes, for real parallelism on the
+      GIL-bound plan/merge work.
+
+    Answers are bit-identical across all three — only *where* each shard's
+    ``run_many`` executes differs.  Subclasses override :meth:`attempt` (one
+    try at one shard — the fault-injection point), and optionally
+    :meth:`worker_rows` / :meth:`close` when they own OS resources.
+    """
+
+    #: Name reported by ``health()`` / ``stats()`` and the CLI.
+    mode = "abstract"
+    #: Whether :func:`run_shard_attempts` should enforce ``policy.deadline``
+    #: with its watchdog thread.  Executors that bound attempts themselves
+    #: (the process executor polls the worker pipe and kills the child)
+    #: turn this off and raise their own ``ShardTimeoutError``.
+    enforce_deadline = True
+    #: Whether jobs may run concurrently (the serial executor turns this off).
+    concurrent = True
+
+    def __init__(self, engine: "ShardedTrajectoryEngine"):
+        self._engine = engine
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # the subclass hook
+    # ------------------------------------------------------------------ #
+    def attempt(self, shard_id: int, batch: list[EngineQuery]) -> list[EngineResult]:
+        """One fan-out attempt on one shard (the fault-injection point)."""
+        faults.maybe_inject_shard_fault(shard_id)
+        return self._engine._shards[shard_id].run_many(batch)  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------ #
+    # job execution
+    # ------------------------------------------------------------------ #
+    def run_jobs(
+        self, jobs: list[tuple[int, list[EngineQuery]]]
+    ) -> tuple[dict[int, list[EngineResult]], dict[int, ShardExecutionError]]:
+        """Run every per-shard job, concurrently when it pays.
+
+        Returns surviving results keyed by shard plus the canonical error of
+        every shard that exhausted its budget.  The inline path (one job, one
+        worker, or a serial executor) fails fast — later shards are not
+        consulted once a shard fails with degraded merges off — while the
+        pooled path collects every outcome (they were already in flight).
+        """
+        engine = self._engine
+        shard_results: dict[int, list[EngineResult]] = {}
+        failures: dict[int, ShardExecutionError] = {}
+        if not self.concurrent or len(jobs) <= 1 or engine._max_workers() == 1:
+            for shard_id, batch in jobs:
+                try:
+                    shard_results[shard_id] = self._run_shard(shard_id, batch)
+                except ShardExecutionError as error:
+                    failures[shard_id] = error
+                    if not engine._config.degraded_results:
+                        break  # fail fast; later shards are not consulted
+        else:
+            pool = self._ensure_pool()
+            futures = {
+                shard_id: pool.submit(self._run_shard, shard_id, batch)
+                for shard_id, batch in jobs
+            }
+            for shard_id, future in futures.items():
+                try:
+                    shard_results[shard_id] = future.result()
+                except ShardExecutionError as error:
+                    failures[shard_id] = error
+        return shard_results, failures
+
+    def _run_shard(self, shard_id: int, batch: list[EngineQuery]) -> list[EngineResult]:
+        """Execute one shard's sub-batch under the engine's reliability policy."""
+        engine = self._engine
+        return run_shard_attempts(
+            shard_id,
+            lambda: self.attempt(shard_id, batch),
+            engine._policy,
+            operation="fan-out",
+            rng=engine._rng,
+            enforce_deadline=self.enforce_deadline,
+        )
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        # Locked: concurrent run_many callers (the serving tier's worker
+        # threads) may race the first fan-out, and two pools would leak one.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._engine._max_workers(),
+                    thread_name_prefix="repro-shard",
+                )
+                # Engines are often loaded, used and dropped (services
+                # reloading their index); release the threads when the
+                # executor is collected rather than requiring close().
+                weakref.finalize(self, self._pool.shutdown, wait=False)
+            return self._pool
+
+    # ------------------------------------------------------------------ #
+    # observability / lifecycle
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict[str, object]:
+        """JSON-safe executor snapshot for ``health()`` / ``stats()``."""
+        return {
+            "mode": self.mode,
+            "max_workers": self._engine._max_workers(),
+            "workers": self.worker_rows(),
+        }
+
+    def worker_rows(self) -> list[dict[str, object]]:
+        """Per-worker-process rows (empty for the in-process executors)."""
+        return []
+
+    def close(self) -> None:
+        """Release pools/processes; the engine recreates lazily on next use."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class SerialShardExecutor(ShardExecutor):
+    """Inline fan-out on the calling thread (``shard_executor="serial"``).
+
+    No pools, no threads, no processes — the deterministic baseline the
+    parity suites compare the concurrent executors against, and the cheapest
+    choice for single-shard fleets or debugging.
+    """
+
+    mode = "serial"
+    concurrent = False
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Thread-pool fan-out (``shard_executor="threads"``, the default).
+
+    Inherits the base behaviour unchanged: sub-batches run on a bounded
+    :class:`~concurrent.futures.ThreadPoolExecutor` once more than one job is
+    in flight and more than one worker is allowed.  Best when the per-shard
+    work releases the GIL (NumPy-heavy backends) or the fleet is small.
+    """
+
+    mode = "threads"
+
+
 class ShardedTrajectoryEngine(ScalarQueryAPI):
     """N shard-routed :class:`TrajectoryEngine` instances behind one facade.
 
@@ -240,8 +403,8 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             self._spec,
             self._store_view,  # type: ignore[arg-type]
         )
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_lock = threading.Lock()
+        self._executor_impl: ShardExecutor | None = None
+        self._executor_lock = threading.Lock()
         self._policy = ShardPolicy.from_config(config)
         self._health = ShardHealth(config.num_shards)
         self._rng = random.Random()  # backoff jitter only; never affects answers
@@ -283,11 +446,17 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
         return cls(shards, config, alphabet)
 
     @classmethod
-    def load(cls, directory) -> "ShardedTrajectoryEngine":
-        """Reload a sharded fleet persisted with :meth:`save`."""
+    def load(cls, directory, *, mmap: bool = False) -> "ShardedTrajectoryEngine":
+        """Reload a sharded fleet persisted with :meth:`save`.
+
+        ``mmap=True`` maps each shard's immutable arrays read-only from its
+        archives (see :func:`repro.io.load_index`) — with the process
+        executor, shard workers forked from this parent then share one
+        physical copy of the index pages.
+        """
         from ..io.index_io import load_index
 
-        engine = load_index(directory)
+        engine = load_index(directory, mmap=mmap)
         if not isinstance(engine, cls):
             raise ConstructionError(
                 f"{directory} holds an unsharded engine; load it with "
@@ -465,6 +634,10 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
         result-cache stats; the top level echoes the active policy and
         whether degraded merges are enabled.
         """
+        executor = self.executor_info()
+        worker_rows = {
+            row["shard"]: row for row in executor["workers"]  # type: ignore[index]
+        }
         rows: list[dict[str, object]] = []
         for shard_id, (shard, stats) in enumerate(
             zip(self._shards, self._health.snapshot())
@@ -475,6 +648,7 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             row["epoch"] = 0 if shard is None else shard.epoch
             row["n_trajectories"] = 0 if shard is None else shard.n_trajectories
             row["cache"] = None if shard is None else shard.cache_stats()
+            row["worker"] = worker_rows.get(shard_id)
             rows.append(row)
         failing = sum(1 for row in rows if row["status"] == "failing")
         return {
@@ -484,6 +658,7 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             "failing_shards": failing,
             "degraded_results": self._config.degraded_results,
             "policy": self._policy.describe(),
+            "executor": executor["mode"],
             "epoch": self.epoch,
             "n_trajectories": self.n_trajectories,
             "shards": rows,
@@ -509,6 +684,7 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             "epochs": list(self.epochs),
             "size_in_bits": self.size_in_bits(),
             "cache": self.cache_stats(),
+            "executor": self.executor_info(),
             "health": self.health(),
         }
 
@@ -700,25 +876,10 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
     # ------------------------------------------------------------------ #
     # fan-out / merge
     # ------------------------------------------------------------------ #
-    def _call_shard(self, shard_id: int, batch: list[EngineQuery]) -> list[EngineResult]:
-        """One fan-out attempt on one shard (the fault-injection point)."""
-        faults.maybe_inject_shard_fault(shard_id)
-        return self._shards[shard_id].run_many(batch)  # type: ignore[union-attr]
-
-    def _run_shard(self, shard_id: int, batch: list[EngineQuery]) -> list[EngineResult]:
-        """Execute one shard's sub-batch under the engine's reliability policy."""
-        return run_shard_attempts(
-            shard_id,
-            lambda: self._call_shard(shard_id, batch),
-            self._policy,
-            operation="fan-out",
-            rng=self._rng,
-        )
-
     def _fan_out(
         self, shard_batches: list[list[EngineQuery]]
     ) -> tuple[dict[int, list[EngineResult]], frozenset[int]]:
-        """Run every non-empty per-shard batch, concurrently when it pays.
+        """Run every non-empty per-shard batch through the active executor.
 
         Each sub-batch runs under the engine's :class:`ShardPolicy` (deadline,
         bounded retries).  Returns the surviving shards' results plus the set
@@ -732,27 +893,7 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             for shard_id, batch in enumerate(shard_batches)
             if batch
         ]
-        shard_results: dict[int, list[EngineResult]] = {}
-        failures: dict[int, ShardExecutionError] = {}
-        if len(jobs) <= 1 or self._max_workers() == 1:
-            for shard_id, batch in jobs:
-                try:
-                    shard_results[shard_id] = self._run_shard(shard_id, batch)
-                except ShardExecutionError as error:
-                    failures[shard_id] = error
-                    if not self._config.degraded_results:
-                        break  # fail fast; later shards are not consulted
-        else:
-            pool = self._ensure_pool()
-            futures = {
-                shard_id: pool.submit(self._run_shard, shard_id, batch)
-                for shard_id, batch in jobs
-            }
-            for shard_id, future in futures.items():
-                try:
-                    shard_results[shard_id] = future.result()
-                except ShardExecutionError as error:
-                    failures[shard_id] = error
+        shard_results, failures = self._ensure_executor().run_jobs(jobs)
         for shard_id in shard_results:
             self._health.record_success(shard_id)
         for shard_id, error in failures.items():
@@ -865,33 +1006,85 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
         return tuple(merged)
 
     # ------------------------------------------------------------------ #
-    # thread pool plumbing
+    # executor plumbing
     # ------------------------------------------------------------------ #
     def _max_workers(self) -> int:
         if self._config.shard_workers is not None:
             return max(1, int(self._config.shard_workers))
         return max(1, min(self.num_shards, os.cpu_count() or 1))
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
+    def _make_executor(self) -> ShardExecutor:
+        mode = self._config.shard_executor
+        if mode == "processes":
+            from .workers import ProcessShardExecutor
+
+            return ProcessShardExecutor(self)
+        if mode == "serial":
+            return SerialShardExecutor(self)
+        return ThreadShardExecutor(self)
+
+    def _ensure_executor(self) -> ShardExecutor:
         # Locked: concurrent run_many callers (the serving tier's worker
-        # threads) may race the first fan-out, and two pools would leak one.
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self._max_workers(), thread_name_prefix="repro-shard"
-                )
-                # Engines are often loaded, used and dropped (services reloading
-                # their index); release the workers when the engine is collected
-                # rather than requiring an explicit close().
-                weakref.finalize(self, self._pool.shutdown, wait=False)
-            return self._pool
+        # threads) may race the first fan-out, and two executors would leak
+        # the loser's pool/processes.
+        with self._executor_lock:
+            if self._executor_impl is None:
+                self._executor_impl = self._make_executor()
+            return self._executor_impl
+
+    @property
+    def _pool(self) -> ThreadPoolExecutor | None:
+        """The active executor's dispatch thread pool (``None`` until one is
+        actually spun up — the inline fast paths never create it)."""
+        executor = self._executor_impl
+        return None if executor is None else executor._pool
+
+    def configure_executor(self, mode: str) -> None:
+        """Switch fan-out execution strategy on a live fleet.
+
+        The query-time counterpart of ``EngineConfig.shard_executor`` (a
+        reloaded index carries the config it was built with; the CLI's
+        ``--shard-executor`` flag lands here).  The previous executor's
+        pool/worker processes are shut down; the new strategy is created
+        lazily on the next fan-out.  Validation runs through the config's
+        own ``__post_init__``.
+        """
+        new_config = replace(self._config, shard_executor=str(mode))
+        with self._executor_lock:
+            executor, self._executor_impl = self._executor_impl, None
+            self._config = new_config
+        if executor is not None:
+            executor.close()
+
+    def executor_info(self) -> dict[str, object]:
+        """JSON-safe snapshot of the fan-out executor (mode, worker rows).
+
+        ``started`` is ``False`` until the first fan-out materialises the
+        executor (worker processes fork lazily); the ``workers`` list carries
+        one row per live shard worker process — pid, restart count, liveness,
+        synced epoch — and stays empty for the in-process executors.
+        """
+        with self._executor_lock:
+            executor = self._executor_impl
+        if executor is None:
+            return {
+                "mode": self._config.shard_executor,
+                "max_workers": self._max_workers(),
+                "started": False,
+                "workers": [],
+            }
+        info = executor.describe()
+        info["started"] = True
+        return info
 
     def close(self) -> None:
-        """Shut the fan-out pool down (engines remain queryable inline)."""
-        with self._pool_lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        """Shut the fan-out executor down — dispatch pool and any shard
+        worker processes (engines remain queryable; the executor is recreated
+        lazily on the next fan-out)."""
+        with self._executor_lock:
+            executor, self._executor_impl = self._executor_impl, None
+        if executor is not None:
+            executor.close()
 
     def __enter__(self) -> "ShardedTrajectoryEngine":
         return self
@@ -927,7 +1120,10 @@ def build_engine(
 
 
 __all__ = [
+    "SerialShardExecutor",
+    "ShardExecutor",
     "ShardRouter",
     "ShardedTrajectoryEngine",
+    "ThreadShardExecutor",
     "build_engine",
 ]

@@ -50,7 +50,7 @@ from ..reliability import faults
 from ..strings.alphabet import Alphabet
 from ..strings.bwt import BWTResult
 from ..strings.trajectory_string import TrajectoryString
-from .npzutil import ensure_npz_suffix
+from .npzutil import ensure_npz_suffix, load_npz_arrays
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..engine.engine import TrajectoryEngine
@@ -91,10 +91,18 @@ _ARTEFACT_PARSE_ERRORS = (
 # BWT artefacts
 # --------------------------------------------------------------------------- #
 def save_bwt_result(bwt_result: BWTResult, path: str | Path) -> Path:
-    """Save the arrays of a :class:`BWTResult` as a compressed ``.npz`` file."""
+    """Save the arrays of a :class:`BWTResult` as an ``.npz`` archive.
+
+    The archive is written **uncompressed** (``ZIP_STORED`` members), so
+    :func:`load_bwt_result` can memory-map the array payloads straight out
+    of the file (``mmap_mode="r"``) instead of decompressing and copying
+    them — the layout behind ``load_index(..., mmap=True)``.  Integer
+    trajectory symbols compress poorly anyway, and the save-time manifest
+    checksums the file bytes either way.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(
+    np.savez(
         path,
         format_version=np.asarray([_FORMAT_VERSION], dtype=np.int64),
         text=bwt_result.text,
@@ -106,25 +114,44 @@ def save_bwt_result(bwt_result: BWTResult, path: str | Path) -> Path:
     return ensure_npz_suffix(path)
 
 
-def load_bwt_result(path: str | Path) -> BWTResult:
-    """Load a :class:`BWTResult` previously written by :func:`save_bwt_result`."""
+def _as_int64(array: np.ndarray) -> np.ndarray:
+    """int64 view of a loaded archive member, copying only on dtype mismatch.
+
+    Memory-mapped members must pass through untouched (an ``astype`` copy
+    would silently materialise the window and drop page sharing); archives
+    written on a platform with a different default integer width still get
+    the converting copy.
+    """
+    if array.dtype == np.int64:
+        return array
+    return array.astype(np.int64)
+
+
+def load_bwt_result(path: str | Path, mmap_mode: str | None = None) -> BWTResult:
+    """Load a :class:`BWTResult` previously written by :func:`save_bwt_result`.
+
+    With ``mmap_mode="r"`` the arrays come back as read-only ``np.memmap``
+    windows into the archive (for uncompressed members; compressed legacy
+    archives fall back to a full parse), so reloading costs header parsing
+    and the index pages are shared across processes mapping the same file.
+    """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"BWT archive not found: {path}")
     try:
-        with np.load(path) as archive:
-            version = int(archive["format_version"][0])
-            if version != _FORMAT_VERSION:
-                raise ConstructionError(
-                    f"unsupported BWT archive version {version} (expected {_FORMAT_VERSION})"
-                )
-            return BWTResult(
-                text=archive["text"].astype(np.int64),
-                bwt=archive["bwt"].astype(np.int64),
-                suffix_array=archive["suffix_array"].astype(np.int64),
-                counts=archive["counts"].astype(np.int64),
-                c_array=archive["c_array"].astype(np.int64),
+        archive = load_npz_arrays(path, mmap_mode=mmap_mode)
+        version = int(archive["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ConstructionError(
+                f"unsupported BWT archive version {version} (expected {_FORMAT_VERSION})"
             )
+        return BWTResult(
+            text=_as_int64(archive["text"]),
+            bwt=_as_int64(archive["bwt"]),
+            suffix_array=_as_int64(archive["suffix_array"]),
+            counts=_as_int64(archive["counts"]),
+            c_array=_as_int64(archive["c_array"]),
+        )
     except _ARTEFACT_PARSE_ERRORS as error:
         # A torn/truncated archive surfaces as BadZipFile / KeyError /
         # ValueError depending on where the bytes were cut; normalize all of
@@ -387,7 +414,8 @@ def _write_index(
         return
     backend_meta = engine.backend.save_state(directory)
     faults.maybe_crash_save(f"{stage_prefix}backend")
-    engine.timestamp_store.save(directory / _TIMESTAMP_ARCHIVE)
+    # Uncompressed so load_index(..., mmap=True) can map the payload arrays.
+    engine.timestamp_store.save(directory / _TIMESTAMP_ARCHIVE, compress=False)
     faults.maybe_crash_save(f"{stage_prefix}timestamps")
     artefacts = [path for path in directory.rglob("*") if path.is_file()]
     document: dict[str, object] = {
@@ -436,7 +464,9 @@ def _write_sharded(
     faults.maybe_crash_save(f"{stage_prefix}document")
 
 
-def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEngine":
+def load_index(
+    directory: str | Path, *, mmap: bool = False
+) -> "TrajectoryEngine | ShardedTrajectoryEngine":
     """Reload an engine persisted by :func:`save_index` (any backend).
 
     Every engine document generation loads: version 4+ shard manifests come
@@ -453,6 +483,20 @@ def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEn
     :func:`save_index`.  Directories written by the legacy
     :func:`save_cinct` are detected and rejected with a pointer to
     :func:`load_cinct`.
+
+    ``mmap=True`` loads the large immutable arrays (BWT artefacts, the raw
+    linear-scan text, the timestamp payloads) as read-only ``np.memmap``
+    windows into their archives instead of decompress-and-copy parses: the
+    succinct structures still rebuild in linear time, but the backing arrays
+    fault in lazily from the page cache and are **shared** between every
+    process mapping the same files — N shard workers hold one physical copy
+    of the index.  Growth after an mmap load is copy-on-grow: new batches
+    build new in-memory arrays, the mapped pages are never written (they are
+    read-only — an accidental write raises), and the on-disk archives stay
+    byte-identical until the next :func:`save_index`.  Archives written
+    before the uncompressed layout load with ``mmap=True`` too, falling back
+    to a full parse member by member.  Checksum verification is unchanged —
+    the manifest hashes file bytes, which the page cache makes cheap.
     """
     from ..engine.config import EngineConfig
     from ..engine.engine import TrajectoryEngine
@@ -485,14 +529,22 @@ def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEn
     if version >= 5 and "manifest" in document:
         _verify_manifest(directory, document["manifest"])
     if "shards" in document:
-        return _load_sharded(directory, document)
+        return _load_sharded(directory, document, mmap=mmap)
     config = EngineConfig.from_dict(document["config"])
     spec = backend_spec(document["backend"])
     alphabet = _alphabet_from_json(document["alphabet"])
     try:
-        backend = spec.loader(
-            directory, document.get("backend_meta", {}), config, alphabet
-        )
+        if mmap:
+            # Only pass the kwarg when asked for: third-party loaders
+            # registered before the mmap layer keep working for plain loads.
+            backend = spec.loader(
+                directory, document.get("backend_meta", {}), config, alphabet,
+                mmap=True,
+            )
+        else:
+            backend = spec.loader(
+                directory, document.get("backend_meta", {}), config, alphabet
+            )
     except ReproError:
         raise
     except _ARTEFACT_PARSE_ERRORS as error:
@@ -508,7 +560,9 @@ def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEn
                 f"from {directory}"
             )
         try:
-            store = TimestampStore.load(timestamps_path)
+            store = TimestampStore.load(
+                timestamps_path, mmap_mode="r" if mmap else None
+            )
         except ReproError:
             raise
         except _ARTEFACT_PARSE_ERRORS as error:
@@ -527,7 +581,9 @@ def load_index(directory: str | Path) -> "TrajectoryEngine | ShardedTrajectoryEn
     return TrajectoryEngine(backend, config, store, epoch=epoch)
 
 
-def _load_sharded(directory: Path, document: dict) -> "ShardedTrajectoryEngine":
+def _load_sharded(
+    directory: Path, document: dict, *, mmap: bool = False
+) -> "ShardedTrajectoryEngine":
     """Reassemble a sharded fleet from a format-v4/v5 shard manifest."""
     from ..engine.config import EngineConfig
     from ..engine.engine import TrajectoryEngine
@@ -551,7 +607,7 @@ def _load_sharded(directory: Path, document: dict) -> "ShardedTrajectoryEngine":
                 f"shard directory {entry!r} is missing or incomplete "
                 f"(no {_ENGINE_DOCUMENT}) at {directory}"
             )
-        shard = load_index(shard_dir)
+        shard = load_index(shard_dir, mmap=mmap)
         if not isinstance(shard, TrajectoryEngine):
             raise ConstructionError(
                 f"shard directory {entry!r} does not hold a single-shard engine"

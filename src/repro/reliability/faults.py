@@ -13,7 +13,19 @@ variables, so a CLI smoke can exercise failure paths without touching code:
     attempts when omitted).  Modes: ``raise`` (raise :class:`FaultInjected`),
     ``hang`` (sleep ``delay_ms``, default 30000 — long enough to blow any
     sane per-shard deadline), ``delay`` (sleep ``delay_ms``, default 50,
-    then proceed normally).
+    then proceed normally), ``worker_crash`` (hard-kill the executing
+    process with ``os._exit`` — under the process executor this kills the
+    shard's worker child; the thread/serial executors degrade it to
+    ``raise``, since killing the parent would take the test runner with it).
+
+Under ``shard_executor="processes"`` the fault bookkeeping stays in the
+parent: the executor *takes* the armed fault with :func:`take_shard_fault`
+(decrementing ``times`` exactly once) and ships the ``(mode, delay_ms)``
+action to the worker, which applies it inside the child process — so
+``hang`` makes the deadline kill a real hung process and ``worker_crash``
+genuinely dies mid-batch.  Environment specs therefore propagate into child
+processes without the children re-reading (and double-counting) the
+variable.
 
 ``REPRO_SAVE_CRASH=<stage>``
     Raise :class:`SimulatedCrash` immediately after the named artefact-write
@@ -37,7 +49,7 @@ from pathlib import Path
 from typing import Iterator
 
 #: Recognised shard fault modes.
-FAULT_MODES = ("raise", "hang", "delay")
+FAULT_MODES = ("raise", "hang", "delay", "worker_crash")
 
 _DEFAULT_HANG_MS = 30_000.0
 _DEFAULT_DELAY_MS = 50.0
@@ -192,23 +204,65 @@ def save_crash(stage: str) -> Iterator[None]:
 # --------------------------------------------------------------------------- #
 # probes (called from production code paths)
 # --------------------------------------------------------------------------- #
-def maybe_inject_shard_fault(shard_id: int) -> None:
-    """Apply the armed fault for ``shard_id``, if any (called per attempt)."""
+def take_shard_fault(shard_id: int) -> tuple[str, float] | None:
+    """Claim the armed fault for ``shard_id`` without applying it.
+
+    Returns ``(mode, delay_ms)`` and decrements the fault's ``times`` budget
+    (exactly as :func:`maybe_inject_shard_fault` would), or ``None`` when no
+    fault is armed.  The process executor calls this in the parent and ships
+    the action to the shard's worker, which applies it via
+    :func:`apply_shard_fault` inside the child.
+    """
     _ensure_env()
     if not _shard_faults:
-        return
+        return None
     with _lock:
         fault = _shard_faults.get(int(shard_id))
         if fault is None:
-            return
+            return None
         if fault.times is not None:
             fault.times -= 1
             if fault.times <= 0:
                 del _shard_faults[int(shard_id)]
-    if fault.mode in ("hang", "delay"):
-        time.sleep(fault.delay_ms / 1000.0)
+    return fault.mode, fault.delay_ms
+
+
+def apply_shard_fault(shard_id: int, action: tuple[str, float] | None) -> None:
+    """Execute a fault action claimed by :func:`take_shard_fault`.
+
+    Runs in whichever process should misbehave: ``worker_crash`` hard-kills
+    the current process (no cleanup, no exception — modelling a segfault or
+    OOM kill), ``hang``/``delay`` sleep, ``raise`` raises
+    :class:`FaultInjected`.
+    """
+    if action is None:
+        return
+    mode, delay_ms = action
+    if mode == "worker_crash":
+        os._exit(17)
+    if mode in ("hang", "delay"):
+        time.sleep(delay_ms / 1000.0)
         return
     raise FaultInjected(f"injected fault: shard {shard_id} raises")
+
+
+def maybe_inject_shard_fault(shard_id: int) -> None:
+    """Apply the armed fault for ``shard_id``, if any (called per attempt).
+
+    The in-process probe used by the serial/thread executors and the growth
+    paths.  ``worker_crash`` degrades to ``raise`` here: there is no child
+    process to kill, and ``os._exit`` in the parent would take the caller's
+    whole interpreter down.
+    """
+    action = take_shard_fault(shard_id)
+    if action is None:
+        return
+    mode, delay_ms = action
+    if mode == "worker_crash":
+        raise FaultInjected(
+            f"injected fault: shard {shard_id} worker_crash (no worker process; raised)"
+        )
+    apply_shard_fault(shard_id, (mode, delay_ms))
 
 
 def maybe_crash_save(stage: str) -> None:
@@ -251,6 +305,7 @@ __all__ = [
     "FAULT_MODES",
     "FaultInjected",
     "SimulatedCrash",
+    "apply_shard_fault",
     "clear_faults",
     "corrupt_artifact",
     "faults_active",
@@ -261,4 +316,5 @@ __all__ = [
     "reload_env",
     "save_crash",
     "shard_fault",
+    "take_shard_fault",
 ]

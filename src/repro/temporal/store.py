@@ -260,8 +260,17 @@ class TimestampStore:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save(self, path: str | Path) -> Path:
-        """Write the store as a compressed ``.npz`` archive."""
+    def save(self, path: str | Path, compress: bool = True) -> Path:
+        """Write the store as an ``.npz`` archive.
+
+        ``compress=False`` writes uncompressed (``ZIP_STORED``) members so
+        :meth:`load` can memory-map the delta/raw payload arrays in place —
+        the engine persistence layer saves this way for
+        ``load_index(..., mmap=True)``.  The default stays compressed:
+        delta-encoded timestamps compress extremely well, and standalone
+        archives (exports, the temporal-store benchmark) care about bytes,
+        not page sharing.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         kinds = np.zeros(len(self._entries), dtype=np.int8)
@@ -283,7 +292,8 @@ class TimestampStore:
             else:
                 kinds[i] = _KIND_RAW
                 raw_chunks.append(entry.raw)
-        np.savez_compressed(
+        writer = np.savez_compressed if compress else np.savez
+        writer(
             path,
             format_version=np.asarray([_STORE_FORMAT_VERSION], dtype=np.int64),
             resolution=np.asarray([self.codec.resolution], dtype=np.float64),
@@ -304,24 +314,32 @@ class TimestampStore:
         return ensure_npz_suffix(path)
 
     @classmethod
-    def load(cls, path: str | Path) -> "TimestampStore":
-        """Reload a store written by :meth:`save`."""
+    def load(cls, path: str | Path, mmap_mode: str | None = None) -> "TimestampStore":
+        """Reload a store written by :meth:`save`.
+
+        With ``mmap_mode="r"`` the payload arrays stay read-only memory maps
+        into the archive (uncompressed saves only; compressed archives fall
+        back to a full parse) and each entry holds a window into the shared
+        map — decoded values are bit-identical either way.
+        """
+        from ..io.npzutil import load_npz_arrays
+
         path = Path(path)
         if not path.exists():
             raise DatasetError(f"timestamp archive not found: {path}")
-        with np.load(path) as archive:
-            version = int(archive["format_version"][0])
-            if version != _STORE_FORMAT_VERSION:
-                raise ConstructionError(
-                    f"unsupported timestamp archive version {version} "
-                    f"(expected {_STORE_FORMAT_VERSION})"
-                )
-            resolution = float(archive["resolution"][0])
-            kinds = archive["kinds"].astype(np.int8)
-            lengths = archive["lengths"].astype(np.int64)
-            starts = archive["starts"].astype(np.float64)
-            deltas = archive["deltas"].astype(np.int64)
-            raw_values = archive["raw_values"].astype(np.float64)
+        archive = load_npz_arrays(path, mmap_mode=mmap_mode)
+        version = int(archive["format_version"][0])
+        if version != _STORE_FORMAT_VERSION:
+            raise ConstructionError(
+                f"unsupported timestamp archive version {version} "
+                f"(expected {_STORE_FORMAT_VERSION})"
+            )
+        resolution = float(archive["resolution"][0])
+        kinds = np.asarray(archive["kinds"], dtype=np.int8)
+        lengths = np.asarray(archive["lengths"], dtype=np.int64)
+        starts = np.asarray(archive["starts"], dtype=np.float64)
+        deltas = _as_dtype(archive["deltas"], np.int64)
+        raw_values = _as_dtype(archive["raw_values"], np.float64)
         store = cls(codec=DeltaTimestampCodec(resolution=resolution))
         delta_cursor = 0
         raw_cursor = 0
@@ -347,7 +365,11 @@ class TimestampStore:
                     _Entry(_encoded_from_deltas(float(starts[i]), quantised, resolution), None)
                 )
             elif kind == _KIND_RAW:
-                raw = raw_values[raw_cursor : raw_cursor + n].copy()
+                # A memmap-backed load keeps the window (shared pages); a
+                # plain load copies so the archive buffer can be released.
+                raw = raw_values[raw_cursor : raw_cursor + n]
+                if mmap_mode is None:
+                    raw = raw.copy()
                 raw_cursor += n
                 if np.any(np.diff(raw) < 0):
                     raise ConstructionError(
@@ -376,6 +398,18 @@ class TimestampStore:
             f"TimestampStore(trajectories={len(self._entries)}, "
             f"timestamped={self.n_timestamped}, bits={self.size_in_bits()})"
         )
+
+
+def _as_dtype(array: np.ndarray, dtype: type) -> np.ndarray:
+    """Dtype-normalise a loaded payload, copying only on mismatch.
+
+    Memory-mapped payloads must pass through untouched — an ``astype`` copy
+    would materialise the window and drop the page sharing the mmap load
+    exists for.
+    """
+    if array.dtype == np.dtype(dtype):
+        return array
+    return array.astype(dtype)
 
 
 def _encoded_from_deltas(

@@ -111,11 +111,22 @@ def assert_query_parity(sharded, unsharded, fleet_dataset, seed=5):
     assert sharded.run_many(queries) == unsharded.run_many(queries)
 
 
+@pytest.mark.parametrize("shard_executor", ["threads", "processes"])
 @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
 @pytest.mark.parametrize("backend", LOCATE_BACKENDS)
 class TestShardParity:
-    def test_scalar_and_batched_queries(self, fleet_dataset, backend, num_shards):
-        sharded = build_engine(fleet_dataset, _config(backend, num_shards))
+    @staticmethod
+    def _sharded(fleet_dataset, backend, num_shards, shard_executor):
+        if num_shards == 1 and shard_executor != "threads":
+            pytest.skip("unsharded engines have no fan-out executor")
+        return build_engine(
+            fleet_dataset, _config(backend, num_shards, shard_executor=shard_executor)
+        )
+
+    def test_scalar_and_batched_queries(
+        self, fleet_dataset, backend, num_shards, shard_executor
+    ):
+        sharded = self._sharded(fleet_dataset, backend, num_shards, shard_executor)
         unsharded = TrajectoryEngine.build(fleet_dataset, _config(backend, 1))
         if num_shards == 1:
             assert isinstance(sharded, TrajectoryEngine)
@@ -123,23 +134,31 @@ class TestShardParity:
             assert isinstance(sharded, ShardedTrajectoryEngine)
             assert sharded.num_shards == num_shards
             assert sharded.n_trajectories == unsharded.n_trajectories
+            assert sharded.executor_info()["mode"] == shard_executor
         assert_query_parity(sharded, unsharded, fleet_dataset)
+        if num_shards > 1:
+            sharded.close()
 
-    def test_parity_survives_reload(self, fleet_dataset, backend, num_shards, tmp_path):
-        sharded = build_engine(fleet_dataset, _config(backend, num_shards))
+    def test_parity_survives_reload(
+        self, fleet_dataset, backend, num_shards, shard_executor, tmp_path
+    ):
+        sharded = self._sharded(fleet_dataset, backend, num_shards, shard_executor)
         unsharded = TrajectoryEngine.build(fleet_dataset, _config(backend, 1))
         sharded.save(tmp_path / "fleet")
         reloaded = load_index(tmp_path / "fleet")
         assert type(reloaded) is type(sharded)
         assert reloaded.config == sharded.config
         assert_query_parity(reloaded, unsharded, fleet_dataset, seed=7)
+        if num_shards > 1:
+            sharded.close()
+            reloaded.close()
 
     def test_parity_survives_growth_and_reload(
-        self, fleet_dataset, growth_batch, backend, num_shards, tmp_path
+        self, fleet_dataset, growth_batch, backend, num_shards, shard_executor, tmp_path
     ):
         if not backend_spec(backend).supports_growth:
             pytest.skip(f"{backend} cannot grow")
-        sharded = build_engine(fleet_dataset, _config(backend, num_shards))
+        sharded = self._sharded(fleet_dataset, backend, num_shards, shard_executor)
         unsharded = TrajectoryEngine.build(fleet_dataset, _config(backend, 1))
         sharded.add_batch(growth_batch)
         unsharded.add_batch(growth_batch)
@@ -154,6 +173,9 @@ class TestShardParity:
         reloaded.add_batch(growth_batch[:2])
         unsharded.add_batch(growth_batch[:2])
         assert_query_parity(reloaded, unsharded, fleet_dataset, seed=13)
+        if num_shards > 1:
+            sharded.close()
+            reloaded.close()
 
 
 @pytest.mark.parametrize("backend", ["cinct", "icb-huff"])
