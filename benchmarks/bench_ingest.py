@@ -1,0 +1,208 @@
+"""Ingest fast-path benchmark: what the LSM-style mutable tail buys.
+
+Three measurements pin the value of the tail tier (PR: LSM-style ingest):
+
+* **Small-batch append throughput** — the same trajectory stream pushed
+  through ``add_batch`` on a tail-enabled engine (O(batch) append into the
+  uncompressed tail, no suffix sort) and on the legacy partition-per-batch
+  configuration (every batch pays a full BWT + wavelet-tree build).  The
+  ratio is the headline number: at full scale the tail path must clear
+  ``>= 10x`` the legacy throughput — the acceptance target of the ingest
+  fast path.  Both engines answer count queries identically afterwards
+  (asserted), so the speedup is not bought with correctness.
+* **Compaction wall-clock** — the same stream against a small tail
+  threshold, recording how many seals ran and their total/mean wall-clock,
+  so the amortised cost of deferred compression is visible next to the
+  append win.
+* **Query latency during background compaction** — p50/p95 of count queries
+  racing a ``compaction="background"`` ingest of the same stream.  Recorded
+  for the baseline file, not asserted: wall-clock latency is environment
+  noise on shared CI, but the numbers document that queries keep answering
+  while seals run.
+
+Results land in ``benchmarks/BENCH_ingest.json`` through
+:func:`repro.bench.write_bench_baseline`.  Workload sizes follow
+``REPRO_BENCH_SCALE`` (CI smokes at 0.05, which only checks plumbing).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from common import BENCH_SCALE, get_bundle
+from repro.bench import assert_at_scale, format_table, write_bench_baseline
+from repro.engine import EngineConfig, build_engine, sample_paths
+
+DATASET = "Singapore"
+#: Small batches on purpose: per-batch index builds are where the legacy
+#: path's fixed BWT cost dominates and the tail's O(batch) append wins.
+BATCH_SIZE = 4
+N_BATCHES = max(int(60 * BENCH_SCALE), 4)
+SPEEDUP_TARGET = 10.0
+
+_BASE = dict(backend="partitioned-cinct", cache_size=0)
+#: Legacy growth: every add_batch builds one compressed partition.
+LEGACY = EngineConfig(**_BASE)
+#: Tail growth, threshold above the whole stream: pure append cost.
+TAIL = EngineConfig(**_BASE, tail_max_symbols=10**9)
+
+
+def _stream():
+    """Seed trajectories plus a stream of small ingest batches."""
+    trajectories = [list(t) for t in get_bundle(DATASET).symbol_trajectories]
+    needed = BATCH_SIZE * (N_BATCHES + 1)
+    while len(trajectories) < needed:  # tiny smoke bundles: repeat the data
+        trajectories = trajectories + trajectories
+    seed = trajectories[:BATCH_SIZE]
+    batches = [
+        trajectories[BATCH_SIZE * (i + 1) : BATCH_SIZE * (i + 2)]
+        for i in range(N_BATCHES)
+    ]
+    return seed, batches
+
+
+def _ingest_run(config: EngineConfig) -> tuple[object, float]:
+    """Build from the seed, stream every batch, return (engine, seconds)."""
+    seed, batches = _stream()
+    engine = build_engine(seed, config)
+    started = time.perf_counter()
+    for batch in batches:
+        engine.add_batch(batch)
+    elapsed = time.perf_counter() - started
+    engine.wait_for_compaction(timeout=120.0)
+    return engine, elapsed
+
+
+def query_latency_during_background_compaction() -> dict:
+    """p50/p95 count latency while background seals race the ingest."""
+    seed, batches = _stream()
+    threshold = max((BATCH_SIZE * N_BATCHES) // 4, BATCH_SIZE)
+    engine = build_engine(
+        seed,
+        EngineConfig(
+            **_BASE,
+            tail_max_trajectories=threshold,
+            compaction="background",
+        ),
+    )
+    probes = sample_paths(seed, 4, 8, seed=5)
+    latencies: list[float] = []
+    done = threading.Event()
+
+    def _query_loop() -> None:
+        while not done.is_set():
+            for probe in probes:
+                started = time.perf_counter()
+                engine.count(probe)
+                latencies.append(time.perf_counter() - started)
+
+    thread = threading.Thread(target=_query_loop)
+    thread.start()
+    try:
+        for batch in batches:
+            engine.add_batch(batch)
+        engine.wait_for_compaction(timeout=120.0)
+    finally:
+        done.set()
+        thread.join(timeout=60.0)
+    sample = np.array(latencies)
+    compaction = engine.stats()["ingest"]["compaction"]
+    return {
+        "queries": int(sample.size),
+        "p50_ms": float(np.percentile(sample, 50) * 1e3),
+        "p95_ms": float(np.percentile(sample, 95) * 1e3),
+        "compactions": int(compaction["count"]),
+        "compaction_failures": int(compaction["failures"]),
+    }
+
+
+def test_ingest(report) -> None:
+    # --- append throughput: tail vs per-batch builds ----------------------- #
+    tail_engine, tail_seconds = _ingest_run(TAIL)
+    legacy_engine, legacy_seconds = _ingest_run(LEGACY)
+    n_appended = BATCH_SIZE * N_BATCHES
+    tail_rate = n_appended / tail_seconds
+    legacy_rate = n_appended / legacy_seconds
+    speedup = tail_rate / legacy_rate
+    # The fast path must not cost correctness: both growth modes answer
+    # every probe identically.
+    seed, _ = _stream()
+    for probe in sample_paths(seed, 4, 8, seed=9):
+        assert tail_engine.count(probe) == legacy_engine.count(probe), probe
+    assert tail_engine.n_trajectories == legacy_engine.n_trajectories
+
+    # --- compaction wall-clock -------------------------------------------- #
+    threshold = max((BATCH_SIZE * N_BATCHES) // 4, BATCH_SIZE)
+    sealed_engine, _sealed_seconds = _ingest_run(
+        EngineConfig(**_BASE, tail_max_trajectories=threshold)
+    )
+    compaction = sealed_engine.stats()["ingest"]["compaction"]
+    assert compaction["count"] >= 1
+    mean_seal_ms = (
+        compaction["seconds_total"] / compaction["count"] * 1e3
+        if compaction["count"]
+        else 0.0
+    )
+
+    # --- query latency during background compaction ------------------------ #
+    background = query_latency_during_background_compaction()
+
+    table = format_table(
+        [
+            {
+                "growth path": "mutable tail (no suffix sort)",
+                "appends/s": round(tail_rate, 1),
+                "stream (s)": round(tail_seconds, 3),
+            },
+            {
+                "growth path": "per-batch CiNCT build",
+                "appends/s": round(legacy_rate, 1),
+                "stream (s)": round(legacy_seconds, 3),
+            },
+        ],
+        title=f"{DATASET} — small-batch ingest ({N_BATCHES} batches of {BATCH_SIZE})",
+    )
+    report.add(
+        "LSM-style ingest fast path",
+        table
+        + f"\nspeedup: {speedup:.1f}x (target >= {SPEEDUP_TARGET:g}x at full "
+        f"scale); compaction: {compaction['count']} seals, "
+        f"{mean_seal_ms:.1f} ms mean; queries during background compaction: "
+        f"p50 {background['p50_ms']:.2f} ms, p95 {background['p95_ms']:.2f} ms "
+        f"({background['queries']} samples, {background['compactions']} seals)",
+    )
+
+    write_bench_baseline(
+        "ingest",
+        {
+            "scale": BENCH_SCALE,
+            "dataset": DATASET,
+            "cpu_count": os.cpu_count() or 1,
+            "batch_size": BATCH_SIZE,
+            "n_batches": N_BATCHES,
+            "tail_appends_per_s": tail_rate,
+            "legacy_appends_per_s": legacy_rate,
+            "speedup": speedup,
+            "speedup_target": SPEEDUP_TARGET,
+            "compactions": int(compaction["count"]),
+            "compaction_seconds_total": float(compaction["seconds_total"]),
+            "compaction_mean_ms": mean_seal_ms,
+            "tiered_merges": int(compaction["tiered_merges"]),
+            "background_query_latency": background,
+        },
+        directory=Path(__file__).parent,
+    )
+    assert (Path(__file__).parent / "BENCH_ingest.json").exists()
+
+    # A fixed-cost ratio only means something on a workload big enough to
+    # dominate timer noise; smoke runs record the numbers without enforcing.
+    if assert_at_scale(BENCH_SCALE):
+        assert speedup >= SPEEDUP_TARGET, (
+            f"tail ingest delivered only {speedup:.1f}x the per-batch build "
+            f"throughput (target {SPEEDUP_TARGET:g}x)"
+        )

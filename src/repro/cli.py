@@ -72,6 +72,27 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         help="suffix-array sampling rate (enables locate / strict-path queries)",
     )
     parser.add_argument(
+        "--tail-max-symbols",
+        type=int,
+        default=None,
+        help="seal the mutable ingest tail into a compressed partition once it "
+        "holds this many symbols (enables the LSM-style tail)",
+    )
+    parser.add_argument(
+        "--tail-max-trajectories",
+        type=int,
+        default=None,
+        help="seal the mutable ingest tail once it holds this many trajectories "
+        "(enables the LSM-style tail)",
+    )
+    parser.add_argument(
+        "--compaction",
+        choices=("inline", "background", "off"),
+        default="inline",
+        help="how the partitioned backend seals its ingest tail: on the "
+        "ingesting thread (inline), on a worker thread (background), or never (off)",
+    )
+    parser.add_argument(
         "--num-shards",
         type=int,
         default=1,
@@ -156,6 +177,9 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         backend=backend_spec(args.backend).name,
         block_size=args.block_size,
         sa_sample_rate=args.sa_sample_rate,
+        tail_max_symbols=args.tail_max_symbols,
+        tail_max_trajectories=args.tail_max_trajectories,
+        compaction=args.compaction,
         num_shards=args.num_shards,
         shard_workers=args.shard_workers,
         shard_executor=args.shard_executor or "threads",
@@ -265,6 +289,20 @@ def _command_query(args: argparse.Namespace) -> int:
             )
         else:
             print(f"executor  : {executor['mode']}")
+        ingest = snapshot.get("ingest")
+        if ingest and ingest["tail"]["enabled"]:
+            tail = ingest["tail"]
+            compaction = ingest["compaction"]
+            print(
+                f"tail      : {tail['trajectories']} trajectories, "
+                f"{tail['symbols']} symbols uncompressed"
+            )
+            print(
+                f"compaction: {compaction['mode']} "
+                f"(count={compaction['count']} failures={compaction['failures']} "
+                f"tiered_merges={compaction['tiered_merges']} "
+                f"in_flight={'yes' if compaction['in_flight'] else 'no'})"
+            )
     if matches is not None:
         for match in matches[:10]:
             window = ""
@@ -430,7 +468,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--verbose",
         action="store_true",
-        help="also print result-cache statistics, the growth epoch, and engine health",
+        help="also print result-cache statistics, the growth epoch, engine "
+        "health, and ingest tail/compaction counters",
     )
     _add_reliability_arguments(query)
     query.add_argument("path", nargs="+", help="road segments of the query path, in travel order")

@@ -154,6 +154,21 @@ class EngineBackend(abc.ABC):
             "collections"
         )
 
+    def set_growth_listener(self, listener: Callable[[], None] | None) -> None:
+        """Register a callback fired when the backend grows *asynchronously*.
+
+        Only backends with background compaction ever call it; the default is
+        a no-op so the engine can register unconditionally.
+        """
+
+    def ingest_stats(self) -> dict[str, object] | None:
+        """Tail/compaction observability counters (None for static backends)."""
+        return None
+
+    def wait_for_compaction(self, timeout: float | None = None) -> bool:
+        """Block until any in-flight background compaction finishes."""
+        return True
+
     # ------------------------------------------------------------------ #
     # persistence hooks (dispatched through the registry)
     # ------------------------------------------------------------------ #
@@ -494,6 +509,9 @@ class PartitionedBackend(EngineBackend):
         partitioned = PartitionedCiNCT(
             block_size=config.block_size,
             max_partitions=config.max_partitions,
+            tail_max_symbols=config.tail_max_symbols,
+            tail_max_trajectories=config.tail_max_trajectories,
+            compaction=config.compaction,
             **cls._cinct_kwargs(config),
         )
         trajectories = list(trajectories)
@@ -553,8 +571,26 @@ class PartitionedBackend(EngineBackend):
             partitions,
             block_size=config.block_size,
             max_partitions=config.max_partitions,
+            tail_max_symbols=config.tail_max_symbols,
+            tail_max_trajectories=config.tail_max_trajectories,
+            compaction=config.compaction,
             **cls._cinct_kwargs(config),
         )
+        tail_meta = meta.get("tail")
+        if tail_meta is not None:
+            from ..io.npzutil import load_npz_arrays
+
+            tail_path = directory / str(tail_meta["archive"])  # type: ignore[index]
+            if not tail_path.exists():
+                raise DatasetError(f"tail archive not found: {tail_path}")
+            # The tail is mutable (appends land in it after the load), so it
+            # is always fully deserialised — never mmapped.
+            arrays = load_npz_arrays(tail_path)
+            partitioned.restore_tail(
+                np.asarray(arrays["text"], dtype=np.int64),
+                [int(v) for v in arrays["lengths"]],
+                int(tail_meta["first_trajectory_id"]),  # type: ignore[index]
+            )
         return cls(partitioned)
 
     @staticmethod
@@ -596,12 +632,13 @@ class PartitionedBackend(EngineBackend):
         return self._partitioned.contains_encoded(pattern)
 
     def locate_matches(self, pattern: Sequence[int]) -> list[RawMatch]:
-        if self._partitioned.n_partitions == 0:
+        snap = self._partitioned.snapshot()
+        if snap.empty:
             raise QueryError(EMPTY_INDEX_MESSAGE)
         pattern = [int(s) for s in pattern]
         largest = max(pattern, default=-1)
         matches: list[RawMatch] = []
-        for partition in self._partitioned.partitions():
+        for partition in snap.partitions:
             index = partition.index
             if largest >= index.sigma:
                 continue
@@ -620,6 +657,19 @@ class PartitionedBackend(EngineBackend):
                     continue
                 local_index, start, end = resolved
                 matches.append((partition.first_trajectory_id + local_index, start, end))
+        tail = snap.tail
+        if tail is not None and largest < tail.scanner.sigma:
+            # The uncompressed tier scans instead of backward-searching; the
+            # resolved coordinates are identical to what the same trajectories
+            # would yield once sealed into a partition.
+            for position in tail.scanner.occurrences(pattern):
+                resolved = resolve_text_position(
+                    tail.trajectory_string, int(position), len(pattern)
+                )
+                if resolved is None:
+                    continue
+                local_index, start, end = resolved
+                matches.append((tail.first_trajectory_id + local_index, start, end))
         matches.sort()
         return matches
 
@@ -643,11 +693,26 @@ class PartitionedBackend(EngineBackend):
     def consolidate(self) -> None:
         self._partitioned.consolidate()
 
+    def set_growth_listener(self, listener: Callable[[], None] | None) -> None:
+        self._partitioned.set_growth_listener(listener)
+
+    def ingest_stats(self) -> dict[str, object] | None:
+        stats = self._partitioned.ingest_stats()
+        stats["retained_bits"] = self._partitioned.retained_bits()
+        return stats
+
+    def wait_for_compaction(self, timeout: float | None = None) -> bool:
+        return self._partitioned.wait_for_compaction(timeout)
+
     def save_state(self, directory: Path) -> dict[str, object]:
         from ..io.index_io import save_bwt_result
 
+        # One snapshot drives the whole save: a background compaction swap
+        # mid-save cannot produce a manifest that mixes pre- and post-swap
+        # tiers (the pre-swap view is itself complete and consistent).
+        snap = self._partitioned.snapshot()
         entries: list[dict[str, object]] = []
-        for k, partition in enumerate(self._partitioned.partitions()):
+        for k, partition in enumerate(snap.partitions):
             archive = f"partition_{k}.npz"
             save_bwt_result(self._partition_bwt(partition), directory / archive)
             entries.append(
@@ -663,7 +728,23 @@ class PartitionedBackend(EngineBackend):
                     ],
                 }
             )
-        return {"partitions": entries}
+        meta: dict[str, object] = {"partitions": entries}
+        tail = snap.tail
+        if tail is not None:
+            archive = "tail.npz"
+            # Uncompressed npz, like the linear-scan backend's text artefact.
+            np.savez(
+                directory / archive,
+                text=tail.trajectory_string.text[:-1],
+                lengths=np.asarray(
+                    tail.trajectory_string.trajectory_lengths, dtype=np.int64
+                ),
+            )
+            meta["tail"] = {
+                "archive": archive,
+                "first_trajectory_id": int(tail.first_trajectory_id),
+            }
+        return meta
 
 
 # --------------------------------------------------------------------------- #

@@ -20,6 +20,9 @@ DEFAULT_BACKEND = "cinct"
 #: Valid values of :attr:`EngineConfig.shard_executor`.
 SHARD_EXECUTORS = ("serial", "threads", "processes")
 
+#: Valid values of :attr:`EngineConfig.compaction`.
+COMPACTION_MODES = ("inline", "background", "off")
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -40,8 +43,25 @@ class EngineConfig:
         ``None`` disables sampling (matching the paper's size accounting) and
         locate/strict-path fall back to the retained suffix array instead.
     max_partitions:
-        Partitioning knob: when set, the partitioned backend consolidates
-        automatically once the partition count exceeds this bound.
+        Partitioning knob: when set, the partitioned backend keeps the
+        partition count at or below this bound by tiered merging (the
+        adjacent pair with the smallest combined length is re-sorted into
+        one partition; :meth:`TrajectoryEngine.consolidate` remains the
+        explicit full reconstruction).
+    tail_max_symbols / tail_max_trajectories:
+        Mutable-tail ingest thresholds of the partitioned backend.  Setting
+        either (or a non-default ``compaction``) enables the LSM-style tail
+        tier: ``add_batch`` becomes an O(batch) append into an uncompressed
+        linear-scan tail, which is sealed into a compressed CiNCT partition
+        once it holds at least this many symbols / trajectories.  ``None``
+        (default) leaves the legacy partition-per-batch growth path.
+    compaction:
+        How the partitioned backend seals its mutable tail: ``"inline"``
+        (default) on the ingesting thread, ``"background"`` on a worker
+        thread with a copy-on-seal handoff (queries keep answering over the
+        old view until the compacted partition atomically swaps in; only the
+        compacted shard's epoch bumps), ``"off"`` never (the tail grows
+        unboundedly).  Ignored by non-partitioned backends.
     temporal_index:
         When true (default) and every trajectory carries timestamps, the
         engine builds a :class:`~repro.queries.temporal.TemporalIndex`
@@ -102,6 +122,9 @@ class EngineConfig:
     block_size: int = 63
     sa_sample_rate: int | None = None
     max_partitions: int | None = None
+    tail_max_symbols: int | None = None
+    tail_max_trajectories: int | None = None
+    compaction: str = "inline"
     temporal_index: bool = True
     labeling_strategy: str = "bigram"
     cache_size: int = 1024
@@ -125,6 +148,20 @@ class EngineConfig:
         if self.max_partitions is not None and self.max_partitions < 1:
             raise ConstructionError(
                 f"max_partitions must be at least 1 when given, got {self.max_partitions}"
+            )
+        if self.tail_max_symbols is not None and self.tail_max_symbols < 1:
+            raise ConstructionError(
+                f"tail_max_symbols must be at least 1 when given, got {self.tail_max_symbols}"
+            )
+        if self.tail_max_trajectories is not None and self.tail_max_trajectories < 1:
+            raise ConstructionError(
+                "tail_max_trajectories must be at least 1 when given, "
+                f"got {self.tail_max_trajectories}"
+            )
+        if self.compaction not in COMPACTION_MODES:
+            raise ConstructionError(
+                f"compaction must be one of {sorted(COMPACTION_MODES)}, "
+                f"got {self.compaction!r}"
             )
         if self.cache_size < 0:
             raise ConstructionError(

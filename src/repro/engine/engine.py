@@ -252,6 +252,11 @@ class TrajectoryEngine(ScalarQueryAPI):
             config.cache_size, epoch=self._epoch, max_bytes=config.cache_max_bytes
         )
         self._executor = QueryExecutor(backend, self._resolve_encoded, self._cache)
+        # Background tail compaction publishes new state off the ingest
+        # thread; the listener bumps this engine's epoch at swap time so the
+        # cache invalidates exactly when the view changes (and, in a sharded
+        # fleet, only on the compacted shard).
+        backend.set_growth_listener(self._bump_epoch)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -436,6 +441,7 @@ class TrajectoryEngine(ScalarQueryAPI):
                 "started": True,
                 "workers": [],
             },
+            "ingest": self._backend.ingest_stats(),
             "health": self.health(),
         }
 
@@ -511,6 +517,15 @@ class TrajectoryEngine(ScalarQueryAPI):
         """
         self._backend.consolidate()
         self._bump_epoch()
+
+    def wait_for_compaction(self, timeout: float | None = None) -> bool:
+        """Block until any in-flight background tail compaction finishes.
+
+        Always ``True`` immediately for backends without background
+        compaction; exposed on the facade so ingest drivers and tests can
+        quiesce the engine deterministically.
+        """
+        return self._backend.wait_for_compaction(timeout)
 
     def _bump_epoch(self) -> None:
         self._epoch += 1

@@ -685,8 +685,56 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             "size_in_bits": self.size_in_bits(),
             "cache": self.cache_stats(),
             "executor": self.executor_info(),
+            "ingest": self.ingest_stats(),
             "health": self.health(),
         }
+
+    def ingest_stats(self) -> dict[str, object] | None:
+        """Fleet-wide tail/compaction rollup plus the per-shard breakdown.
+
+        ``None`` when no populated shard exposes ingest counters (static
+        backends), matching :meth:`TrajectoryEngine.stats`.
+        """
+        per_shard: list[dict[str, object] | None] = []
+        for shard in self._shards:
+            backend = None if shard is None else getattr(shard, "_backend", None)
+            per_shard.append(None if backend is None else backend.ingest_stats())
+        live = [s for s in per_shard if s is not None]
+        if not live:
+            return None
+        tails = [s["tail"] for s in live]
+        compactions = [s["compaction"] for s in live]
+        last_unix = [c["last_unix"] for c in compactions if c["last_unix"] is not None]
+        return {
+            "tail": {
+                "enabled": any(t["enabled"] for t in tails),
+                "trajectories": sum(int(t["trajectories"]) for t in tails),
+                "symbols": sum(int(t["symbols"]) for t in tails),
+                "max_symbols": self._config.tail_max_symbols,
+                "max_trajectories": self._config.tail_max_trajectories,
+            },
+            "compaction": {
+                "mode": self._config.compaction,
+                "in_flight": any(c["in_flight"] for c in compactions),
+                "count": sum(int(c["count"]) for c in compactions),
+                "failures": sum(int(c["failures"]) for c in compactions),
+                "seconds_total": sum(float(c["seconds_total"]) for c in compactions),
+                "last_unix": max(last_unix) if last_unix else None,
+                "tiered_merges": sum(int(c["tiered_merges"]) for c in compactions),
+            },
+            "retained_bits": sum(int(s.get("retained_bits", 0)) for s in live),
+            "shards": [
+                None if s is None else s for s in per_shard
+            ],
+        }
+
+    def wait_for_compaction(self, timeout: float | None = None) -> bool:
+        """Block until every shard's in-flight background compaction finishes."""
+        done = True
+        for shard in self._shards:
+            if shard is not None:
+                done = shard.wait_for_compaction(timeout) and done
+        return done
 
     @property
     def timestamp_store(self) -> _FleetTimestampView:

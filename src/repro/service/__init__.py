@@ -10,7 +10,8 @@ The sub-package turns one engine (either
   plus micro-batch windows that merge concurrent requests into single
   ``run_many`` calls.
 * :class:`~repro.service.server.TrajectoryService` — the stdlib asyncio HTTP
-  surface (``POST /query``, ``GET /health``, ``GET /stats``) with
+  surface (``POST /query``, ``POST /ingest``, ``GET /health``,
+  ``GET /stats``) with
   :func:`~repro.service.server.run_service` (blocking, CLI) and
   :func:`~repro.service.server.serve_in_background` (daemon thread) runners.
 * :mod:`~repro.service.protocol` — the JSON wire protocol.
@@ -22,7 +23,7 @@ processes that serve.
 
 from .config import ENV_PREFIX, ServiceConfig
 from .coalescer import MicroBatchCoalescer
-from .protocol import QUERY_TYPES, query_from_json, result_to_json
+from .protocol import QUERY_TYPES, ingest_from_json, query_from_json, result_to_json
 from .server import (
     ServiceHandle,
     TrajectoryService,
@@ -37,6 +38,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceHandle",
     "TrajectoryService",
+    "ingest_from_json",
     "query_from_json",
     "result_to_json",
     "run_service",

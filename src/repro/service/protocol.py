@@ -21,6 +21,16 @@ exactly as it is to library callers::
 
     {"type": "count", "count": 2, "degraded": false, "failed_shards": []}
 
+``POST /ingest`` documents carry a batch of trajectories (timestamps
+optional per trajectory)::
+
+    {"trajectories": [{"edges": ["e1", "e2"], "timestamps": [0.0, 30.0]},
+                      {"edges": ["e3", "e4"]}]}
+
+which :func:`ingest_from_json` parses into the same typed
+:class:`~repro.trajectories.model.Trajectory` values
+:meth:`TrajectoryEngine.add_batch` takes from library callers.
+
 Malformed documents raise the canonical
 :class:`~repro.exceptions.QueryError` (mapped to HTTP 400 by the server).
 """
@@ -31,6 +41,7 @@ from typing import Hashable
 
 from ..exceptions import QueryError
 from ..queries.strict_path import StrictPathMatch
+from ..trajectories.model import Trajectory
 from ..engine.queries import (
     ContainsQuery,
     ContainsResult,
@@ -123,6 +134,68 @@ def query_from_json(document: object) -> tuple[EngineQuery, float | None]:
     )
 
 
+def _require_edges(entry: dict, position: int) -> list[Hashable]:
+    edges = entry.get("edges")
+    if not isinstance(edges, list) or not edges:
+        raise QueryError(
+            f'trajectory {position}: "edges" must be a non-empty JSON array of edge ids'
+        )
+    for edge in edges:
+        if not isinstance(edge, (str, int)) or isinstance(edge, bool):
+            raise QueryError(
+                f'trajectory {position}: "edges" entries must be strings or '
+                f"integers, got {edge!r}"
+            )
+    return edges
+
+
+def _optional_timestamps(entry: dict, position: int, n_edges: int) -> list[float] | None:
+    timestamps = entry.get("timestamps")
+    if timestamps is None:
+        return None
+    if not isinstance(timestamps, list):
+        raise QueryError(
+            f'trajectory {position}: "timestamps" must be a JSON array of numbers'
+        )
+    if len(timestamps) != n_edges:
+        raise QueryError(
+            f'trajectory {position}: "timestamps" must align with "edges" '
+            f"({len(timestamps)} timestamps for {n_edges} edges)"
+        )
+    for value in timestamps:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise QueryError(
+                f'trajectory {position}: "timestamps" entries must be numbers, '
+                f"got {value!r}"
+            )
+    return [float(value) for value in timestamps]
+
+
+def ingest_from_json(document: object) -> list[Trajectory]:
+    """Parse one ``POST /ingest`` body into typed trajectories.
+
+    Raises :class:`~repro.exceptions.QueryError` on any malformed document
+    (mapped to HTTP 400 by the server); semantic validation — decreasing
+    timestamps, backend growth capability — stays with ``add_batch`` so the
+    HTTP surface rejects exactly what the library API rejects.
+    """
+    if not isinstance(document, dict):
+        raise QueryError("the request body must be a JSON object")
+    entries = document.get("trajectories")
+    if not isinstance(entries, list) or not entries:
+        raise QueryError('"trajectories" must be a non-empty JSON array')
+    trajectories: list[Trajectory] = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise QueryError(
+                f'trajectory {position} must be a JSON object with an "edges" array'
+            )
+        edges = _require_edges(entry, position)
+        timestamps = _optional_timestamps(entry, position, len(edges))
+        trajectories.append(Trajectory(edges=edges, timestamps=timestamps))
+    return trajectories
+
+
 def match_to_json(match: StrictPathMatch) -> dict[str, object]:
     """One located occurrence as a JSON-safe dict."""
     return {
@@ -173,4 +246,10 @@ def result_to_json(result: EngineResult) -> dict[str, object]:
     }
 
 
-__all__ = ["QUERY_TYPES", "match_to_json", "query_from_json", "result_to_json"]
+__all__ = [
+    "QUERY_TYPES",
+    "ingest_from_json",
+    "match_to_json",
+    "query_from_json",
+    "result_to_json",
+]

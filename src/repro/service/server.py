@@ -11,6 +11,16 @@ one engine and its :class:`~repro.service.coalescer.MicroBatchCoalescer`:
     ``503`` (overload / shutdown, with ``Retry-After``) or ``504``
     (deadline); engine failures get ``500``.  Every error body is JSON with
     ``error``/``reason``/``retriable`` fields.
+``POST /ingest``
+    One JSON batch of trajectories (see
+    :func:`~repro.service.protocol.ingest_from_json`).  Admission-controlled
+    like ``/query``: shed with a retriable ``503`` while draining or when
+    the service is already at ``max_queue_depth``.  Admitted batches run
+    ``engine.add_batch`` on a dedicated single-thread executor — ingest is
+    serialized (batches apply in arrival order) and never blocks the event
+    loop or competes with the query workers.  A ``200`` means the batch is
+    indexed and immediately queryable: the response reports the added count,
+    the new trajectory total, and the post-ingest engine epoch.
 ``GET /health``
     Liveness + readiness: the engine's shard health, growth epochs, result
     cache statistics, queue depth, and the per-reason shed counters.  The
@@ -39,8 +49,10 @@ import contextlib
 import json
 import signal
 import threading
+from concurrent.futures import ThreadPoolExecutor
 
 from ..exceptions import (
+    ConstructionError,
     DeadlineExceededError,
     QueryError,
     AlphabetError,
@@ -49,7 +61,7 @@ from ..exceptions import (
 )
 from .coalescer import MicroBatchCoalescer
 from .config import ServiceConfig
-from .protocol import query_from_json, result_to_json
+from .protocol import ingest_from_json, query_from_json, result_to_json
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB is generous for a single query document
 _MAX_HEADER_LINES = 100
@@ -68,6 +80,14 @@ class TrajectoryService:
         self._coalescer = MicroBatchCoalescer(engine, self._config)
         self._server: asyncio.AbstractServer | None = None
         self._closed = asyncio.Event()
+        # One worker thread serializes add_batch calls in arrival order and
+        # keeps index growth off both the event loop and the query workers.
+        self._ingest_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-ingest"
+        )
+        self._ingest_batches = 0
+        self._ingest_trajectories = 0
+        self._ingest_shed: dict[str, int] = {"queue_full": 0, "shutdown": 0}
 
     @property
     def config(self) -> ServiceConfig:
@@ -113,6 +133,7 @@ class TrajectoryService:
             await self._server.wait_closed()
             self._server = None
         await self._coalescer.aclose()
+        self._ingest_executor.shutdown(wait=True)
         self._closed.set()
 
     # ------------------------------------------------------------------ #
@@ -138,11 +159,20 @@ class TrajectoryService:
             "coalesced": service["coalesced"],
         }
 
+    def ingest_stats(self) -> dict[str, object]:
+        """Service-side ingest counters (engine-side tail/compaction stats
+        live under ``engine.stats()["ingest"]``)."""
+        return {
+            "batches": self._ingest_batches,
+            "trajectories": self._ingest_trajectories,
+            "shed": dict(self._ingest_shed),
+        }
+
     def stats_payload(self) -> dict[str, object]:
         """The ``GET /stats`` document."""
         return {
             "engine": self.engine.stats(),
-            "service": self._coalescer.stats(),
+            "service": {**self._coalescer.stats(), "ingest": self.ingest_stats()},
             "config": self._config.as_dict(),
         }
 
@@ -196,6 +226,11 @@ class TrajectoryService:
                 return 405, _error_body("use POST for /query", "method_not_allowed")
             body = await reader.readexactly(content_length) if content_length else b""
             return await self._handle_query(body)
+        if path == "/ingest":
+            if method != "POST":
+                return 405, _error_body("use POST for /ingest", "method_not_allowed")
+            body = await reader.readexactly(content_length) if content_length else b""
+            return await self._handle_ingest(body)
         return 404, _error_body(f"no such route: {method} {path}", "not_found")
 
     async def _handle_query(self, body: bytes) -> tuple[int, dict[str, object]]:
@@ -215,6 +250,47 @@ class TrajectoryService:
         except ReproError as error:
             return 500, _error_body(str(error), "engine_error")
         return 200, result_to_json(result)
+
+    async def _handle_ingest(self, body: bytes) -> tuple[int, dict[str, object]]:
+        if self._coalescer.draining:
+            self._ingest_shed["shutdown"] += 1
+            return 503, _error_body(
+                "service is draining; retry later", "shutdown", retriable=True
+            )
+        if self._coalescer.queue_depth >= self._config.max_queue_depth:
+            self._ingest_shed["queue_full"] += 1
+            return 503, _error_body(
+                f"queue depth {self._coalescer.queue_depth} at max_queue_depth="
+                f"{self._config.max_queue_depth}; retry later",
+                "queue_full",
+                retriable=True,
+            )
+        try:
+            document = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            return 400, _error_body("request body is not valid JSON", "bad_request")
+        try:
+            trajectories = ingest_from_json(document)
+            await asyncio.get_running_loop().run_in_executor(
+                self._ingest_executor, self.engine.add_batch, trajectories
+            )
+        except (QueryError, AlphabetError, ConstructionError) as error:
+            return 400, _error_body(str(error), "bad_request")
+        except ReproError as error:
+            return 500, _error_body(str(error), "engine_error")
+        except RuntimeError:  # executor shut down while the request was in flight
+            self._ingest_shed["shutdown"] += 1
+            return 503, _error_body(
+                "service is draining; retry later", "shutdown", retriable=True
+            )
+        self._ingest_batches += 1
+        self._ingest_trajectories += len(trajectories)
+        return 200, {
+            "type": "ingest",
+            "added": len(trajectories),
+            "n_trajectories": self.engine.n_trajectories,
+            "epoch": self.engine.epoch,
+        }
 
     async def _write_response(
         self, writer: asyncio.StreamWriter, status: int, payload: dict[str, object]

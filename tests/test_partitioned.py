@@ -93,15 +93,28 @@ class TestConsolidation:
         for path, count in before.items():
             assert partitioned.count(list(path)) == count
 
-    def test_automatic_consolidation(self):
+    def test_automatic_tiered_merge(self):
         partitioned = PartitionedCiNCT(block_size=15, max_partitions=2)
         partitioned.add_batch(BATCH_1)
         partitioned.add_batch(BATCH_2)
         assert partitioned.n_partitions == 2
-        partitioned.add_batch(BATCH_3)  # exceeds max_partitions -> consolidation
-        assert partitioned.n_partitions == 1
+        partitioned.add_batch(BATCH_3)  # exceeds max_partitions -> tiered merge
+        assert partitioned.n_partitions == 2
+        assert partitioned.ingest_stats()["compaction"]["tiered_merges"] == 1
         for path in (["a", "b"], ["b", "c", "d", "e"]):
             assert partitioned.count(path) == monolithic_count([BATCH_1, BATCH_2, BATCH_3], path)
+
+    def test_tiered_merge_keeps_locate_id_space_contiguous(self):
+        partitioned = PartitionedCiNCT(block_size=15, max_partitions=2)
+        for batch in (BATCH_1, BATCH_2, BATCH_3):
+            partitioned.add_batch(batch)
+        firsts = [p.first_trajectory_id for p in partitioned.partitions()]
+        counts = [p.n_trajectories for p in partitioned.partitions()]
+        expected = 0
+        for first, count in zip(firsts, counts):
+            assert first == expected
+            expected += count
+        assert expected == partitioned.n_trajectories
 
     def test_consolidate_empty_raises(self):
         partitioned = PartitionedCiNCT()
