@@ -16,6 +16,13 @@ Two measurements pin the value of the serving tier (:mod:`repro.service`):
   throughput through the real HTTP surface at several client concurrency
   levels, with and without coalescing.  Recorded for the baseline file, not
   asserted: wall-clock HTTP numbers are environment noise on shared CI.
+* **SLO workloads** — declarative :class:`repro.bench.WorkloadConfig` specs
+  (a count/contains query mix under Poisson and uniform arrival processes)
+  replayed as *paced* open-loop runs against the coalescer: each request
+  fires at its spec'd arrival offset whether or not earlier answers came
+  back.  Per spec the run records the SLO quantities — p50/p95/p99 *and*
+  inter-request jitter (:func:`repro.bench.latency_summary`) — again
+  recorded, not asserted.
 
 Results land in ``benchmarks/BENCH_service.json`` through
 :func:`repro.bench.write_bench_baseline`.  Dataset and workload sizes follow
@@ -35,8 +42,19 @@ from pathlib import Path
 import numpy as np
 
 from common import BENCH_SCALE, get_bundle
-from repro.bench import format_table, write_bench_baseline
-from repro.engine import CountQuery, EngineConfig, build_engine, sample_paths
+from repro.bench import (
+    WorkloadConfig,
+    format_table,
+    latency_summary,
+    write_bench_baseline,
+)
+from repro.engine import (
+    ContainsQuery,
+    CountQuery,
+    EngineConfig,
+    build_engine,
+    sample_paths,
+)
 from repro.service import MicroBatchCoalescer, ServiceConfig, serve_in_background
 
 DATASET = "Singapore"
@@ -56,6 +74,17 @@ THROUGHPUT_TARGET = 1.5
 COALESCED = dict(batch_window_ms=5.0, max_batch_size=64)
 #: The control: every request is its own engine batch (no coalescing).
 UNCOALESCED = dict(batch_window_ms=0.0, max_batch_size=1)
+
+#: SLO workload specs: the same 3:1 count/contains mix under the two arrival
+#: processes, so the Poisson-vs-uniform delta isolates burst sensitivity.
+SLO_RATE = max(400.0 * BENCH_SCALE, 20.0)
+SLO_MIX = (("count", 3.0), ("contains", 1.0))
+SLO_WORKLOADS = (
+    WorkloadConfig(query_mix=SLO_MIX, arrival="poisson", rate=SLO_RATE, duration_s=1.0, seed=5),
+    WorkloadConfig(query_mix=SLO_MIX, arrival="uniform", rate=SLO_RATE, duration_s=1.0, seed=5),
+)
+
+_QUERY_KINDS = {"count": CountQuery, "contains": ContainsQuery}
 
 
 def build_service_engine():
@@ -152,6 +181,50 @@ def http_sweep(engine, trajectories, service_kwargs: dict) -> list[dict]:
     return rows
 
 
+def slo_run(engine, trajectories, workload: WorkloadConfig) -> dict:
+    """Replay one :class:`WorkloadConfig` spec as a paced open-loop run.
+
+    Requests fire at the spec's arrival offsets regardless of earlier
+    answers (asyncio sleeps until each offset, then submits), so queueing
+    under bursts shows up in the tail percentiles and jitter exactly as a
+    live client would see it.
+    """
+    paths = sample_paths(trajectories, PATTERN_LENGTH, N_DISTINCT, seed=workload.seed)
+    rng = np.random.default_rng(workload.seed)
+    queries = [
+        _QUERY_KINDS[kind](paths[int(rng.integers(len(paths)))])
+        for kind in workload.sample_kinds()
+    ]
+    offsets = workload.arrival_offsets()
+
+    async def main() -> dict:
+        coalescer = MicroBatchCoalescer(
+            engine, ServiceConfig(worker_threads=2, **COALESCED)
+        )
+        latencies = np.zeros(len(queries), dtype=np.float64)
+
+        async def fire(index: int, offset: float, query) -> None:
+            await asyncio.sleep(offset)
+            started = time.perf_counter()
+            await coalescer.submit(query)
+            latencies[index] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        await asyncio.gather(
+            *[
+                fire(index, float(offsets[index]), query)
+                for index, query in enumerate(queries)
+            ]
+        )
+        elapsed = time.perf_counter() - started
+        await coalescer.aclose()
+        summary = latency_summary(latencies)
+        summary["throughput_rps"] = len(queries) / elapsed
+        return summary
+
+    return {**workload.describe(), **asyncio.run(main())}
+
+
 def test_service(report) -> None:
     engine, trajectories = build_service_engine()
 
@@ -170,6 +243,24 @@ def test_service(report) -> None:
     http_coalesced = http_sweep(engine, trajectories, COALESCED)
     http_control = http_sweep(engine, trajectories, UNCOALESCED)
 
+    # --- declarative SLO workloads ----------------------------------------- #
+    slo_rows = [slo_run(engine, trajectories, workload) for workload in SLO_WORKLOADS]
+    slo_table = format_table(
+        [
+            {
+                "arrival": row["arrival"],
+                "rate (req/s)": round(row["rate"], 0),
+                "requests": row["requests"],
+                "p50 (ms)": round(row["p50_ms"], 2),
+                "p95 (ms)": round(row["p95_ms"], 2),
+                "p99 (ms)": round(row["p99_ms"], 2),
+                "jitter (ms)": round(row["jitter_ms"], 2),
+            }
+            for row in slo_rows
+        ],
+        title=f"{DATASET} — SLO workloads (coalesced, open-loop)",
+    )
+
     table_rows = []
     for label, rows in (("coalesced", http_coalesced), ("no coalescing", http_control)):
         for row in rows:
@@ -187,6 +278,8 @@ def test_service(report) -> None:
     report.add(
         "Serving tier (micro-batch coalescing)",
         table
+        + "\n"
+        + slo_table
         + f"\ncoalescer throughput: {coalesced_rps:.0f} req/s coalesced vs "
         f"{control_rps:.0f} req/s control ({ratio:.2f}x, target >= "
         f"{THROUGHPUT_TARGET:g}x at full scale; mean batch "
@@ -210,6 +303,7 @@ def test_service(report) -> None:
             "control_batches": control_stats["batches"],
             "http_coalesced": http_coalesced,
             "http_control": http_control,
+            "slo": slo_rows,
         },
         directory=Path(__file__).parent,
     )

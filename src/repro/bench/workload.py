@@ -1,0 +1,144 @@
+"""Declarative open-loop workload specifications for SLO benchmarking.
+
+A :class:`WorkloadConfig` pins everything about a service-level benchmark run
+as data: the query-kind mix, the arrival process (Poisson or uniform), its
+mean rate and duration, and the seed.  The benchmark driver
+(``benchmarks/bench_service.py``) turns the spec into a paced open-loop run —
+requests fire at the spec's arrival offsets whether or not earlier answers
+came back, which is the load shape a coalescing front-end actually sees — and
+summarises the observed latencies with :func:`latency_summary` (tail
+percentiles plus inter-request jitter, the quantities SLOs are written
+against).
+
+Everything derived from the spec is deterministic in the seed, so two
+configurations measured under the same :class:`WorkloadConfig` saw the same
+request sequence at the same offsets and their summaries are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConstructionError
+
+#: Arrival processes a workload can declare.
+ARRIVALS = ("poisson", "uniform")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One declarative open-loop service workload.
+
+    Parameters
+    ----------
+    query_mix:
+        ``(kind, weight)`` pairs; requests draw their kind with probability
+        proportional to weight.  Kinds are free-form strings — the driver maps
+        them to concrete query constructors.
+    arrival:
+        ``"poisson"`` (exponential inter-arrival gaps, the classic open-loop
+        model) or ``"uniform"`` (arrival instants uniform over the duration —
+        same mean rate, no bursts, which isolates burst-sensitivity when
+        compared against the Poisson run).
+    rate:
+        Mean arrivals per second.
+    duration_s:
+        Workload length in seconds; together with ``rate`` it fixes the
+        request count.
+    seed:
+        Seeds both the arrival process and the query-kind draw.
+    """
+
+    query_mix: tuple[tuple[str, float], ...] = (("count", 1.0),)
+    arrival: str = "poisson"
+    rate: float = 200.0
+    duration_s: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVALS:
+            raise ConstructionError(
+                f"arrival must be one of {ARRIVALS}, got {self.arrival!r}"
+            )
+        if not self.query_mix:
+            raise ConstructionError("query_mix must name at least one query kind")
+        for kind, weight in self.query_mix:
+            if not kind or weight <= 0:
+                raise ConstructionError(
+                    f"query_mix entries need a kind and a positive weight, "
+                    f"got ({kind!r}, {weight!r})"
+                )
+        if self.rate <= 0:
+            raise ConstructionError(f"rate must be positive, got {self.rate}")
+        if self.duration_s <= 0:
+            raise ConstructionError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+
+    @property
+    def n_requests(self) -> int:
+        """Number of requests the spec generates (at least one)."""
+        return max(int(round(self.rate * self.duration_s)), 1)
+
+    def arrival_offsets(self) -> np.ndarray:
+        """Sorted request fire times in seconds, starting at 0."""
+        rng = np.random.default_rng(self.seed)
+        n = self.n_requests
+        if self.arrival == "poisson":
+            offsets = np.cumsum(rng.exponential(1.0 / self.rate, size=n))
+            return offsets - offsets[0]
+        offsets = np.sort(rng.uniform(0.0, self.duration_s, size=n))
+        return offsets - offsets[0]
+
+    def sample_kinds(self) -> list[str]:
+        """One query kind per request, drawn from the declared mix."""
+        rng = np.random.default_rng(self.seed + 1)
+        kinds = [kind for kind, _ in self.query_mix]
+        weights = np.asarray([weight for _, weight in self.query_mix], dtype=np.float64)
+        draws = rng.choice(len(kinds), size=self.n_requests, p=weights / weights.sum())
+        return [kinds[int(i)] for i in draws]
+
+    def describe(self) -> dict:
+        """The spec as a JSON-ready record (for baseline files)."""
+        return {
+            "query_mix": [[kind, weight] for kind, weight in self.query_mix],
+            "arrival": self.arrival,
+            "rate": self.rate,
+            "duration_s": self.duration_s,
+            "requests": self.n_requests,
+            "seed": self.seed,
+        }
+
+
+def jitter_ms(latencies) -> float:
+    """Mean absolute difference of consecutive request latencies, in ms.
+
+    The RFC 3550-style jitter statistic over the latency series in arrival
+    order: percentiles say how slow the tail is, jitter says how *unsteady*
+    consecutive answers are — a coalescing window trades a little of the
+    former for a lot of the latter, so SLO runs record both.
+    """
+    lat = np.asarray(latencies, dtype=np.float64)
+    if lat.size < 2:
+        return 0.0
+    return float(np.mean(np.abs(np.diff(lat))) * 1e3)
+
+
+def latency_summary(latencies) -> dict:
+    """p50/p95/p99 and jitter (all ms) for one run's latency series."""
+    lat = np.asarray(latencies, dtype=np.float64)
+    if lat.size == 0:
+        raise ConstructionError("cannot summarise an empty latency series")
+    return {
+        "requests": int(lat.size),
+        "p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "p95_ms": float(np.percentile(lat, 95) * 1e3),
+        "p99_ms": float(np.percentile(lat, 99) * 1e3),
+        "jitter_ms": jitter_ms(lat),
+    }
+
+
+__all__ = ["ARRIVALS", "WorkloadConfig", "jitter_ms", "latency_summary"]

@@ -11,7 +11,8 @@ sub-command works with every registered index backend (``--backend``):
 ``repro-cinct query``
     Load a persisted index and run a path query (optionally a strict-path
     query with ``--t-start``/``--t-end``); ``--verbose`` adds result-cache
-    statistics and the growth epoch, ``--no-cache`` bypasses the cache.
+    and interval-cache statistics and the growth epoch, ``--no-cache``
+    bypasses the result cache.
 ``repro-cinct compare``
     Build every requested backend on a dataset analogue and print the
     size/time comparison of Fig. 10, including ``size_in_bits`` and
@@ -269,6 +270,14 @@ def _command_query(args: argparse.Namespace) -> int:
             f"size={cache['size']}/{cache['capacity']} "
             f"evictions={cache['evictions']})"
         )
+        intervals = snapshot["interval_cache"]
+        interval_state = "on" if intervals["enabled"] else "off"
+        print(
+            f"intervals : {interval_state} "
+            f"(hits={intervals['hits']} misses={intervals['misses']} "
+            f"size={intervals['size']}/{intervals['capacity']} "
+            f"evictions={intervals['evictions']})"
+        )
         print(f"epoch     : {snapshot['epoch']}")
         health = snapshot["health"]
         print(
@@ -468,8 +477,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--verbose",
         action="store_true",
-        help="also print result-cache statistics, the growth epoch, engine "
-        "health, and ingest tail/compaction counters",
+        help="also print result-cache and interval-cache statistics, the "
+        "growth epoch, engine health, and ingest tail/compaction counters",
     )
     _add_reliability_arguments(query)
     query.add_argument("path", nargs="+", help="road segments of the query path, in travel order")

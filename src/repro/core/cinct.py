@@ -28,12 +28,8 @@ from typing import Hashable, Literal, Sequence
 import numpy as np
 
 from ..exceptions import ConstructionError, QueryError
-from ..fmindex.base import (
-    FMIndexBase,
-    batched_backward_search,
-    iter_key_groups,
-    validate_pattern,
-)
+from ..fmindex.base import FMIndexBase, validate_pattern
+from ..fmindex.trie import PatternTrie, trie_backward_search
 from ..strings.bwt import BWTResult, burrows_wheeler_transform
 from ..strings.trajectory_string import TrajectoryString, build_trajectory_string
 from ..succinct import IntVector, bits_needed
@@ -237,85 +233,132 @@ class CiNCT:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
-    def suffix_range(self, pattern: Sequence[int]) -> tuple[int, int] | None:
+    def suffix_range(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> tuple[int, int] | None:
         """Algorithm 3 (``LabeledSearchFM``): suffix range of a query path.
 
         The pattern is given in travel order using the symbols of the original
         alphabet; returns ``(sp, ep)`` or ``None`` when the path never occurs.
+        ``interval_cache`` (optional, ``deepest``/``store`` over prefix-tuple
+        keys) lets the walk resume from the deepest cached ancestor of the
+        pattern — an incremental one-edge extension costs one labelled LF
+        step — and stores the final range for future queries.
         """
         symbols = self._validated_pattern(pattern)
         # Patterns are given in travel order; because the trajectory string
         # stores reversed trajectories, Algorithm 3 consumes the pattern from
         # its first symbol to its last, with the previous (travel-earlier)
         # symbol acting as the RML context of the current one.
-        w = symbols[0]
-        sp = int(self._c_array[w])
-        ep = int(self._c_array[w + 1])
-        if sp >= ep:
-            return None
-        for index in range(1, len(symbols)):
+        cache = interval_cache
+        if cache is not None and not getattr(cache, "enabled", True):
+            cache = None
+        n = len(symbols)
+        prefix_len = 0
+        sp = ep = 0
+        if cache is not None:
+            keys = [tuple(symbols[:k]) for k in range(n, 0, -1)]
+            hit, interval = cache.deepest(keys)
+            if hit >= 0:
+                if interval is None:
+                    return None
+                sp, ep = interval
+                prefix_len = n - hit
+        if prefix_len == 0:
+            w = symbols[0]
+            sp = int(self._c_array[w])
+            ep = int(self._c_array[w + 1])
+            prefix_len = 1
+            if sp >= ep:
+                if cache is not None:
+                    cache.store(tuple(symbols), None)
+                return None
+        w = symbols[prefix_len - 1]
+        for index in range(prefix_len, n):
             context = w
             w = symbols[index]
-            if not self._rml.has_label(w, context):
+            dead = not self._rml.has_label(w, context)
+            if not dead:
+                label = self._rml.label(w, context)
+                correction = self._corrections.get(context, w)
+                base = int(self._c_array[w]) - correction
+                sp = base + self._wavelet_tree.rank(label, sp)
+                ep = base + self._wavelet_tree.rank(label, ep)
+                dead = sp >= ep
+            if dead:
+                if cache is not None:
+                    cache.store(tuple(symbols), None)
                 return None
-            label = self._rml.label(w, context)
-            correction = self._corrections.get(context, w)
-            base = int(self._c_array[w]) - correction
-            sp = base + self._wavelet_tree.rank(label, sp)
-            ep = base + self._wavelet_tree.rank(label, ep)
-            if sp >= ep:
-                return None
+        if cache is not None and prefix_len < n:
+            cache.store(tuple(symbols), (sp, ep))
         return sp, ep
 
     def suffix_range_many(
-        self, patterns: Sequence[Sequence[int]]
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
     ) -> list[tuple[int, int] | None]:
         """Batched Algorithm 3 over a whole workload of query paths.
 
-        All patterns advance through ``LabeledSearchFM`` simultaneously; at
-        every step the still-active patterns are grouped by their RML label
-        and each group's suffix-range frontier is answered with one vectorized
-        wavelet-tree :meth:`~repro.wavelet.tree.WaveletTree.rank_many` call.
-        Results are bit-identical to calling :meth:`suffix_range` per pattern.
+        The workload is folded into one
+        :class:`~repro.fmindex.trie.PatternTrie` and handed to
+        :meth:`trie_search`: query paths sharing a travel-order prefix share a
+        single ``LabeledSearchFM`` frontier entry up to their divergence
+        point.  Results are bit-identical to calling :meth:`suffix_range` per
+        pattern.
         """
         pats = [self._validated_pattern(p) for p in patterns]
+        if not pats:
+            return []
+        return self.trie_search(PatternTrie(pats), interval_cache=interval_cache)
+
+    def trie_search(
+        self, trie: PatternTrie, interval_cache=None
+    ) -> list[tuple[int, int] | None]:
+        """Algorithm 3 over a prebuilt pattern trie (one range per node).
+
+        At every trie depth the pending nodes are grouped by their
+        ``(context, w)`` bigram with one ``np.unique`` pass — every group
+        shares one RML label and one PseudoRank base, so label resolution and
+        correction lookups happen once per distinct bigram — and the whole
+        labelled frontier then descends the wavelet tree together through one
+        :meth:`~repro.wavelet.tree.WaveletTree.rank_pairs` call, which shares
+        the upper tree levels across labels (one bit-vector rank per distinct
+        tree node, not one walk per label).  Bigrams without an RML label (and
+        symbols outside this index's alphabet) make their node dead, pruning
+        the whole subtree.
+        """
         c = self._c_array
 
-        def advance(step, active, matrix, sp, ep):
-            # Group the active patterns by their current (context, w) bigram:
-            # every group shares one RML label and one PseudoRank base, so the
-            # label resolution and correction lookups happen once per group.
-            keys = matrix[active, step - 1] * np.int64(self._sigma) + matrix[active, step]
-            label_entries: dict[int, list[tuple[int, np.ndarray]]] = {}
-            for key, members in iter_key_groups(active, keys):
+        def advance(contexts, syms, parent_sp, parent_ep):
+            n = syms.size
+            # Dead-by-default: a bigram the RML function never labelled keeps
+            # its empty range and kills the subtree below it.
+            sp = np.zeros(n, dtype=np.int64)
+            ep = np.zeros(n, dtype=np.int64)
+            keys = contexts * np.int64(self._sigma) + syms
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            labels_per_key = np.empty(unique_keys.size, dtype=np.int64)
+            bases_per_key = np.zeros(unique_keys.size, dtype=np.int64)
+            for k, key in enumerate(unique_keys.tolist()):
                 context, w = divmod(key, self._sigma)
-                if not self._rml.has_label(w, context):
-                    continue
-                label = self._rml.label(w, context)
-                base = int(c[w]) - self._corrections.get(context, w)
-                label_entries.setdefault(label, []).append((base, members))
-            if not label_entries:
-                return np.zeros(0, dtype=np.int64)
-            # One vectorized wavelet rank per distinct label: with RML's tiny
-            # effective alphabet this is a handful of calls per step no matter
-            # how many patterns are in flight.
-            surviving: list[np.ndarray] = []
-            for label, entries in label_entries.items():
-                members = np.concatenate([group for _, group in entries])
-                bases = np.repeat(
-                    np.fromiter(
-                        (base for base, _ in entries), dtype=np.int64, count=len(entries)
-                    ),
-                    [group.size for _, group in entries],
-                )
-                frontier = np.concatenate([sp[members], ep[members]])
-                ranks = self._wavelet_tree.rank_many(label, frontier)
-                sp[members] = bases + ranks[: members.size]
-                ep[members] = bases + ranks[members.size :]
-                surviving.append(members)
-            return np.sort(np.concatenate(surviving))
+                if self._rml.has_label(w, context):
+                    labels_per_key[k] = self._rml.label(w, context)
+                    bases_per_key[k] = int(c[w]) - self._corrections.get(context, w)
+                else:
+                    labels_per_key[k] = -1
+            node_labels = labels_per_key[inverse]
+            node_bases = bases_per_key[inverse]
+            alive = np.flatnonzero(node_labels >= 0)
+            if alive.size:
+                frontier = np.concatenate([parent_sp[alive], parent_ep[alive]])
+                pair_labels = np.concatenate([node_labels[alive], node_labels[alive]])
+                ranks = self._wavelet_tree.rank_pairs(pair_labels, frontier)
+                sp[alive] = node_bases[alive] + ranks[: alive.size]
+                ep[alive] = node_bases[alive] + ranks[alive.size :]
+            return sp, ep
 
-        return batched_backward_search(pats, c, advance)
+        return trie_backward_search(
+            trie, c, self._sigma, advance, interval_cache=interval_cache
+        )
 
     def count(self, pattern: Sequence[int]) -> int:
         """Number of occurrences of the query path in the trajectory string."""
@@ -325,16 +368,18 @@ class CiNCT:
         sp, ep = found
         return ep - sp
 
-    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+    def count_many(
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
+    ) -> list[int]:
         """Batched :meth:`count` over a whole workload of query paths."""
         return [
             0 if found is None else found[1] - found[0]
-            for found in self.suffix_range_many(patterns)
+            for found in self.suffix_range_many(patterns, interval_cache=interval_cache)
         ]
 
-    def contains(self, pattern: Sequence[int]) -> bool:
+    def contains(self, pattern: Sequence[int], interval_cache=None) -> bool:
         """True when the query path occurs at least once."""
-        return self.suffix_range(pattern) is not None
+        return self.suffix_range(pattern, interval_cache=interval_cache) is not None
 
     def extract(self, j: int, length: int) -> list[int]:
         """Algorithm 4: extract ``T[i - length, i)`` where ``i = SA[j]``.

@@ -40,8 +40,16 @@ from typing import Callable, Hashable, Iterator, Sequence
 
 import numpy as np
 
-from ..exceptions import EMPTY_INDEX_MESSAGE, EMPTY_PATH_MESSAGE, ConstructionError, QueryError
+from ..exceptions import (
+    EMPTY_INDEX_MESSAGE,
+    EMPTY_PATH_MESSAGE,
+    EMPTY_PATTERN_MESSAGE,
+    ConstructionError,
+    QueryError,
+    symbol_out_of_range_message,
+)
 from ..fmindex.linear_scan import LinearScanIndex
+from ..fmindex.trie import PatternTrie
 from ..reliability.faults import maybe_crash_save
 from ..strings.alphabet import END_SYMBOL, SEP_SYMBOL, Alphabet
 from ..strings.bwt import BWTResult, burrows_wheeler_transform
@@ -129,6 +137,39 @@ class TailView:
     def n_symbols(self) -> int:
         """Snapshot text length excluding the terminator."""
         return self.trajectory_string.length - 1
+
+
+class _TierIntervalView:
+    """Tier-scoped view of an engine interval cache for one partition.
+
+    Every key is prefixed with the partition's position in the current
+    snapshot.  Positions are stable between growth epochs — any change to the
+    partition set (seal, tiered merge, consolidate) coincides with an engine
+    epoch bump, which clears the cache — so a tier id plus the
+    epoch-invalidation contract uniquely identifies a partition's suffix
+    ranges.  The mutable tail never gets a view: it grows without an epoch
+    bump, so its ranges must not be remembered.
+    """
+
+    __slots__ = ("_cache", "_tier")
+
+    def __init__(self, cache, tier: int):
+        self._cache = cache
+        self._tier = int(tier)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(getattr(self._cache, "enabled", True))
+
+    def lookup(self, key: tuple[int, ...]):
+        return self._cache.lookup((self._tier,) + key)
+
+    def store(self, key: tuple[int, ...], interval) -> None:
+        self._cache.store((self._tier,) + key, interval)
+
+    def deepest(self, keys: Sequence[tuple[int, ...]]):
+        tier = self._tier
+        return self._cache.deepest([(tier,) + key for key in keys])
 
 
 @dataclass(frozen=True)
@@ -900,28 +941,48 @@ class PartitionedCiNCT:
             raise QueryError(EMPTY_INDEX_MESSAGE)
         return [int(s) for s in pattern], snap
 
-    def count_encoded_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+    def count_encoded_many(
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
+    ) -> list[int]:
         """Batched :meth:`count_encoded` over a workload of encoded patterns.
 
-        Each partition answers the subset of patterns inside its alphabet with
-        one vectorized :meth:`CiNCT.count_many` pass; totals are accumulated
-        per pattern, bit-identical to the scalar loop.
+        One :class:`~repro.fmindex.trie.PatternTrie` is built over the whole
+        workload (encoded against the shared global alphabet) and fanned
+        across ``compressed partitions ∪ tail``: each partition answers every
+        pattern inside its alphabet with one :meth:`CiNCT.trie_search` pass —
+        a symbol a partition has never seen simply makes its trie node dead
+        there — the uncompressed tail scans its subset, and totals accumulate
+        per pattern, bit-identical to the scalar loop.  ``interval_cache``
+        (optional) is shared across the partitions through tier-scoped key
+        views; the mutable tail is never cached because it grows without an
+        epoch bump.
         """
         snap = self.snapshot()
         if snap.empty:
             raise QueryError(EMPTY_INDEX_MESSAGE)
         pats = [[int(s) for s in pattern] for pattern in patterns]
+        for pattern in pats:
+            if not pattern:
+                raise QueryError(EMPTY_PATTERN_MESSAGE)
+            for symbol in pattern:
+                if symbol < 0:
+                    raise QueryError(
+                        symbol_out_of_range_message(symbol, self._alphabet.sigma)
+                    )
         totals = [0] * len(pats)
-        for partition in snap.partitions:
-            sigma = partition.index.sigma
-            inside = [i for i, pattern in enumerate(pats) if max(pattern, default=-1) < sigma]
-            if not inside:
-                continue
-            for i, count in zip(inside, partition.index.count_many([pats[i] for i in inside])):
-                totals[i] += count
+        if not pats:
+            return totals
+        share = interval_cache is not None and getattr(interval_cache, "enabled", True)
+        trie = PatternTrie(pats)
+        for tier, partition in enumerate(snap.partitions):
+            view = _TierIntervalView(interval_cache, tier) if share else None
+            found_ranges = partition.index.trie_search(trie, interval_cache=view)
+            for i, found in enumerate(found_ranges):
+                if found is not None:
+                    totals[i] += found[1] - found[0]
         if snap.tail is not None:
             sigma = snap.tail.scanner.sigma
-            inside = [i for i, pattern in enumerate(pats) if max(pattern, default=-1) < sigma]
+            inside = [i for i, pattern in enumerate(pats) if max(pattern) < sigma]
             if inside:
                 for i, count in zip(
                     inside, snap.tail.scanner.count_many([pats[i] for i in inside])

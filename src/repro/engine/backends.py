@@ -31,7 +31,7 @@ from typing import Callable, Hashable, Sequence
 import numpy as np
 
 from ..core.cinct import CiNCT
-from ..core.partitioned import Partition, PartitionedCiNCT
+from ..core.partitioned import Partition, PartitionedCiNCT, _TierIntervalView
 from ..exceptions import EMPTY_INDEX_MESSAGE, ConstructionError, DatasetError, QueryError
 from ..fmindex.base import FMIndexBase
 from ..fmindex.linear_scan import LinearScanIndex
@@ -74,6 +74,13 @@ class EngineBackend(abc.ABC):
 
     spec_name: str = ""
 
+    #: True when the backend's search paths accept an ``interval_cache``
+    #: (the engine's epoch-invalidated suffix-range cache) and can resume
+    #: backward search from cached pattern-prefix intervals.  The executor
+    #: only threads the cache through when this is set, so backends without
+    #: suffix ranges (linear scan) are never handed one.
+    supports_interval_sharing: bool = False
+
     # ------------------------------------------------------------------ #
     # identity and bookkeeping
     # ------------------------------------------------------------------ #
@@ -109,14 +116,23 @@ class EngineBackend(abc.ABC):
         """Occurrences of an encoded pattern."""
 
     @abc.abstractmethod
-    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
-        """Batched :meth:`count` (vectorized where the backend supports it)."""
+    def count_many(
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
+    ) -> list[int]:
+        """Batched :meth:`count` (vectorized where the backend supports it).
 
-    def contains(self, pattern: Sequence[int]) -> bool:
+        ``interval_cache`` is only ever passed when
+        :attr:`supports_interval_sharing` is true; backends without suffix
+        ranges are free to ignore it.
+        """
+
+    def contains(self, pattern: Sequence[int], interval_cache=None) -> bool:
         """True when the encoded pattern occurs at least once."""
         return self.count(pattern) > 0
 
-    def locate_matches(self, pattern: Sequence[int]) -> list[RawMatch]:
+    def locate_matches(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> list[RawMatch]:
         """Resolve every occurrence to travel-order trajectory coordinates."""
         raise QueryError(
             f"locate is not supported by the {self.spec_name!r} backend"
@@ -203,15 +219,19 @@ class _SingleStringBackend(EngineBackend):
     def n_trajectories(self) -> int:
         return self._trajectory_string.n_trajectories
 
-    def _occurrence_positions(self, pattern: Sequence[int]) -> list[int]:
+    def _occurrence_positions(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> list[int]:
         """Start positions (in the stored text) of the reversed pattern."""
         raise QueryError(
             f"locate is not supported by the {self.spec_name!r} backend"
         )
 
-    def locate_matches(self, pattern: Sequence[int]) -> list[RawMatch]:
+    def locate_matches(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> list[RawMatch]:
         matches: list[RawMatch] = []
-        for position in self._occurrence_positions(pattern):
+        for position in self._occurrence_positions(pattern, interval_cache):
             resolved = resolve_text_position(
                 self._trajectory_string, int(position), len(pattern)
             )
@@ -243,6 +263,8 @@ class _SingleStringBackend(EngineBackend):
 class _BWTBackend(_SingleStringBackend):
     """Shared plumbing for BWT-based backends (CiNCT and the FM baselines)."""
 
+    supports_interval_sharing = True
+
     def __init__(
         self,
         trajectory_string: TrajectoryString,
@@ -266,11 +288,13 @@ class _BWTBackend(_SingleStringBackend):
     def count(self, pattern: Sequence[int]) -> int:
         return self._index.count(pattern)
 
-    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
-        return self._index.count_many(patterns)
+    def count_many(
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
+    ) -> list[int]:
+        return self._index.count_many(patterns, interval_cache=interval_cache)
 
-    def contains(self, pattern: Sequence[int]) -> bool:
-        return self._index.contains(pattern)
+    def contains(self, pattern: Sequence[int], interval_cache=None) -> bool:
+        return self._index.contains(pattern, interval_cache=interval_cache)
 
     def extract(self, row: int, length: int) -> list[int]:
         return self._index.extract(row, length)
@@ -361,10 +385,12 @@ class CiNCTBackend(_BWTBackend):
             sa_sample_rate=config.sa_sample_rate,
         )
 
-    def _occurrence_positions(self, pattern: Sequence[int]) -> list[int]:
+    def _occurrence_positions(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> list[int]:
         index = self._index
         assert isinstance(index, CiNCT)
-        found = index.suffix_range(pattern)
+        found = index.suffix_range(pattern, interval_cache=interval_cache)
         if found is None:
             return []
         sp, ep = found
@@ -414,8 +440,10 @@ class FMBaselineBackend(_BWTBackend):
         index = build_baseline(variant, bwt_result, block_size=config.block_size)
         return cls(trajectory_string, bwt_result, index, variant)
 
-    def _occurrence_positions(self, pattern: Sequence[int]) -> list[int]:
-        found = self._index.suffix_range(pattern)
+    def _occurrence_positions(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> list[int]:
+        found = self._index.suffix_range(pattern, interval_cache=interval_cache)
         if found is None:
             return []
         sp, ep = found
@@ -472,16 +500,21 @@ class LinearScanBackend(_SingleStringBackend):
     def count(self, pattern: Sequence[int]) -> int:
         return self._index.count(pattern)
 
-    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+    def count_many(
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
+    ) -> list[int]:
+        # No suffix structure, so there are no intervals to share or cache.
         return self._index.count_many(patterns)
 
-    def contains(self, pattern: Sequence[int]) -> bool:
+    def contains(self, pattern: Sequence[int], interval_cache=None) -> bool:
         return self._index.contains(pattern)
 
     def size_in_bits(self) -> int:
         return self._index.size_in_bits()
 
-    def _occurrence_positions(self, pattern: Sequence[int]) -> list[int]:
+    def _occurrence_positions(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> list[int]:
         return self._index.occurrences(pattern)
 
     def save_state(self, directory: Path) -> dict[str, object]:
@@ -497,6 +530,7 @@ class PartitionedBackend(EngineBackend):
     """Growing collection of CiNCT partitions over a shared alphabet."""
 
     spec_name = "partitioned-cinct"
+    supports_interval_sharing = True
 
     def __init__(self, partitioned: PartitionedCiNCT):
         self._partitioned = partitioned
@@ -623,26 +657,39 @@ class PartitionedBackend(EngineBackend):
     def count(self, pattern: Sequence[int]) -> int:
         return self._partitioned.count_encoded(pattern)
 
-    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
-        return self._partitioned.count_encoded_many(patterns)
+    def count_many(
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
+    ) -> list[int]:
+        # One pattern trie fans across compressed partitions ∪ tail, with the
+        # interval cache shared through tier-scoped key views.
+        return self._partitioned.count_encoded_many(
+            patterns, interval_cache=interval_cache
+        )
 
-    def contains(self, pattern: Sequence[int]) -> bool:
+    def contains(self, pattern: Sequence[int], interval_cache=None) -> bool:
         # Any-partition short-circuit: stops at the first partition that
-        # reports a match instead of counting across all of them.
+        # reports a match instead of counting across all of them.  The
+        # short-circuit walk does not consult the interval cache (tier order
+        # would make hit bookkeeping ambiguous); the cache still serves the
+        # count twin sharing path above it.
         return self._partitioned.contains_encoded(pattern)
 
-    def locate_matches(self, pattern: Sequence[int]) -> list[RawMatch]:
+    def locate_matches(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> list[RawMatch]:
         snap = self._partitioned.snapshot()
         if snap.empty:
             raise QueryError(EMPTY_INDEX_MESSAGE)
         pattern = [int(s) for s in pattern]
         largest = max(pattern, default=-1)
+        share = interval_cache is not None and getattr(interval_cache, "enabled", True)
         matches: list[RawMatch] = []
-        for partition in snap.partitions:
+        for tier, partition in enumerate(snap.partitions):
             index = partition.index
             if largest >= index.sigma:
                 continue
-            found = index.suffix_range(pattern)
+            view = _TierIntervalView(interval_cache, tier) if share else None
+            found = index.suffix_range(pattern, interval_cache=view)
             if found is None:
                 continue
             sp, ep = found

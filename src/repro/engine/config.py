@@ -79,6 +79,15 @@ class EngineConfig:
         ``cache_size`` entry bound).  Locate / strict-path payloads are full
         match tuples, so this keeps high-frequency paths from pinning big
         result sets; ``None`` (default) leaves the byte dimension unbounded.
+    interval_cache_size:
+        Capacity (in distinct encoded pattern prefixes) of the engine's LRU
+        suffix-range interval cache.  Backends with a suffix structure
+        (CiNCT family, FM baselines, partitioned) resume backward search
+        from the deepest cached ancestor instead of re-deriving the whole
+        range, so incremental one-edge pattern extensions cost a single
+        LF-step and coalesced batches warm each other.  Invalidation mirrors
+        the result cache: any epoch bump drops every entry.  ``0`` disables
+        interval sharing.
     num_shards:
         Number of fleet shards.  ``1`` (default) builds a plain
         :class:`~repro.engine.TrajectoryEngine`; larger values make
@@ -129,6 +138,7 @@ class EngineConfig:
     labeling_strategy: str = "bigram"
     cache_size: int = 1024
     cache_max_bytes: int | None = None
+    interval_cache_size: int = 1024
     num_shards: int = 1
     shard_workers: int | None = None
     shard_executor: str = "threads"
@@ -170,6 +180,11 @@ class EngineConfig:
         if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
             raise ConstructionError(
                 f"cache_max_bytes must be positive when given, got {self.cache_max_bytes}"
+            )
+        if self.interval_cache_size < 0:
+            raise ConstructionError(
+                "interval_cache_size must be non-negative (0 disables), "
+                f"got {self.interval_cache_size}"
             )
         if self.num_shards < 1:
             raise ConstructionError(

@@ -54,7 +54,7 @@ from ..temporal.store import TimestampStore
 from ..trajectories.model import Trajectory, TrajectoryDataset
 from .backends import EngineBackend
 from .config import EngineConfig
-from .executor import QueryExecutor, ResultCache
+from .executor import IntervalCache, QueryExecutor, ResultCache
 from .plan import PlannedQuery, QueryPlanner
 from .queries import (
     ContainsQuery,
@@ -251,7 +251,16 @@ class TrajectoryEngine(ScalarQueryAPI):
         self._cache = ResultCache(
             config.cache_size, epoch=self._epoch, max_bytes=config.cache_max_bytes
         )
-        self._executor = QueryExecutor(backend, self._resolve_encoded, self._cache)
+        # Second cache tier: suffix-range intervals keyed on encoded pattern
+        # prefixes, so backward search resumes from the deepest cached
+        # ancestor instead of re-deriving whole ranges.  Same epoch model as
+        # the result cache; ignored by backends without a suffix structure.
+        self._interval_cache = IntervalCache(
+            config.interval_cache_size, epoch=self._epoch
+        )
+        self._executor = QueryExecutor(
+            backend, self._resolve_encoded, self._cache, self._interval_cache
+        )
         # Background tail compaction publishes new state off the ingest
         # thread; the listener bumps this engine's epoch at swap time so the
         # cache invalidates exactly when the view changes (and, in a sharded
@@ -382,6 +391,19 @@ class TrajectoryEngine(ScalarQueryAPI):
         """Result-cache counters (hits, misses, evictions, invalidations)."""
         return self._cache.stats()
 
+    @property
+    def interval_cache(self) -> IntervalCache:
+        """The epoch-invalidated suffix-range interval cache."""
+        return self._interval_cache
+
+    def interval_cache_stats(self) -> dict[str, int | bool]:
+        """Interval-cache counters (hits, misses, evictions, invalidations)."""
+        return self._interval_cache.stats()
+
+    def disable_interval_cache(self) -> None:
+        """Turn interval sharing off for the rest of this engine's lifetime."""
+        self._interval_cache.disable()
+
     def disable_cache(self) -> None:
         """Turn the result cache off for the rest of this engine's lifetime.
 
@@ -410,6 +432,7 @@ class TrajectoryEngine(ScalarQueryAPI):
             "epoch": self._epoch,
             "n_trajectories": self.n_trajectories,
             "cache": self.cache_stats(),
+            "interval_cache": self.interval_cache_stats(),
         }
 
     def stats(self) -> dict[str, object]:
@@ -435,6 +458,7 @@ class TrajectoryEngine(ScalarQueryAPI):
             "epochs": [self._epoch],
             "size_in_bits": self.size_in_bits(),
             "cache": self.cache_stats(),
+            "interval_cache": self.interval_cache_stats(),
             "executor": {
                 "mode": "inline",
                 "max_workers": 1,
@@ -530,6 +554,7 @@ class TrajectoryEngine(ScalarQueryAPI):
     def _bump_epoch(self) -> None:
         self._epoch += 1
         self._cache.sync_epoch(self._epoch)
+        self._interval_cache.sync_epoch(self._epoch)
 
     # ------------------------------------------------------------------ #
     # typed query API (the staged pipeline; scalar helpers come from
@@ -595,7 +620,15 @@ class TrajectoryEngine(ScalarQueryAPI):
         store = self._store
         n_stored = len(store)
         matches: list[StrictPathMatch] = []
-        for trajectory_id, start, end in self._backend.locate_matches(list(pattern)):
+        kwargs: dict[str, object] = {}
+        if (
+            getattr(self._backend, "supports_interval_sharing", False)
+            and self._interval_cache.enabled
+        ):
+            kwargs["interval_cache"] = self._interval_cache
+        for trajectory_id, start, end in self._backend.locate_matches(
+            list(pattern), **kwargs
+        ):
             if 0 <= trajectory_id < n_stored:
                 start_time = store.timestamp(trajectory_id, start)
                 end_time = store.timestamp(trajectory_id, end)

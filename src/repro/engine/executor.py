@@ -17,8 +17,18 @@ the pipeline:
   ``add_batch`` / ``consolidate`` and persisted by the index format) and
   additionally budgeted in approximate payload bytes (``cache_max_bytes``),
   so high-frequency locate payloads cannot pin unbounded match sets;
+* :class:`IntervalCache` — the second cache tier: an epoch-invalidated LRU
+  mapping encoded pattern-prefix tuples to backward-search suffix ranges
+  (``(sp, ep)``, or ``None`` for a prefix that never occurs).  Where the
+  result cache short-circuits *whole plans*, the interval cache accelerates
+  the *search inside* a miss: backends that support interval sharing
+  (``supports_interval_sharing``) resume backward search from the deepest
+  cached ancestor of each pattern, so incremental one-edge extensions cost a
+  single LF step and coalesced batches from different clients warm each
+  other;
 * :class:`QueryExecutor` — the **execute** stage: serve plans from the cache
-  where possible, route the misses through the grouped vectorized paths, and
+  where possible, route the misses through the grouped vectorized paths
+  (threading the interval cache into backends that share intervals), and
   fill the cache with what they produce.  Contains plans probe their
   :meth:`~repro.engine.plan.QueryPlan.count_twin` (same batch, then cache)
   before falling back to the backend's early-exit ``contains`` path.
@@ -63,11 +73,15 @@ class PlanExecutor(Protocol):
     actually callable.
     """
 
-    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]: ...
+    def count_many(
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
+    ) -> list[int]: ...
 
-    def contains(self, pattern: Sequence[int]) -> bool: ...
+    def contains(self, pattern: Sequence[int], interval_cache=None) -> bool: ...
 
-    def locate_matches(self, pattern: Sequence[int]) -> list[tuple[int, int, int]]: ...
+    def locate_matches(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> list[tuple[int, int, int]]: ...
 
     def extract(self, row: int, length: int) -> list[int]: ...
 
@@ -348,6 +362,180 @@ class ResultCache:
 
 
 # --------------------------------------------------------------------------- #
+# interval cache (second tier)
+# --------------------------------------------------------------------------- #
+#: An interval-cache key: an encoded pattern-prefix tuple, optionally
+#: prefixed with a tier id by the partitioned backend's per-partition views.
+IntervalKey = tuple[int, ...]
+
+#: A cached search state: ``(sp, ep)`` for a live prefix, ``None`` for a
+#: prefix proven absent from the index.
+Interval = "tuple[int, int] | None"
+
+
+class IntervalCache:
+    """Epoch-invalidated LRU of encoded pattern-prefixes → suffix ranges.
+
+    The second cache tier of the query pipeline.  Keys are tuples of encoded
+    symbols — the travel-order prefix a backward search has consumed so far
+    (the partitioned backend additionally prefixes a tier id per compressed
+    partition).  Values are ``(sp, ep)`` suffix ranges, or ``None`` for a
+    prefix that provably never occurs, so repeated misses are as warm as
+    repeated hits.
+
+    Like the result cache, one interval cache belongs to one engine (one per
+    shard on a sharded fleet) and is dropped whole whenever the engine's
+    growth epoch moves — a suffix range is a position in the BWT, so *any*
+    growth invalidates every entry.  ``capacity <= 0`` disables the cache
+    (that is ``EngineConfig.interval_cache_size = 0`` or :meth:`disable`).
+
+    Three lookup surfaces serve the two consumers:
+
+    * :meth:`lookup` — exact-key probe used by the trie executor for every
+      trie node: an adopted node is a hit (no rank work), a computed node is
+      a miss;
+    * :meth:`deepest` — longest-first ancestor probe used by the scalar
+      backward search; the whole probe counts one hit *or* one miss, so a
+      single query never distorts the counters by its pattern length;
+    * :meth:`store` — unconditional insert (never counted), performed for
+      every freshly computed search state.
+
+    Thread safety matches :class:`ResultCache`: one lock around every public
+    method; lookup→search→store of one prefix is deliberately not atomic
+    (ranges are deterministic, so racing writers store identical values).
+    """
+
+    def __init__(self, capacity: int, epoch: int = 0):
+        self._capacity = max(int(capacity), 0)
+        self._entries: "OrderedDict[IntervalKey, tuple[int, int] | None]" = OrderedDict()
+        self._epoch = int(epoch)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached prefixes (0 when disabled)."""
+        return self._capacity
+
+    @property
+    def enabled(self) -> bool:
+        """True when the cache stores anything at all."""
+        return self._capacity > 0
+
+    @property
+    def epoch(self) -> int:
+        """Growth epoch the cached ranges were computed under."""
+        return self._epoch
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def sync_epoch(self, epoch: int) -> None:
+        """Adopt the engine's growth epoch, dropping entries if it moved."""
+        epoch = int(epoch)
+        with self._lock:
+            if epoch == self._epoch:
+                return
+            if self._entries:
+                self.invalidations += 1
+                self._entries.clear()
+            self._epoch = epoch
+
+    def lookup(self, key: IntervalKey) -> tuple[bool, "tuple[int, int] | None"]:
+        """``(found, interval)`` for one prefix key; counts a hit or a miss."""
+        with self._lock:
+            if self._capacity <= 0:
+                return False, None
+            interval = self._entries.get(key, _MISS)
+            if interval is _MISS:
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, interval  # type: ignore[return-value]
+
+    def deepest(
+        self, keys: Sequence[IntervalKey]
+    ) -> tuple[int, "tuple[int, int] | None"]:
+        """Probe ancestor keys (longest first); ``(index, interval)`` or ``(-1, None)``.
+
+        The whole probe counts exactly one hit (the deepest ancestor found)
+        or one miss (no ancestor cached), so scalar queries contribute to the
+        counters per *query*, not per pattern symbol.
+        """
+        with self._lock:
+            if self._capacity <= 0:
+                return -1, None
+            for index, key in enumerate(keys):
+                interval = self._entries.get(key, _MISS)
+                if interval is _MISS:
+                    continue
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return index, interval  # type: ignore[return-value]
+            self.misses += 1
+            return -1, None
+
+    def store(self, key: IntervalKey, interval: "tuple[int, int] | None") -> None:
+        """Remember one computed search state (LRU-evicting; never counted)."""
+        with self._lock:
+            if self._capacity <= 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = interval
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def disable(self) -> None:
+        """Turn the cache off for the rest of this engine's lifetime."""
+        with self._lock:
+            self._capacity = 0
+            self._entries.clear()
+
+    def __getstate__(self) -> dict[str, object]:
+        """Picklable snapshot (the lock is recreated on unpickle).
+
+        Shard engines ship whole to worker processes under
+        ``shard_executor="processes"`` with the ``spawn`` start method; the
+        interval cache travels with them so freshly synced workers resume
+        warm backward searches immediately.
+        """
+        with self._lock:
+            state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def stats(self) -> dict[str, int | bool]:
+        """Counters for observability (``query --verbose``, ``/stats``)."""
+        with self._lock:
+            return {
+                "enabled": self._capacity > 0,
+                "capacity": self._capacity,
+                "size": len(self._entries),
+                "epoch": self._epoch,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+
+# --------------------------------------------------------------------------- #
 # execute stage
 # --------------------------------------------------------------------------- #
 class QueryExecutor:
@@ -364,15 +552,37 @@ class QueryExecutor:
         backend: PlanExecutor,
         resolver: MatchResolver,
         cache: ResultCache,
+        interval_cache: IntervalCache | None = None,
     ):
         self._backend = backend
         self._resolver = resolver
         self._cache = cache
+        self._interval_cache = interval_cache
+        self._share_intervals = bool(
+            getattr(backend, "supports_interval_sharing", False)
+        )
 
     @property
     def cache(self) -> ResultCache:
         """The epoch-invalidated LRU in front of the backend."""
         return self._cache
+
+    @property
+    def interval_cache(self) -> IntervalCache | None:
+        """The suffix-range interval cache threaded into the backend."""
+        return self._interval_cache
+
+    def _interval_kwargs(self) -> dict[str, IntervalCache]:
+        """Backend kwargs carrying the interval cache, when it applies.
+
+        Empty for backends without suffix ranges
+        (``supports_interval_sharing`` unset) and when the cache is disabled,
+        so those backends keep their exact pre-cache call signature.
+        """
+        cache = self._interval_cache
+        if cache is not None and self._share_intervals and cache.enabled:
+            return {"interval_cache": cache}
+        return {}
 
     def execute(self, plans: Iterable[QueryPlan]) -> dict[QueryPlan, object]:
         """Payloads for every distinct canonical plan in ``plans``."""
@@ -410,7 +620,9 @@ class QueryExecutor:
     ) -> None:
         if not plans:
             return
-        counts = self._backend.count_many([list(plan.pattern) for plan in plans])
+        counts = self._backend.count_many(
+            [list(plan.pattern) for plan in plans], **self._interval_kwargs()
+        )
         for plan, count in zip(plans, counts):
             payload = int(count)
             payloads[plan] = payload
@@ -438,14 +650,18 @@ class QueryExecutor:
             # specializations (partitioned any-partition short-circuit,
             # linear-scan first-match stop), not a full count.
             plan = unresolved[0]
-            payload = bool(self._backend.contains(list(plan.pattern)))
+            payload = bool(
+                self._backend.contains(list(plan.pattern), **self._interval_kwargs())
+            )
             payloads[plan] = payload
             self._cache.put(plan, payload)
             return
         # Several distinct contains misses run as one vectorized count_many
         # pass instead of a scalar loop; the counts land in the cache under
         # their count twins too, so later counts over the same paths are warm.
-        counts = self._backend.count_many([list(plan.pattern) for plan in unresolved])
+        counts = self._backend.count_many(
+            [list(plan.pattern) for plan in unresolved], **self._interval_kwargs()
+        )
         for plan, count in zip(unresolved, counts):
             self._cache.put(plan.count_twin(), int(count))
             payload = int(count) > 0
@@ -486,6 +702,7 @@ __all__ = [
     "PlanGroups",
     "approximate_payload_bytes",
     "optimize_plans",
+    "IntervalCache",
     "ResultCache",
     "QueryExecutor",
 ]

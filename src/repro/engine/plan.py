@@ -13,7 +13,13 @@ module), **optimize** and **execute** (:mod:`repro.engine.executor`):
 * optimize groups a batch of plans by (query type x capability) and dedupes
   identical plans so each distinct piece of work runs once;
 * execute routes each group through the backend's vectorized ``*_many`` paths,
-  fronted by an epoch-invalidated LRU result cache.
+  fronted by an epoch-invalidated LRU result cache.  Suffix-searching
+  backends get two further sharing layers underneath the result cache: the
+  batch's encoded patterns are folded into one prefix trie so overlapping
+  patterns share every common backward-search step
+  (:mod:`repro.fmindex.trie`), and an epoch-invalidated
+  :class:`~repro.engine.executor.IntervalCache` of suffix ranges lets warm
+  prefixes resume mid-search instead of starting over.
 
 Canonicalization is what makes the cache effective: a ``ContainsQuery``
 normalizes to a dedicated contains plan whose :meth:`QueryPlan.count_twin`

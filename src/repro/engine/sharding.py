@@ -593,6 +593,40 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
         for shard in self._present_shards():
             shard.disable_cache()
 
+    def interval_cache_stats(self) -> dict[str, int | bool]:
+        """Fleet-wide interval-cache counters (summed over the shards)."""
+        merged: dict[str, int | bool] = {
+            "enabled": False,
+            "capacity": 0,
+            "size": 0,
+            "epoch": self.epoch,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "invalidations": 0,
+        }
+        for stats in self.shard_interval_cache_stats():
+            merged["enabled"] = bool(merged["enabled"]) or bool(stats["enabled"])
+            for key in (
+                "capacity",
+                "size",
+                "hits",
+                "misses",
+                "evictions",
+                "invalidations",
+            ):
+                merged[key] = int(merged[key]) + int(stats[key])
+        return merged
+
+    def shard_interval_cache_stats(self) -> list[dict[str, int | bool]]:
+        """Per-shard interval-cache counters (empty shards skipped)."""
+        return [shard.interval_cache_stats() for shard in self._present_shards()]
+
+    def disable_interval_cache(self) -> None:
+        """Turn every shard's interval cache off."""
+        for shard in self._present_shards():
+            shard.disable_interval_cache()
+
     @property
     def policy(self) -> ShardPolicy:
         """The per-shard execution policy the fan-out runs under."""
@@ -648,6 +682,9 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             row["epoch"] = 0 if shard is None else shard.epoch
             row["n_trajectories"] = 0 if shard is None else shard.n_trajectories
             row["cache"] = None if shard is None else shard.cache_stats()
+            row["interval_cache"] = (
+                None if shard is None else shard.interval_cache_stats()
+            )
             row["worker"] = worker_rows.get(shard_id)
             rows.append(row)
         failing = sum(1 for row in rows if row["status"] == "failing")
@@ -684,6 +721,7 @@ class ShardedTrajectoryEngine(ScalarQueryAPI):
             "epochs": list(self.epochs),
             "size_in_bits": self.size_in_bits(),
             "cache": self.cache_stats(),
+            "interval_cache": self.interval_cache_stats(),
             "executor": self.executor_info(),
             "ingest": self.ingest_stats(),
             "health": self.health(),

@@ -98,6 +98,10 @@ def _worker_main(conn: "Connection", shard_id: int, engine: "TrajectoryEngine") 
       and ``worker_crash`` a genuine mid-batch death.
     * ``("sync", engine)`` → ``("ok", None)`` — adopt a freshly grown shard
       engine (the parent ships it when epochs diverge).
+    * ``("stats",)`` → ``("ok", payload)`` — live worker-side cache counters
+      (result cache + interval cache).  The worker owns its own engine copy,
+      so the parent's shard counters never see worker-side hits; this
+      message lets ``worker_rows()`` / ``/stats`` report them.
     * ``("stop",)`` — exit the loop (no reply).
 
     A vanished parent (EOF on the pipe) also ends the loop, so an abandoned
@@ -128,6 +132,17 @@ def _worker_main(conn: "Connection", shard_id: int, engine: "TrajectoryEngine") 
         if kind == "sync":
             engine = message[1]
             conn.send(("ok", None))
+            continue
+        if kind == "stats":
+            conn.send(
+                (
+                    "ok",
+                    {
+                        "cache": engine.cache_stats(),
+                        "interval_cache": engine.interval_cache_stats(),
+                    },
+                )
+            )
             continue
         _, batch, fault = message
         try:
@@ -353,9 +368,34 @@ class ProcessShardExecutor(ShardExecutor):
                 "alive": worker.alive,
                 "restarts": worker.restarts,
                 "epoch": worker.epoch,
+                "caches": self._worker_caches(worker),
             }
             for shard_id, worker in workers
         ]
+
+    def _worker_caches(self, worker: ShardWorker) -> dict[str, object] | None:
+        """Live worker-side cache counters via the ``stats`` message.
+
+        Best effort: a dead worker, or one mid-dispatch (its lock is held by
+        a dispatcher thread), reports ``None`` rather than blocking the
+        observability path behind a running batch.
+        """
+        if not worker.alive:
+            return None
+        if not worker.lock.acquire(blocking=False):
+            return None  # busy serving a batch; skip rather than stall
+        try:
+            if not worker.alive or worker.conn is None:
+                return None
+            worker.conn.send(("stats",))
+            if not worker.conn.poll(_HANDSHAKE_TIMEOUT):
+                return None
+            status, payload = worker.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            return None
+        finally:
+            worker.lock.release()
+        return payload if status == "ok" else None
 
     def close(self) -> None:
         with self._workers_lock:

@@ -14,10 +14,17 @@ CiNCT itself) exposes the same query surface:
 In addition, every variant inherits a *batch* query surface —
 :meth:`FMIndexBase.suffix_range_many`, :meth:`FMIndexBase.count_many` and
 :meth:`FMIndexBase.extract_many` — that runs backward search for a whole
-workload at once.  At every step the still-active patterns are grouped by
-their current symbol and all their frontier positions are answered with one
-:meth:`rank_bwt_many` call, which subclasses back with vectorized wavelet
-ranks; the results are bit-identical to the scalar loop.
+workload at once.  The batch is first folded into a
+:class:`~repro.fmindex.trie.PatternTrie` (patterns sharing a travel-order
+prefix share every search state up to their divergence point), and
+:meth:`FMIndexBase.trie_search` then advances **one suffix range per trie
+node**: at every depth the pending nodes are grouped by their edge symbol and
+all their frontier positions are answered with one :meth:`rank_bwt_many`
+call, which subclasses back with vectorized wavelet ranks.  The results are
+bit-identical to the scalar loop, overlapping patterns cost O(distinct trie
+nodes) instead of O(total symbols), and an optional epoch-invalidated
+interval cache (see :class:`repro.engine.executor.IntervalCache`) lets warm
+queries resume from their deepest cached ancestor.
 
 The baselines implement :meth:`rank_bwt` / :meth:`access_bwt` on top of a
 wavelet structure over the *original* BWT; CiNCT overrides the search and
@@ -37,6 +44,7 @@ from ..exceptions import (
     symbol_out_of_range_message,
 )
 from ..strings.bwt import BWTResult
+from .trie import PatternTrie, trie_backward_search
 
 
 def validate_pattern(pattern: Sequence[int], sigma: int) -> list[int]:
@@ -182,7 +190,9 @@ class FMIndexBase(abc.ABC):
         """Index size divided by the trajectory-string length."""
         return self.size_in_bits() / self._n
 
-    def suffix_range(self, pattern: Sequence[int]) -> tuple[int, int] | None:
+    def suffix_range(
+        self, pattern: Sequence[int], interval_cache=None
+    ) -> tuple[int, int] | None:
         """Find the suffix range of ``pattern`` (Algorithm 1, ``SearchFM``).
 
         Parameters
@@ -193,6 +203,12 @@ class FMIndexBase(abc.ABC):
             consumes the pattern from its last symbol backwards over ``T``,
             which corresponds to scanning the path in travel order — exactly
             Algorithm 1 applied to the trajectory string.
+        interval_cache:
+            Optional suffix-range interval cache (``deepest``/``store`` over
+            prefix-tuple keys).  When given, the search resumes from the
+            deepest cached ancestor of the pattern — an incremental one-edge
+            extension of a previously seen pattern costs a single LF step —
+            and the final range is stored for future queries.
 
         Returns
         -------
@@ -203,42 +219,91 @@ class FMIndexBase(abc.ABC):
         # given in travel order corresponds to its reversal as a substring of
         # T.  Running Algorithm 1 on that reversal means consuming the
         # travel-order pattern from its first symbol to its last.
-        w = symbols[0]
-        sp = int(self._c_array[w])
-        ep = int(self._c_array[w + 1])
-        if sp >= ep:
-            return None
-        for w in symbols[1:]:
+        cache = interval_cache
+        if cache is not None and not getattr(cache, "enabled", True):
+            cache = None
+        n = len(symbols)
+        prefix_len = 0
+        sp = ep = 0
+        if cache is not None:
+            keys = [tuple(symbols[:k]) for k in range(n, 0, -1)]
+            hit, interval = cache.deepest(keys)
+            if hit >= 0:
+                if interval is None:
+                    return None
+                sp, ep = interval
+                prefix_len = n - hit
+        if prefix_len == 0:
+            w = symbols[0]
+            sp = int(self._c_array[w])
+            ep = int(self._c_array[w + 1])
+            prefix_len = 1
+            if sp >= ep:
+                if cache is not None:
+                    cache.store(tuple(symbols), None)
+                return None
+        for w in symbols[prefix_len:]:
             sp = int(self._c_array[w]) + self.rank_bwt(w, sp)
             ep = int(self._c_array[w]) + self.rank_bwt(w, ep)
             if sp >= ep:
+                if cache is not None:
+                    cache.store(tuple(symbols), None)
                 return None
+        if cache is not None and prefix_len < n:
+            cache.store(tuple(symbols), (sp, ep))
         return sp, ep
 
     def suffix_range_many(
-        self, patterns: Sequence[Sequence[int]]
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
     ) -> list[tuple[int, int] | None]:
         """Batched :meth:`suffix_range` over a whole pattern workload.
 
-        Runs Algorithm 1 for all patterns simultaneously: at step ``k`` the
-        still-active patterns are grouped by their ``k``-th symbol and each
-        group's frontier (both ``sp`` and ``ep`` for every member) is answered
-        with a single :meth:`rank_bwt_many` call.  Results are bit-identical
-        to calling :meth:`suffix_range` per pattern.
+        The workload is folded into one :class:`PatternTrie` and handed to
+        :meth:`trie_search`: patterns sharing a travel-order prefix share a
+        single suffix-range frontier entry up to their divergence point, so
+        overlapping workloads cost O(distinct trie nodes) rank work instead
+        of O(total symbols).  Results are bit-identical to calling
+        :meth:`suffix_range` per pattern.
         """
         pats = [self._validated_pattern(p) for p in patterns]
+        if not pats:
+            return []
+        return self.trie_search(PatternTrie(pats), interval_cache=interval_cache)
+
+    def trie_search(
+        self, trie: PatternTrie, interval_cache=None
+    ) -> list[tuple[int, int] | None]:
+        """Backward search over a prebuilt pattern trie (one range per node).
+
+        At every trie depth the pending nodes are grouped by their edge
+        symbol (``np.unique``) and each group's parent frontier — both ``sp``
+        and ``ep`` for every node — is answered with a single
+        :meth:`rank_bwt_many` call.  Symbols outside this index's alphabet
+        make their node (and its subtree) dead rather than raising, so one
+        trie built over a global alphabet can be fanned across partitions
+        with smaller alphabets.  See
+        :func:`~repro.fmindex.trie.trie_backward_search` for the dead-node
+        and interval-cache semantics.
+        """
         c = self._c_array
 
-        def advance(step, active, matrix, sp, ep):
-            for w, members in iter_key_groups(active, matrix[active, step]):
-                frontier = np.concatenate([sp[members], ep[members]])
+        def advance(contexts, syms, parent_sp, parent_ep):
+            n = syms.size
+            sp = np.empty(n, dtype=np.int64)
+            ep = np.empty(n, dtype=np.int64)
+            unique_syms, inverse = np.unique(syms, return_inverse=True)
+            for k, w in enumerate(unique_syms.tolist()):
+                members = np.flatnonzero(inverse == k)
+                frontier = np.concatenate([parent_sp[members], parent_ep[members]])
                 ranks = self.rank_bwt_many(w, frontier)
                 base = int(c[w])
                 sp[members] = base + ranks[: members.size]
                 ep[members] = base + ranks[members.size :]
-            return active
+            return sp, ep
 
-        return batched_backward_search(pats, c, advance)
+        return trie_backward_search(
+            trie, c, self._sigma, advance, interval_cache=interval_cache
+        )
 
     def count(self, pattern: Sequence[int]) -> int:
         """Number of occurrences of ``pattern`` in the trajectory string."""
@@ -248,16 +313,18 @@ class FMIndexBase(abc.ABC):
         sp, ep = found
         return ep - sp
 
-    def count_many(self, patterns: Sequence[Sequence[int]]) -> list[int]:
+    def count_many(
+        self, patterns: Sequence[Sequence[int]], interval_cache=None
+    ) -> list[int]:
         """Batched :meth:`count` over a whole pattern workload."""
         return [
             0 if found is None else found[1] - found[0]
-            for found in self.suffix_range_many(patterns)
+            for found in self.suffix_range_many(patterns, interval_cache=interval_cache)
         ]
 
-    def contains(self, pattern: Sequence[int]) -> bool:
+    def contains(self, pattern: Sequence[int], interval_cache=None) -> bool:
         """True when the pattern occurs at least once."""
-        return self.suffix_range(pattern) is not None
+        return self.suffix_range(pattern, interval_cache=interval_cache) is not None
 
     def extract(self, j: int, length: int) -> list[int]:
         """Extract ``T[i - length, i)`` where ``i = SA[j]`` (Section IV-C).

@@ -153,6 +153,7 @@ class TrajectoryService:
             "engine_health": health,
             "epochs": engine_stats["epochs"],
             "cache": engine_stats["cache"],
+            "interval_cache": engine_stats["interval_cache"],
             "queue_depth": service["queue_depth"],
             "shed": service["shed"],
             "served": service["served"],

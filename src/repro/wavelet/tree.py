@@ -92,6 +92,7 @@ class WaveletTree:
         self._build_bitvectors(seq, values, factory)
         self._build_paths()
         self._code_to_symbol = {code: symbol for symbol, code in self._codes.items()}
+        self._pair_tables: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -313,6 +314,97 @@ class WaveletTree:
             ones = rank1_many(bitvector, current)
             current = ones if bit else current - ones
         return current
+
+    def rank_pairs(
+        self,
+        symbols: Sequence[int] | np.ndarray,
+        positions: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized rank of aligned ``(symbol, position)`` pairs.
+
+        Equivalent to ``[self.rank(s, p) for s, p in zip(symbols, positions)]``
+        but all pairs descend the tree together: at every depth the pending
+        pairs are grouped by the tree node their code path visits, so pairs of
+        *different* symbols share one ``rank1_many`` per node they co-visit —
+        near the root that is every pair at once.  This is what makes a
+        mixed-label frontier (the trie-shared batch search) cost one bit-vector
+        rank per distinct tree node instead of one walk per distinct symbol.
+        """
+        sym = np.asarray(symbols, dtype=np.int64)
+        pos = np.asarray(positions, dtype=np.int64)
+        if sym.size != pos.size:
+            raise QueryError(
+                f"rank_pairs needs aligned arrays, got {sym.size} symbols "
+                f"and {pos.size} positions"
+            )
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) > self._n:
+            raise QueryError(f"rank positions out of range [0, {self._n}]")
+
+        table_symbols, table_depths, node_table, bit_table = self._rank_pair_tables()
+        if node_table.shape[1] == 0:
+            return np.zeros(pos.size, dtype=np.int64)
+        # Map each entry's symbol onto its table row; absent symbols get a
+        # depth of 0, which ranks to 0 exactly like the scalar walk.
+        local = np.searchsorted(table_symbols, sym)
+        local = np.minimum(local, table_symbols.size - 1)
+        known = table_symbols[local] == sym
+        entry_depths = np.where(known, table_depths[local], 0)
+        max_depth = int(entry_depths.max()) if entry_depths.size else 0
+
+        out = np.zeros(pos.size, dtype=np.int64)
+        current = pos.copy()
+        pending = np.flatnonzero(entry_depths > 0)
+        for depth in range(max_depth):
+            if pending.size == 0:
+                break
+            nodes = node_table[local[pending], depth]
+            for node in np.unique(nodes).tolist():
+                members = pending[nodes == node]
+                bitvector = self._node_bvs[node]
+                ones = rank1_many(bitvector, current[members])
+                bits = bit_table[local[members], depth]
+                current[members] = np.where(bits == 1, ones, current[members] - ones)
+            finished = entry_depths[pending] == depth + 1
+            done = pending[finished]
+            out[done] = current[done]
+            pending = pending[~finished]
+            # A position that hit 0 stays 0 down the rest of its path.
+            pending = pending[current[pending] > 0]
+        return out
+
+    def _rank_pair_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Dense per-symbol path tables backing :meth:`rank_pairs`.
+
+        Built lazily once per tree: ``(symbols, depths, node_table,
+        bit_table)`` where row ``r`` of the tables holds symbol ``symbols[r]``'s
+        code path padded with ``-1``.  Symbols whose stored path fell off the
+        trie (truncated or ``-1``-terminated) get depth 0 — :meth:`rank` and
+        :meth:`rank_many` return 0 for those, and so must the pair walk.
+        """
+        # getattr: trees unpickled from artefacts predating this cache have no
+        # ``_pair_tables`` attribute at all.
+        if getattr(self, "_pair_tables", None) is None:
+            symbols = np.asarray(sorted(self._paths), dtype=np.int64)
+            paths: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+            for s in symbols.tolist():
+                node_ids, bits = self._paths[s]
+                if (node_ids and node_ids[-1] < 0) or len(node_ids) != len(
+                    self._codes.get(s, ())
+                ):
+                    paths.append(((), ()))
+                else:
+                    paths.append((node_ids, bits))
+            depths = np.asarray([len(p[0]) for p in paths], dtype=np.int64)
+            max_depth = int(depths.max()) if depths.size else 0
+            node_table = np.full((symbols.size, max_depth), -1, dtype=np.int64)
+            bit_table = np.zeros((symbols.size, max_depth), dtype=np.int64)
+            for row, (node_ids, bits) in enumerate(paths):
+                node_table[row, : len(node_ids)] = node_ids
+                bit_table[row, : len(bits)] = bits
+            self._pair_tables = (symbols, depths, node_table, bit_table)
+        return self._pair_tables
 
     def access(self, i: int) -> int:
         """Return ``sequence[i]``."""

@@ -267,13 +267,13 @@ class TestContainsKind:
         backend = engine.backend
         real_contains, real_count_many = backend.contains, backend.count_many
 
-        def spy_contains(pattern):
+        def spy_contains(pattern, **kwargs):
             calls["contains"] += 1
-            return real_contains(pattern)
+            return real_contains(pattern, **kwargs)
 
-        def spy_count_many(patterns):
+        def spy_count_many(patterns, **kwargs):
             calls["count_many"] += 1
-            return real_count_many(patterns)
+            return real_count_many(patterns, **kwargs)
 
         monkeypatch.setattr(backend, "contains", spy_contains)
         monkeypatch.setattr(backend, "count_many", spy_count_many)
